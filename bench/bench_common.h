@@ -1,0 +1,34 @@
+// Shared helpers for the experiment binaries (see DESIGN.md Sec. 3 for the
+// experiment index E1-E13 and EXPERIMENTS.md for recorded results).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "tcs/payload.h"
+
+namespace ratc::bench {
+
+/// Payload reading (and optionally writing) one object per listed id.
+inline tcs::Payload payload_on(std::vector<ObjectId> reads, std::vector<ObjectId> writes,
+                               Version read_version = 0, Version commit_version = 1) {
+  tcs::Payload p;
+  for (ObjectId o : reads) p.reads.push_back({o, read_version});
+  for (ObjectId o : writes) p.writes.push_back({o, static_cast<Value>(o)});
+  p.commit_version = commit_version;
+  return p;
+}
+
+inline void header(const std::string& id, const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s  %s\n", id.c_str(), title.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void claim(const std::string& text) {
+  std::printf("paper claim: %s\n\n", text.c_str());
+}
+
+}  // namespace ratc::bench

@@ -1,0 +1,100 @@
+#include "baseline/cluster.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ratc::baseline {
+
+namespace {
+constexpr ProcessId kServerBase = 100;
+constexpr ProcessId kShardStride = 100;
+constexpr ProcessId kPaxosOffset = 50;
+constexpr ProcessId kClientBase = 5000;
+}  // namespace
+
+BaselineCluster::BaselineCluster(Options options)
+    : options_(options), sim_(options.seed), shard_map_(options.num_shards) {
+  sim::Network::Options nopt = options_.exponential_delays
+                                   ? sim::Network::exponential_delay_options(
+                                         options_.delay_mean)
+                                   : sim::Network::unit_delay_options();
+  net_ = std::make_unique<sim::Network>(sim_, nopt);
+  certifier_ = tcs::make_certifier(options_.isolation);
+
+  for (ShardId s = 0; s < options_.num_shards; ++s) {
+    std::vector<ProcessId> group;
+    for (std::size_t i = 0; i < options_.shard_size; ++i) {
+      group.push_back(paxos_pid(s, i));
+    }
+    for (std::size_t i = 0; i < options_.shard_size; ++i) {
+      ShardServer::Options sopt;
+      sopt.shard = s;
+      sopt.shard_map = &shard_map_;
+      sopt.certifier = certifier_.get();
+      auto server = std::make_unique<ShardServer>(sim_, *net_, server_pid(s, i), sopt);
+      paxos::PaxosReplica::Options popt;
+      popt.group = group;
+      popt.initial_leader = group[0];
+      ShardServer* raw = server.get();
+      auto paxos = std::make_unique<paxos::PaxosReplica>(
+          sim_, *net_, paxos_pid(s, i), "bpaxos" + std::to_string(paxos_pid(s, i)),
+          popt, [raw](Slot slot, const sim::AnyMessage& cmd) { raw->apply(slot, cmd); });
+      server->attach_paxos(paxos.get());
+      sim_.add_process(server.get());
+      sim_.add_process(paxos.get());
+      servers_.push_back(std::move(server));
+      paxoses_.push_back(std::move(paxos));
+    }
+    leader_[s] = server_pid(s, 0);
+  }
+  // Install the full routing table at every server.
+  for (auto& server : servers_) {
+    for (const auto& [s, l] : leader_) server->set_shard_leader(s, l);
+  }
+}
+
+ProcessId BaselineCluster::server_pid(ShardId s, std::size_t idx) const {
+  return kServerBase + s * kShardStride + static_cast<ProcessId>(idx);
+}
+
+ProcessId BaselineCluster::paxos_pid(ShardId s, std::size_t idx) const {
+  return kServerBase + s * kShardStride + kPaxosOffset + static_cast<ProcessId>(idx);
+}
+
+ShardServer& BaselineCluster::server(ShardId s, std::size_t idx) {
+  for (auto& sv : servers_) {
+    if (sv->id() == server_pid(s, idx)) return *sv;
+  }
+  throw std::out_of_range("no baseline server");
+}
+
+ProcessId BaselineCluster::leader_server(ShardId s) const { return leader_.at(s); }
+
+ProcessId BaselineCluster::coordinator_for(const tcs::Payload& payload) const {
+  std::vector<ShardId> parts = shard_map_.shards_of(payload);
+  assert(!parts.empty());
+  return leader_.at(parts.front());
+}
+
+BaselineClient& BaselineCluster::add_client() {
+  ProcessId pid = kClientBase + static_cast<ProcessId>(clients_.size());
+  auto c = std::make_unique<BaselineClient>(sim_, *net_, pid, &history_);
+  sim_.add_process(c.get());
+  clients_.push_back(std::move(c));
+  return *clients_.back();
+}
+
+void BaselineCluster::fail_over(ShardId s, std::size_t new_leader_idx) {
+  // Crash the current leader pair, elect the chosen replica and repoint the
+  // routing tables (in a real deployment clients discover this via the
+  // Paxos leader hint; the harness shortcuts that).
+  ProcessId old_leader = leader_.at(s);
+  std::size_t old_idx = old_leader - server_pid(s, 0);
+  sim_.crash(old_leader);
+  sim_.crash(paxos_pid(s, old_idx));
+  server(s, new_leader_idx).paxos().start_election();
+  leader_[s] = server_pid(s, new_leader_idx);
+  for (auto& sv : servers_) sv->set_shard_leader(s, leader_[s]);
+}
+
+}  // namespace ratc::baseline

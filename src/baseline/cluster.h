@@ -1,0 +1,117 @@
+// Harness for the baseline 2PC-over-Paxos TCS: builds shards of 2f+1
+// servers (each paired with a Paxos replica), a routing table of shard
+// leaders, and history-recording clients.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "baseline/shard_server.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "tcs/certifier.h"
+#include "tcs/history.h"
+#include "tcs/shard_map.h"
+
+namespace ratc::baseline {
+
+class BaselineClient : public sim::Process {
+ public:
+  BaselineClient(sim::Simulator& sim, sim::Network& net, ProcessId id,
+                 tcs::History* history)
+      : Process(sim, id, "bclient" + std::to_string(id)), net_(net), history_(history) {}
+
+  void certify(ProcessId coordinator, TxnId txn, const tcs::Payload& payload) {
+    history_->record_certify(sim().now(), txn, payload);
+    sent_[txn] = sim().now();
+    net_.send_msg(id(), coordinator, BCertify{txn, payload});
+  }
+
+  void on_message(ProcessId from, const sim::AnyMessage& msg) override {
+    (void)from;
+    if (const auto* d = msg.as<BClientDecision>()) {
+      if (decisions_.count(d->txn)) return;
+      history_->record_decide(sim().now(), d->txn, d->decision);
+      decisions_[d->txn] = d->decision;
+      decided_at_[d->txn] = sim().now();
+      if (on_decision) on_decision(d->txn, d->decision);
+    }
+  }
+
+  /// Invoked once per transaction on its decision.
+  std::function<void(TxnId, tcs::Decision)> on_decision;
+
+  bool decided(TxnId t) const { return decisions_.count(t) > 0; }
+  std::optional<tcs::Decision> decision(TxnId t) const {
+    auto it = decisions_.find(t);
+    if (it == decisions_.end()) return std::nullopt;
+    return it->second;
+  }
+  std::size_t decided_count() const { return decisions_.size(); }
+  std::optional<Duration> latency(TxnId t) const {
+    auto d = decided_at_.find(t);
+    auto s = sent_.find(t);
+    if (d == decided_at_.end() || s == sent_.end()) return std::nullopt;
+    return d->second - s->second;
+  }
+
+ private:
+  sim::Network& net_;
+  tcs::History* history_;
+  std::map<TxnId, tcs::Decision> decisions_;
+  std::map<TxnId, Time> sent_;
+  std::map<TxnId, Time> decided_at_;
+};
+
+class BaselineCluster {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    std::uint32_t num_shards = 2;
+    std::size_t shard_size = 3;  ///< 2f+1 replicas per shard
+    std::string isolation = "serializability";
+    bool exponential_delays = false;
+    double delay_mean = 5.0;
+  };
+
+  explicit BaselineCluster(Options options);
+
+  ShardServer& server(ShardId s, std::size_t idx);
+  ProcessId leader_server(ShardId s) const;
+  /// The server a client should submit to: the leader of the transaction's
+  /// first participant shard.
+  ProcessId coordinator_for(const tcs::Payload& payload) const;
+
+  BaselineClient& add_client();
+  TxnId next_txn_id() { return next_txn_++; }
+
+  /// Crashes server idx of shard s (and its Paxos replica), then has
+  /// another replica take over leadership and updates the routing tables.
+  void fail_over(ShardId s, std::size_t new_leader_idx);
+
+  sim::Simulator& sim() { return sim_; }
+  sim::Network& net() { return *net_; }
+  tcs::History& history() { return history_; }
+  const tcs::ShardMap& shard_map() const { return shard_map_; }
+  const tcs::Certifier& certifier() const { return *certifier_; }
+
+ private:
+  ProcessId server_pid(ShardId s, std::size_t idx) const;
+  ProcessId paxos_pid(ShardId s, std::size_t idx) const;
+
+  Options options_;
+  sim::Simulator sim_;
+  std::unique_ptr<sim::Network> net_;
+  tcs::ShardMap shard_map_;
+  std::unique_ptr<tcs::Certifier> certifier_;
+  std::vector<std::unique_ptr<ShardServer>> servers_;
+  std::vector<std::unique_ptr<paxos::PaxosReplica>> paxoses_;
+  std::vector<std::unique_ptr<BaselineClient>> clients_;
+  std::map<ShardId, ProcessId> leader_;
+  tcs::History history_;
+  TxnId next_txn_ = 1;
+};
+
+}  // namespace ratc::baseline

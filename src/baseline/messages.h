@@ -1,0 +1,80 @@
+// Message and command vocabulary of the baseline TCS: classical 2PC where
+// every shard is a Multi-Paxos replicated state machine over 2f+1 replicas
+// and every 2PC action (prepare vote, decision) is replicated before it
+// takes effect.  This is the "vanilla scheme" of the paper's introduction,
+// whose latency is 7 message delays from the coordinator, against which
+// experiments E2-E4 compare.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "tcs/decision.h"
+#include "tcs/payload.h"
+
+namespace ratc::baseline {
+
+/// Client -> coordinator (the leader server of one involved shard).
+struct BCertify {
+  static constexpr const char* kName = "B_CERTIFY";
+  TxnId txn = 0;
+  tcs::Payload payload;
+  std::size_t wire_size() const { return 16 + payload.wire_size(); }
+};
+
+/// Coordinator -> participant shard leader: replicate-and-prepare.
+struct SubmitPrepare {
+  static constexpr const char* kName = "B_SUBMIT_PREPARE";
+  TxnId txn = 0;
+  tcs::Payload payload;  ///< shard projection l|s
+  std::vector<ShardId> participants;
+  ProcessId client = kNoProcess;
+  ProcessId coordinator = kNoProcess;
+  std::size_t wire_size() const {
+    return 32 + payload.wire_size() + participants.size() * 4;
+  }
+};
+
+/// Participant shard leader -> coordinator, after the prepare applied.
+struct Vote {
+  static constexpr const char* kName = "B_VOTE";
+  TxnId txn = 0;
+  ShardId shard = 0;
+  tcs::Decision vote = tcs::Decision::kAbort;
+};
+
+/// Coordinator -> participant shard leader: replicate the decision.
+struct SubmitDecide {
+  static constexpr const char* kName = "B_SUBMIT_DECIDE";
+  TxnId txn = 0;
+  tcs::Decision decision = tcs::Decision::kAbort;
+};
+
+/// Coordinator -> client.
+struct BClientDecision {
+  static constexpr const char* kName = "B_DECISION_CLIENT";
+  TxnId txn = 0;
+  tcs::Decision decision = tcs::Decision::kAbort;
+};
+
+// --- Paxos-replicated commands ------------------------------------------------
+
+struct CmdPrepare {
+  static constexpr const char* kName = "B_CMD_PREPARE";
+  TxnId txn = 0;
+  tcs::Payload payload;
+  std::vector<ShardId> participants;
+  ProcessId client = kNoProcess;
+  ProcessId coordinator = kNoProcess;
+  std::size_t wire_size() const {
+    return 32 + payload.wire_size() + participants.size() * 4;
+  }
+};
+
+struct CmdDecide {
+  static constexpr const char* kName = "B_CMD_DECIDE";
+  TxnId txn = 0;
+  tcs::Decision decision = tcs::Decision::kAbort;
+};
+
+}  // namespace ratc::baseline

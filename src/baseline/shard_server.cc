@@ -1,0 +1,160 @@
+#include "baseline/shard_server.h"
+
+#include <cassert>
+
+namespace ratc::baseline {
+
+using tcs::Decision;
+
+ShardServer::ShardServer(sim::Simulator& sim, sim::Network& net, ProcessId id,
+                         Options options)
+    : Process(sim, id, "b" + std::to_string(id) + "/s" + std::to_string(options.shard)),
+      options_(std::move(options)),
+      net_(net) {
+  assert(options_.shard_map != nullptr && options_.certifier != nullptr);
+}
+
+void ShardServer::on_message(ProcessId from, const sim::AnyMessage& msg) {
+  if (const auto* c = msg.as<BCertify>()) {
+    handle_certify(from, *c);
+  } else if (const auto* sp = msg.as<SubmitPrepare>()) {
+    handle_submit_prepare(*sp);
+  } else if (const auto* v = msg.as<Vote>()) {
+    handle_vote(*v);
+  } else if (const auto* sd = msg.as<SubmitDecide>()) {
+    handle_submit_decide(*sd);
+  }
+}
+
+void ShardServer::handle_certify(ProcessId from, const BCertify& m) {
+  // This server coordinates the 2PC round.  It should be the leader server
+  // of one involved shard (clients route there).
+  std::vector<ShardId> participants = options_.shard_map->shards_of(m.payload);
+  if (participants.empty()) {
+    net_.send_msg(id(), from, BClientDecision{m.txn, Decision::kCommit});
+    return;
+  }
+  CoordState& c = coord_[m.txn];
+  c.participants = participants;
+  c.client = from;
+  for (ShardId s : participants) {
+    SubmitPrepare sp;
+    sp.txn = m.txn;
+    sp.payload = options_.shard_map->project(m.payload, s);
+    sp.participants = participants;
+    sp.client = from;
+    sp.coordinator = id();
+    if (s == options_.shard) {
+      handle_submit_prepare(sp);  // local shard: no network hop
+    } else {
+      net_.send_msg(id(), shard_leader(s), sp);
+    }
+  }
+}
+
+void ShardServer::handle_submit_prepare(const SubmitPrepare& m) {
+  // Replicate the prepare through this shard's Paxos group; the vote is
+  // computed when the command applies.
+  CmdPrepare cmd;
+  cmd.txn = m.txn;
+  cmd.payload = m.payload;
+  cmd.participants = m.participants;
+  cmd.client = m.client;
+  cmd.coordinator = m.coordinator;
+  paxos_->submit(sim::AnyMessage(std::move(cmd)));
+}
+
+void ShardServer::handle_submit_decide(const SubmitDecide& m) {
+  paxos_->submit(sim::AnyMessage(CmdDecide{m.txn, m.decision}));
+}
+
+void ShardServer::apply(Slot slot, const sim::AnyMessage& cmd) {
+  (void)slot;
+  if (const auto* p = cmd.as<CmdPrepare>()) {
+    apply_prepare(*p);
+  } else if (const auto* d = cmd.as<CmdDecide>()) {
+    apply_decide(*d);
+  }
+}
+
+void ShardServer::apply_prepare(const CmdPrepare& c) {
+  auto [it, inserted] = txns_.emplace(c.txn, TxnState{});
+  TxnState& st = it->second;
+  if (!inserted && st.prepared) {
+    // Duplicate prepare (e.g. coordinator retry): keep the original vote.
+  } else {
+    st.payload = c.payload;
+    st.prepared = true;
+    // Deterministic vote: certify against the applied prefix.
+    std::vector<const tcs::Payload*> prepared_commit;
+    for (const auto& [t, other] : txns_) {
+      if (t != c.txn && other.prepared && !other.decided &&
+          other.vote == Decision::kCommit) {
+        prepared_commit.push_back(&other.payload);
+      }
+    }
+    std::vector<const tcs::Payload*> committed;
+    committed.reserve(committed_.size());
+    for (const auto& pl : committed_) committed.push_back(&pl);
+    st.vote = options_.certifier->vote(committed, prepared_commit, c.payload);
+  }
+  // Only the current leader reports the vote to the coordinator.
+  if (paxos_->is_leader()) {
+    if (c.coordinator == id()) {
+      handle_vote(Vote{c.txn, options_.shard, st.vote});
+    } else {
+      net_.send_msg(id(), c.coordinator, Vote{c.txn, options_.shard, st.vote});
+    }
+  }
+}
+
+void ShardServer::apply_decide(const CmdDecide& c) {
+  auto it = txns_.find(c.txn);
+  if (it == txns_.end() || it->second.decided) return;
+  TxnState& st = it->second;
+  st.decided = true;
+  st.decision = c.decision;
+  if (c.decision == Decision::kCommit) committed_.push_back(st.payload);
+
+  // Coordinator side: once the decision is durable in the coordinator's own
+  // shard, reply to the client and propagate to the other shards.
+  auto cit = coord_.find(c.txn);
+  if (cit != coord_.end() && !cit->second.replied && paxos_->is_leader()) {
+    cit->second.replied = true;
+    net_.send_msg(id(), cit->second.client, BClientDecision{c.txn, c.decision});
+    for (ShardId s : cit->second.participants) {
+      if (s == options_.shard) continue;
+      net_.send_msg(id(), shard_leader(s), SubmitDecide{c.txn, c.decision});
+    }
+  }
+}
+
+void ShardServer::handle_vote(const Vote& m) {
+  auto it = coord_.find(m.txn);
+  if (it == coord_.end()) return;
+  CoordState& c = it->second;
+  c.votes[m.shard] = m.vote;
+  maybe_decide(m.txn);
+}
+
+void ShardServer::maybe_decide(TxnId t) {
+  CoordState& c = coord_.at(t);
+  if (c.decision_submitted) return;
+  Decision d = Decision::kCommit;
+  for (ShardId s : c.participants) {
+    auto vit = c.votes.find(s);
+    if (vit == c.votes.end()) return;
+    d = meet(d, vit->second);
+  }
+  c.decision_submitted = true;
+  // Make the decision durable in the coordinator's own group first; the
+  // reply and propagation happen when it applies (apply_decide).
+  paxos_->submit(sim::AnyMessage(CmdDecide{t, d}));
+}
+
+bool ShardServer::has_decided(TxnId t) const {
+  auto it = txns_.find(t);
+  return it != txns_.end() && it->second.decided;
+}
+
+}  // namespace ratc::baseline

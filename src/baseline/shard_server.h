@@ -1,0 +1,89 @@
+// Baseline shard server: the TCS state machine replicated via Multi-Paxos,
+// plus the 2PC coordinator role for transactions submitted to it.
+//
+// Vote computation happens at *apply* time and depends only on the applied
+// command prefix, so every replica of a shard computes identical votes —
+// the standard state-machine-replication discipline.  Only the replica
+// that currently leads its Paxos group emits the Vote/decision messages.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "baseline/messages.h"
+#include "paxos/replica.h"
+#include "sim/network.h"
+#include "sim/process.h"
+#include "tcs/certifier.h"
+#include "tcs/shard_map.h"
+
+namespace ratc::baseline {
+
+class ShardServer : public sim::Process {
+ public:
+  struct Options {
+    ShardId shard = 0;
+    const tcs::ShardMap* shard_map = nullptr;
+    const tcs::Certifier* certifier = nullptr;
+  };
+
+  ShardServer(sim::Simulator& sim, sim::Network& net, ProcessId id, Options options);
+
+  void attach_paxos(paxos::PaxosReplica* paxos) { paxos_ = paxos; }
+  paxos::PaxosReplica& paxos() { return *paxos_; }
+
+  /// Routing table: leader server of each shard (maintained by the cluster;
+  /// static absent failures, updated on failover by the harness).
+  void set_shard_leader(ShardId s, ProcessId leader) { leaders_[s] = leader; }
+  ProcessId shard_leader(ShardId s) const { return leaders_.at(s); }
+
+  void on_message(ProcessId from, const sim::AnyMessage& msg) override;
+
+  /// Paxos apply upcall.
+  void apply(Slot slot, const sim::AnyMessage& cmd);
+
+  // Introspection for tests.
+  bool has_decided(TxnId t) const;
+  tcs::Decision decision_of(TxnId t) const { return txns_.at(t).decision; }
+  std::size_t committed_count() const { return committed_.size(); }
+
+ private:
+  struct TxnState {
+    tcs::Payload payload;
+    tcs::Decision vote = tcs::Decision::kAbort;
+    bool prepared = false;
+    bool decided = false;
+    tcs::Decision decision = tcs::Decision::kAbort;
+  };
+  struct CoordState {
+    std::vector<ShardId> participants;
+    ProcessId client = kNoProcess;
+    std::map<ShardId, tcs::Decision> votes;
+    bool decision_submitted = false;
+    bool replied = false;
+  };
+
+  void handle_certify(ProcessId from, const BCertify& m);
+  void handle_submit_prepare(const SubmitPrepare& m);
+  void handle_vote(const Vote& m);
+  void handle_submit_decide(const SubmitDecide& m);
+  void apply_prepare(const CmdPrepare& c);
+  void apply_decide(const CmdDecide& c);
+  void maybe_decide(TxnId t);
+
+  Options options_;
+  sim::Network& net_;
+  paxos::PaxosReplica* paxos_ = nullptr;
+  std::map<ShardId, ProcessId> leaders_;
+
+  // Replicated TCS state (per shard).
+  std::map<TxnId, TxnState> txns_;
+  std::vector<tcs::Payload> committed_;
+
+  // Coordinator-side state (not replicated; dies with the coordinator, as
+  // in classical 2PC — the baseline's blocking weakness).
+  std::map<TxnId, CoordState> coord_;
+};
+
+}  // namespace ratc::baseline

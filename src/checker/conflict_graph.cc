@@ -1,0 +1,114 @@
+#include "checker/conflict_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace ratc::checker {
+
+namespace {
+
+enum class Mark { kWhite, kGrey, kBlack };
+
+bool dfs_cycle(std::size_t v, const std::vector<std::set<std::size_t>>& adj,
+               std::vector<Mark>& mark, std::vector<std::size_t>& stack,
+               std::vector<std::size_t>& cycle) {
+  mark[v] = Mark::kGrey;
+  stack.push_back(v);
+  for (std::size_t w : adj[v]) {
+    if (mark[w] == Mark::kGrey) {
+      auto it = std::find(stack.begin(), stack.end(), w);
+      cycle.assign(it, stack.end());
+      return true;
+    }
+    if (mark[w] == Mark::kWhite && dfs_cycle(w, adj, mark, stack, cycle)) return true;
+  }
+  stack.pop_back();
+  mark[v] = Mark::kBlack;
+  return false;
+}
+
+}  // namespace
+
+ConflictGraphResult check_conflict_graph(const tcs::History& history) {
+  ConflictGraphResult result;
+  std::vector<TxnId> committed = history.committed_txns();
+  std::size_t n = committed.size();
+  std::map<TxnId, std::size_t> index;
+  for (std::size_t i = 0; i < n; ++i) index[committed[i]] = i;
+
+  // Per object: committed writers keyed by installed version.
+  std::map<ObjectId, std::map<Version, std::size_t>> writers;
+  for (std::size_t i = 0; i < n; ++i) {
+    const tcs::Payload* l = history.payload_of(committed[i]);
+    for (const auto& w : l->writes) {
+      auto [it, inserted] = writers[w.object].emplace(l->commit_version, i);
+      if (!inserted && it->second != i) {
+        result.error = "two committed transactions installed the same version of object " +
+                       std::to_string(w.object);
+        return result;
+      }
+    }
+  }
+
+  std::vector<std::set<std::size_t>> adj(n);
+
+  // ww edges: version order per object.
+  for (const auto& [obj, vers] : writers) {
+    (void)obj;
+    std::size_t prev = SIZE_MAX;
+    for (const auto& [v, i] : vers) {
+      (void)v;
+      if (prev != SIZE_MAX && prev != i) adj[prev].insert(i);
+      prev = i;
+    }
+  }
+
+  // wr and rw edges.
+  for (std::size_t i = 0; i < n; ++i) {
+    const tcs::Payload* l = history.payload_of(committed[i]);
+    for (const auto& r : l->reads) {
+      auto wit = writers.find(r.object);
+      if (wit == writers.end()) continue;
+      const auto& vers = wit->second;
+      // wr: the writer of the version read comes before the reader.
+      auto exact = vers.find(r.version);
+      if (exact != vers.end() && exact->second != i) adj[exact->second].insert(i);
+      // rw: any writer of a later version comes after the reader.
+      for (auto it = vers.upper_bound(r.version); it != vers.end(); ++it) {
+        if (it->second != i) adj[i].insert(it->second);
+      }
+    }
+  }
+
+  // rt edges: decide(t) before certify(t').
+  std::map<TxnId, Time> certify_time, decide_time;
+  for (const auto& ev : history.events()) {
+    if (ev.kind == tcs::HistoryEvent::Kind::kCertify) {
+      certify_time[ev.txn] = ev.time;
+    } else if (decide_time.count(ev.txn) == 0) {
+      decide_time[ev.txn] = ev.time;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && decide_time[committed[i]] < certify_time[committed[j]]) {
+        adj[i].insert(j);
+      }
+    }
+  }
+
+  std::vector<Mark> mark(n, Mark::kWhite);
+  std::vector<std::size_t> stack, cycle;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (mark[v] == Mark::kWhite && dfs_cycle(v, adj, mark, stack, cycle)) {
+      for (std::size_t idx : cycle) result.cycle.push_back(committed[idx]);
+      result.error = "serialization graph contains a cycle";
+      return result;
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace ratc::checker

@@ -1,0 +1,31 @@
+// Conflict-graph serializability checker for end-to-end histories over the
+// versioned store.
+//
+// For committed transactions with versioned read/write sets, build the
+// direct serialization graph with
+//   * wr edges: t' installed the version t read,
+//   * ww edges: version order per object,
+//   * rw anti-dependencies: t read a version later overwritten by t'',
+//   * rt edges: real-time order (decide before certify).
+// The history is serializable iff the graph is acyclic.  This is the
+// classical MVSG condition and serves as an independent end-to-end oracle
+// for the store + TCS pipeline (complements the TCS-level checkers).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tcs/history.h"
+
+namespace ratc::checker {
+
+struct ConflictGraphResult {
+  bool ok = false;
+  /// A witness cycle (transaction ids) when not ok.
+  std::vector<TxnId> cycle;
+  std::string error;
+};
+
+ConflictGraphResult check_conflict_graph(const tcs::History& history);
+
+}  // namespace ratc::checker

@@ -1,0 +1,107 @@
+#include "checker/linearization.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <unordered_set>
+
+namespace ratc::checker {
+
+namespace {
+
+struct SearchState {
+  std::size_t n = 0;
+  // must_precede[i]: bitmask of transactions that must be linearized before i
+  // (real-time order).
+  std::vector<std::uint64_t> must_precede;
+  // may_follow[i][j]: placing i after already-placed j keeps i's commit legal.
+  std::vector<std::vector<bool>> may_follow;
+  std::unordered_set<std::uint64_t> failed;
+  std::vector<int> order;
+
+  bool dfs(std::uint64_t placed, std::uint64_t all) {
+    if (placed == all) return true;
+    if (failed.count(placed)) return false;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t bit = 1ULL << i;
+      if (placed & bit) continue;
+      if ((must_precede[i] & ~placed) != 0) continue;  // a predecessor missing
+      bool legal = true;
+      for (std::size_t j = 0; j < n && legal; ++j) {
+        if ((placed >> j) & 1) legal = may_follow[i][j];
+      }
+      if (!legal) continue;
+      order.push_back(static_cast<int>(i));
+      if (dfs(placed | bit, all)) return true;
+      order.pop_back();
+    }
+    failed.insert(placed);
+    return false;
+  }
+};
+
+}  // namespace
+
+LinearizationResult check_linearization(const tcs::History& history,
+                                        const tcs::Certifier& certifier) {
+  LinearizationResult result;
+  std::vector<TxnId> committed = history.committed_txns();
+  std::size_t n = committed.size();
+  if (n > 62) {
+    result.error = "too many committed transactions for exact linearization check";
+    return result;
+  }
+  if (n == 0) {
+    result.ok = true;
+    return result;
+  }
+
+  std::map<TxnId, std::size_t> index;
+  for (std::size_t i = 0; i < n; ++i) index[committed[i]] = i;
+
+  // Real-time order: decide(t) ≺_h certify(t')  ⟹  t before t'.
+  std::map<TxnId, Time> certify_time;
+  std::map<TxnId, Time> decide_time;
+  for (const auto& ev : history.events()) {
+    if (ev.kind == tcs::HistoryEvent::Kind::kCertify) {
+      certify_time[ev.txn] = ev.time;
+    } else if (decide_time.count(ev.txn) == 0) {
+      decide_time[ev.txn] = ev.time;
+    }
+  }
+
+  SearchState st;
+  st.n = n;
+  st.must_precede.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      // j must precede i if decide(j) happened before certify(i).
+      if (decide_time[committed[j]] < certify_time[committed[i]]) {
+        st.must_precede[i] |= 1ULL << j;
+      }
+    }
+  }
+
+  st.may_follow.assign(n, std::vector<bool>(n, true));
+  for (std::size_t i = 0; i < n; ++i) {
+    const tcs::Payload* li = history.payload_of(committed[i]);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const tcs::Payload* lj = history.payload_of(committed[j]);
+      st.may_follow[i][j] =
+          certifier.against_committed(*lj, *li) == tcs::Decision::kCommit;
+    }
+  }
+
+  std::uint64_t all = (n == 64) ? ~0ULL : ((1ULL << n) - 1);
+  if (!st.dfs(0, all)) {
+    result.error = "no legal linearization of the committed projection exists";
+    return result;
+  }
+  result.ok = true;
+  for (int idx : st.order) result.order.push_back(committed[static_cast<std::size_t>(idx)]);
+  return result;
+}
+
+}  // namespace ratc::checker

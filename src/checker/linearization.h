@@ -1,0 +1,35 @@
+// Black-box checker for the TCS specification (paper Sec. 2).
+//
+// A history h is correct w.r.t. certification function f if the projection
+// to committed transactions has a *legal linearization*: a sequential
+// history with the same actions such that
+//   * real-time order is respected: if decide(t) precedes certify(t') in h
+//     then t is linearized before t', and
+//   * every decision equals f applied to the payloads committed before it.
+//
+// The search is a DFS over prefixes with memoization of failed state sets
+// (bitmask), exact for up to 62 committed transactions.  Distributivity of
+// f lets legality be precomputed as a pairwise "may-follow" matrix.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tcs/certifier.h"
+#include "tcs/history.h"
+
+namespace ratc::checker {
+
+struct LinearizationResult {
+  bool ok = false;
+  /// A witness legal linearization (committed transactions in order) when ok.
+  std::vector<TxnId> order;
+  std::string error;
+};
+
+/// Checks that `history`'s committed projection has a legal linearization
+/// w.r.t. the (global) certification function induced by `certifier`.
+LinearizationResult check_linearization(const tcs::History& history,
+                                        const tcs::Certifier& certifier);
+
+}  // namespace ratc::checker

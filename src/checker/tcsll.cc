@@ -1,0 +1,251 @@
+#include "checker/tcsll.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+namespace ratc::checker {
+
+namespace {
+
+using tcs::Decision;
+
+std::string key_str(TxnId t, ShardId s) {
+  return "txn" + std::to_string(t) + "@s" + std::to_string(s);
+}
+
+}  // namespace
+
+TcsLLResult check_tcsll(const TcsLLInput& input) {
+  TcsLLResult result;
+  auto fail = [&](std::string msg) { result.errors.push_back(std::move(msg)); };
+
+  const tcs::History& h = *input.history;
+  const tcs::ShardMap& sm = *input.shard_map;
+  const tcs::Certifier& cert = *input.certifier;
+
+  // Index records per shard, ordered by position, for (7), (10) and (12).
+  std::map<ShardId, std::map<Slot, const ShardCertRecord*>> by_shard;
+  for (const auto& [k, rec] : input.records) {
+    auto [it, inserted] = by_shard[k.second].emplace(rec.pos, &rec);
+    if (!inserted) {
+      // (7): positions within a shard are unique across transactions.
+      fail("(7) duplicate position " + std::to_string(rec.pos) + " at shard s" +
+           std::to_string(k.second) + ": " + key_str(rec.txn, k.second) + " and " +
+           key_str(it->second->txn, k.second));
+    }
+  }
+
+  auto record_of = [&](TxnId t, ShardId s) -> const ShardCertRecord* {
+    auto it = input.records.find({t, s});
+    return it == input.records.end() ? nullptr : &it->second;
+  };
+
+  auto global_decision = [&](TxnId t) -> std::optional<Decision> {
+    auto it = input.decided.find(t);
+    if (it != input.decided.end()) return it->second;
+    return h.decision_of(t);
+  };
+
+  // (6): d[t] is the meet of the shard votes; plus each client-visible
+  // decision must agree with the meet.
+  for (TxnId t : h.all_txns()) {
+    auto d = h.decision_of(t);
+    if (!d.has_value()) continue;  // incomplete history: no constraint
+    const tcs::Payload* l = h.payload_of(t);
+    Decision expected = Decision::kCommit;
+    bool all_defined = true;
+    for (ShardId s : sm.shards_of(*l)) {
+      const ShardCertRecord* rec = record_of(t, s);
+      if (rec == nullptr) {
+        all_defined = false;
+        fail("(6) decided " + key_str(t, s) + " has no accepted vote record");
+        continue;
+      }
+      expected = meet(expected, rec->vote);
+    }
+    if (all_defined && *d != expected) {
+      fail("(6) decision for txn" + std::to_string(t) + " is " + tcs::to_string(*d) +
+           " but meet of shard votes is " + tcs::to_string(expected));
+    }
+  }
+
+  // (8): payload matching.
+  for (const auto& [k, rec] : input.records) {
+    const tcs::Payload* l = h.payload_of(k.first);
+    if (l == nullptr) {
+      // Retry-created abort records for transactions the client never
+      // certified cannot exist: certify always precedes any PREPARE.
+      fail("(8) record " + key_str(k.first, k.second) + " for never-certified txn");
+      continue;
+    }
+    tcs::Payload projected = sm.project(*l, k.second);
+    if (rec.vote == Decision::kCommit) {
+      if (!(rec.pload == projected)) {
+        fail("(8) commit vote for " + key_str(k.first, k.second) +
+             " with payload != l|s: " + rec.pload.to_string());
+      }
+    } else {
+      if (!(rec.pload == projected) && !rec.pload.is_empty()) {
+        fail("(8) abort vote for " + key_str(k.first, k.second) +
+             " with payload neither l|s nor empty");
+      }
+    }
+  }
+
+  // (9), (10), (11): the vote is justified by its witness sets.
+  for (const auto& [k, rec] : input.records) {
+    auto [t, s] = k;
+    // (11): every prepared witness with a defined position precedes t and
+    // carried a commit vote.  Witnesses without a record were lost across a
+    // reconfiguration (paper Sec. 3, "losing undecided transactions") and
+    // are excluded, as in the proof of Lemma A.1.
+    std::vector<const ShardCertRecord*> p_eff;
+    for (TxnId tp : rec.prepared_against) {
+      const ShardCertRecord* rp = record_of(tp, s);
+      if (rp == nullptr) continue;  // lost transaction
+      if (rp->pos >= rec.pos) {
+        fail("(11) prepared witness " + key_str(tp, s) + " at pos " +
+             std::to_string(rp->pos) + " not before " + key_str(t, s) + " at pos " +
+             std::to_string(rec.pos));
+      } else if (rp->vote != Decision::kCommit) {
+        fail("(11) prepared witness " + key_str(tp, s) + " has abort vote");
+      } else {
+        p_eff.push_back(rp);
+      }
+    }
+
+    // (10): T_s[t] equals {committed with smaller pos} \ P_s[t].
+    std::set<TxnId> t_set(rec.committed_against.begin(), rec.committed_against.end());
+    std::set<TxnId> p_set(rec.prepared_against.begin(), rec.prepared_against.end());
+    std::set<TxnId> rhs;
+    for (const auto& [pos, other] : by_shard[s]) {
+      if (pos >= rec.pos) break;
+      auto d = global_decision(other->txn);
+      if (d.has_value() && *d == Decision::kCommit && p_set.count(other->txn) == 0) {
+        rhs.insert(other->txn);
+      }
+    }
+    if (t_set != rhs) {
+      std::ostringstream os;
+      os << "(10) T_s mismatch for " << key_str(t, s) << ": recorded {";
+      for (TxnId x : t_set) os << x << " ";
+      os << "} expected {";
+      for (TxnId x : rhs) os << x << " ";
+      os << "}";
+      fail(os.str());
+    }
+
+    // (9): d_s[t] ⊑ f_s(ploads(T_s), pload) ⊓ g_s(ploads(P_eff), pload).
+    if (rec.vote == Decision::kCommit) {
+      for (TxnId tc : rec.committed_against) {
+        const ShardCertRecord* rc = record_of(tc, s);
+        if (rc == nullptr) {
+          fail("(9) committed witness " + key_str(tc, s) + " has no record");
+          continue;
+        }
+        if (cert.against_committed(rc->pload, rec.pload) != Decision::kCommit) {
+          fail("(9) commit vote for " + key_str(t, s) +
+               " not justified against committed " + key_str(tc, s));
+        }
+      }
+      for (const ShardCertRecord* rp : p_eff) {
+        if (cert.against_prepared(rp->pload, rec.pload) != Decision::kCommit) {
+          fail("(9) commit vote for " + key_str(t, s) +
+               " not justified against prepared " + key_str(rp->txn, s));
+        }
+      }
+    }
+  }
+
+  // (12): real-time order implies certification order on shared shards.
+  std::map<TxnId, Time> certify_time, decide_time;
+  for (const auto& ev : h.events()) {
+    if (ev.kind == tcs::HistoryEvent::Kind::kCertify) {
+      certify_time[ev.txn] = ev.time;
+    } else if (decide_time.count(ev.txn) == 0) {
+      decide_time[ev.txn] = ev.time;
+    }
+  }
+  for (const auto& [s, slots] : by_shard) {
+    std::vector<const ShardCertRecord*> recs;
+    recs.reserve(slots.size());
+    for (const auto& [pos, r] : slots) {
+      (void)pos;
+      recs.push_back(r);
+    }
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      for (std::size_t j = 0; j < recs.size(); ++j) {
+        if (i == j) continue;
+        TxnId a = recs[i]->txn, b = recs[j]->txn;
+        auto da = decide_time.find(a);
+        auto cb = certify_time.find(b);
+        if (da != decide_time.end() && cb != certify_time.end() && da->second < cb->second) {
+          if (recs[i]->pos >= recs[j]->pos) {
+            fail("(12) real-time order txn" + std::to_string(a) + " -> txn" +
+                 std::to_string(b) + " violated at shard s" + std::to_string(s));
+          }
+        }
+      }
+    }
+  }
+
+  // (13): ≺rt ∪ ≺dec is acyclic.
+  {
+    std::vector<TxnId> txns = h.all_txns();
+    std::map<TxnId, std::size_t> index;
+    for (std::size_t i = 0; i < txns.size(); ++i) index[txns[i]] = i;
+    std::vector<std::set<std::size_t>> adj(txns.size());
+    // ≺rt edges.
+    for (TxnId a : txns) {
+      for (TxnId b : txns) {
+        if (a == b) continue;
+        auto da = decide_time.find(a);
+        auto cb = certify_time.find(b);
+        if (da != decide_time.end() && cb != certify_time.end() && da->second < cb->second) {
+          adj[index[a]].insert(index[b]);
+        }
+      }
+    }
+    // ≺dec edges: t' ∈ T_s[t], or t' preceded t at s with a commit vote but
+    // a global abort and t' ∉ P_s[t].
+    for (const auto& [k, rec] : input.records) {
+      auto [t, s] = k;
+      for (TxnId tp : rec.committed_against) {
+        if (index.count(tp)) adj[index[tp]].insert(index[t]);
+      }
+      std::set<TxnId> p_set(rec.prepared_against.begin(), rec.prepared_against.end());
+      for (const auto& [pos, other] : by_shard[s]) {
+        if (pos >= rec.pos) break;
+        auto d = global_decision(other->txn);
+        if (other->vote == Decision::kCommit && d.has_value() && *d == Decision::kAbort &&
+            p_set.count(other->txn) == 0 && index.count(other->txn)) {
+          adj[index[other->txn]].insert(index[t]);
+        }
+      }
+    }
+    // Cycle detection.
+    enum class Mark { kWhite, kGrey, kBlack };
+    std::vector<Mark> mark(txns.size(), Mark::kWhite);
+    std::function<bool(std::size_t)> dfs = [&](std::size_t v) -> bool {
+      mark[v] = Mark::kGrey;
+      for (std::size_t w : adj[v]) {
+        if (mark[w] == Mark::kGrey) return true;
+        if (mark[w] == Mark::kWhite && dfs(w)) return true;
+      }
+      mark[v] = Mark::kBlack;
+      return false;
+    };
+    for (std::size_t v = 0; v < txns.size(); ++v) {
+      if (mark[v] == Mark::kWhite && dfs(v)) {
+        fail("(13) ≺rt ∪ ≺dec contains a cycle");
+        break;
+      }
+    }
+  }
+
+  result.ok = result.errors.empty();
+  return result;
+}
+
+}  // namespace ratc::checker

@@ -1,0 +1,67 @@
+// Checker for the low-level specification TCS-LL (paper Fig. 6, Sec. A.2).
+//
+// The paper proves the commit protocols correct in two steps: (Lemma A.1)
+// every protocol history satisfies TCS-LL, and (Lemma A.3) every TCS-LL
+// history is correct w.r.t. f.  This checker validates the Lemma A.1 step
+// directly on instrumented executions: the protocol monitor records, for
+// every transaction t and shard s where t was *accepted* (all followers
+// acknowledged the ACCEPT), its certification-order position pos_s[t], vote
+// d_s[t], shard payload pload_s[t], and the witness sets T_s[t] (committed
+// payloads the vote was computed against) and P_s[t] (prepared payloads).
+// The checker then verifies constraints (6)-(13) of Figure 6.
+//
+// Unlike the exponential black-box linearization search, this check is
+// polynomial and scales to histories with tens of thousands of
+// transactions, which is what the randomized property tests use.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "tcs/certifier.h"
+#include "tcs/history.h"
+#include "tcs/shard_map.h"
+
+namespace ratc::checker {
+
+/// Everything the protocol externalized about transaction t at shard s.
+struct ShardCertRecord {
+  TxnId txn = 0;
+  ShardId shard = 0;
+  Epoch epoch = 0;          ///< epoch of the first complete acceptance
+  Slot pos = kNoSlot;       ///< pos_s[t]
+  tcs::Decision vote = tcs::Decision::kAbort;  ///< d_s[t]
+  tcs::Payload pload;       ///< pload_s[t]
+  std::vector<TxnId> committed_against;  ///< T_s[t] as used at vote time
+  std::vector<TxnId> prepared_against;   ///< P_s[t] as used at vote time
+};
+
+struct TcsLLInput {
+  const tcs::History* history = nullptr;
+  const tcs::ShardMap* shard_map = nullptr;
+  const tcs::Certifier* certifier = nullptr;
+  /// Accepted certification records, keyed by (txn, shard).
+  std::map<std::pair<TxnId, ShardId>, ShardCertRecord> records;
+  /// Global decisions the protocol sent in DECISION messages (a superset of
+  /// what clients observed; used for constraint (10) when a client never
+  /// learned a decision that was nevertheless reached).
+  std::map<TxnId, tcs::Decision> decided;
+};
+
+struct TcsLLResult {
+  bool ok = false;
+  std::vector<std::string> errors;
+  std::string summary() const {
+    std::string out;
+    for (const auto& e : errors) out += e + "\n";
+    return out;
+  }
+};
+
+TcsLLResult check_tcsll(const TcsLLInput& input);
+
+}  // namespace ratc::checker

@@ -1,0 +1,91 @@
+// Client process: submits transactions for certification and records the
+// TCS history (certify/decide actions) that the checkers consume.
+//
+// Two modes, matching the paper's latency discussion (Sec. 3):
+//  * remote: certify is a message to the coordinator replica, and the
+//    decision comes back in a DECISION message (5 message delays after the
+//    coordinator starts);
+//  * co-located: the client shares a machine with its coordinator; certify
+//    and the decision callback are local (4 message delays total).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "commit/messages.h"
+#include "commit/replica.h"
+#include "sim/process.h"
+#include "tcs/history.h"
+
+namespace ratc::commit {
+
+class Client : public sim::Process {
+ public:
+  Client(sim::Simulator& sim, sim::Network& net, ProcessId id, tcs::History* history)
+      : Process(sim, id, "client" + std::to_string(id)), net_(net), history_(history) {}
+
+  /// Submits via messages to the replica with the given process id.
+  void certify_remote(ProcessId coordinator, TxnId txn, const tcs::Payload& payload) {
+    history_->record_certify(sim().now(), txn, payload);
+    sent_[txn] = sim().now();
+    net_.send_msg(id(), coordinator, CertifyRequest{txn, payload});
+  }
+
+  /// Submits through a co-located coordinator replica (no network hop).
+  void certify_colocated(Replica& coordinator, TxnId txn, const tcs::Payload& payload) {
+    history_->record_certify(sim().now(), txn, payload);
+    sent_[txn] = sim().now();
+    coordinator.certify_local(txn, payload, [this, txn](tcs::Decision d) {
+      record_decision(txn, d);
+    });
+  }
+
+  void on_message(ProcessId from, const sim::AnyMessage& msg) override {
+    (void)from;
+    if (const auto* d = msg.as<ClientDecision>()) {
+      record_decision(d->txn, d->decision);
+    }
+  }
+
+  bool decided(TxnId txn) const { return decisions_.count(txn) > 0; }
+  std::optional<tcs::Decision> decision(TxnId txn) const {
+    auto it = decisions_.find(txn);
+    if (it == decisions_.end()) return std::nullopt;
+    return it->second;
+  }
+  std::size_t decided_count() const { return decisions_.size(); }
+  std::size_t submitted_count() const { return sent_.size(); }
+
+  /// certify-to-decide latency in ticks (= message delays in unit-delay
+  /// mode), for the latency experiments.
+  std::optional<Duration> latency(TxnId txn) const {
+    auto d = decided_at_.find(txn);
+    auto s = sent_.find(txn);
+    if (d == decided_at_.end() || s == sent_.end()) return std::nullopt;
+    return d->second - s->second;
+  }
+
+  /// Invoked on every decision (used by workload drivers to pipeline).
+  std::function<void(TxnId, tcs::Decision)> on_decision;
+
+ private:
+  void record_decision(TxnId txn, tcs::Decision d) {
+    // Record duplicates too: conflicting ones are a spec violation that the
+    // history checker must be able to see.
+    history_->record_decide(sim().now(), txn, d);
+    if (decisions_.count(txn) == 0) {
+      decisions_[txn] = d;
+      decided_at_[txn] = sim().now();
+      if (on_decision) on_decision(txn, d);
+    }
+  }
+
+  sim::Network& net_;
+  tcs::History* history_;
+  std::map<TxnId, tcs::Decision> decisions_;
+  std::map<TxnId, Time> sent_;
+  std::map<TxnId, Time> decided_at_;
+};
+
+}  // namespace ratc::commit

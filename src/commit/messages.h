@@ -1,0 +1,127 @@
+// Message vocabulary of the atomic commit protocol (Fig. 1), plus the
+// client-facing certification messages.
+#pragma once
+
+#include <vector>
+
+#include "commit/log.h"
+#include "common/types.h"
+#include "tcs/decision.h"
+#include "tcs/payload.h"
+
+namespace ratc::commit {
+
+/// Client -> chosen coordinator replica: certify(t, l).
+struct CertifyRequest {
+  static constexpr const char* kName = "CERTIFY";
+  TxnId txn = 0;
+  tcs::Payload payload;
+  std::size_t wire_size() const { return 16 + payload.wire_size(); }
+};
+
+/// Coordinator -> shard leader (Fig. 1 line 3 / line 73).  `has_payload` is
+/// false for the retry path's ⊥ payload.
+struct Prepare {
+  static constexpr const char* kName = "PREPARE";
+  TxnId txn = 0;
+  bool has_payload = true;
+  tcs::Payload payload;  ///< l|s, the shard projection
+  TxnMeta meta;
+  std::size_t wire_size() const {
+    return 24 + payload.wire_size() + meta.participants.size() * 4;
+  }
+};
+
+/// Leader -> coordinator (Fig. 1 lines 7, 17).
+struct PrepareAck {
+  static constexpr const char* kName = "PREPARE_ACK";
+  Epoch epoch = kNoEpoch;
+  ShardId shard = 0;
+  Slot slot = kNoSlot;
+  TxnId txn = 0;
+  tcs::Payload payload;
+  tcs::Decision vote = tcs::Decision::kAbort;
+  TxnMeta meta;
+  std::size_t wire_size() const {
+    return 40 + payload.wire_size() + meta.participants.size() * 4;
+  }
+};
+
+/// Coordinator -> followers (Fig. 1 line 20): replicates the leader's vote
+/// and payload.  (The shard field is redundant with the receiver's own
+/// shard; it is carried for monitoring and debugging.  The coordinator
+/// field is used only by the leader-driven replication ablation, where the
+/// sender is the leader but acknowledgements must go to the coordinator.)
+struct Accept {
+  static constexpr const char* kName = "ACCEPT";
+  Epoch epoch = kNoEpoch;
+  ShardId shard = 0;
+  Slot slot = kNoSlot;
+  TxnId txn = 0;
+  tcs::Payload payload;
+  tcs::Decision vote = tcs::Decision::kAbort;
+  TxnMeta meta;
+  ProcessId coordinator = kNoProcess;
+  std::size_t wire_size() const {
+    return 40 + payload.wire_size() + meta.participants.size() * 4;
+  }
+};
+
+/// Follower -> coordinator (Fig. 1 line 25).
+struct AcceptAck {
+  static constexpr const char* kName = "ACCEPT_ACK";
+  ShardId shard = 0;
+  Epoch epoch = kNoEpoch;
+  Slot slot = kNoSlot;
+  TxnId txn = 0;
+  tcs::Decision vote = tcs::Decision::kAbort;
+};
+
+/// Coordinator -> shard members (Fig. 1 line 29).
+struct DecisionMsg {
+  static constexpr const char* kName = "DECISION";
+  Epoch epoch = kNoEpoch;
+  ShardId shard = 0;
+  Slot slot = kNoSlot;
+  TxnId txn = 0;
+  tcs::Decision decision = tcs::Decision::kAbort;
+};
+
+/// Coordinator -> client (Fig. 1 line 27).
+struct ClientDecision {
+  static constexpr const char* kName = "DECISION_CLIENT";
+  TxnId txn = 0;
+  tcs::Decision decision = tcs::Decision::kAbort;
+};
+
+// --- reconfiguration (Fig. 1 lines 33-69) ----------------------------------
+
+struct Probe {
+  static constexpr const char* kName = "PROBE";
+  Epoch epoch = kNoEpoch;  ///< recon_epoch being proposed
+};
+
+struct ProbeAck {
+  static constexpr const char* kName = "PROBE_ACK";
+  bool initialized = false;
+  Epoch epoch = kNoEpoch;
+  ShardId shard = 0;
+};
+
+struct NewConfig {
+  static constexpr const char* kName = "NEW_CONFIG";
+  Epoch epoch = kNoEpoch;
+  std::vector<ProcessId> members;
+  std::size_t wire_size() const { return 16 + members.size() * 4; }
+};
+
+/// New leader -> new followers: full state transfer (Fig. 1 line 60).
+struct NewState {
+  static constexpr const char* kName = "NEW_STATE";
+  Epoch epoch = kNoEpoch;
+  std::vector<ProcessId> members;
+  ReplicaLog log;
+  std::size_t wire_size() const { return 16 + members.size() * 4 + log.wire_size(); }
+};
+
+}  // namespace ratc::commit

@@ -1,0 +1,142 @@
+// Runtime invariant monitor for the atomic commit protocol.
+//
+// Implements the paper's Figure 3 and Figure 5 invariants as online checks
+// over a simulated execution, plus the data collection needed to run the
+// TCS-LL checker (Figure 6) afterwards:
+//
+//   Inv 1  : follower log prefix matches the leader snapshot taken when the
+//            corresponding PREPARE_ACK was sent (checked at ACCEPT_ACK send).
+//   Inv 2  : accepted slots persist into higher epochs (checked when a
+//            process installs a new epoch via NEW_CONFIG/NEW_STATE).
+//   Inv 3  : no ACCEPT_ACK for an epoch below an acknowledged PROBE.
+//   Inv 4  : decision uniqueness per slot (4a) and per transaction (4b).
+//   Inv 5  : a process skipped by an accepted epoch never rejoins later.
+//   Inv 6/9: ACCEPT consistency per (epoch, slot) and per (epoch, txn).
+//   Inv 11 : acceptance uniqueness across epochs.
+//   Inv 12b: commit decisions only land on slots with commit votes.
+//
+// Violations are reported to a ViolationSink rather than asserted, so tests
+// can also verify that deliberately broken variants DO violate them.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "checker/tcsll.h"
+#include "commit/log.h"
+#include "commit/messages.h"
+#include "common/types.h"
+#include "common/violation.h"
+#include "configsvc/config.h"
+#include "sim/network.h"
+
+namespace ratc::commit {
+
+class Replica;
+
+class Monitor : public sim::NetworkObserver {
+ public:
+  explicit Monitor(sim::Simulator& sim) : sim_(sim) {}
+
+  // --- wiring ---------------------------------------------------------------
+
+  void register_replica(Replica* r);
+  void register_config(ShardId shard, const configsvc::ShardConfig& config);
+
+  // --- hooks invoked by Replica ----------------------------------------------
+
+  void on_vote_computed(ShardId shard, Epoch epoch, Slot slot, TxnId txn,
+                        tcs::Decision vote, const tcs::Payload& payload,
+                        std::vector<TxnId> committed_against,
+                        std::vector<TxnId> prepared_against);
+  void on_epoch_installed(const Replica& replica);
+  void on_local_decision(TxnId txn, tcs::Decision d);
+
+  // --- network tap -----------------------------------------------------------
+
+  void on_send(Time now, ProcessId from, ProcessId to,
+               const sim::AnyMessage& msg) override;
+  void on_deliver(Time now, ProcessId from, ProcessId to,
+                  const sim::AnyMessage& msg) override;
+
+  // --- results ---------------------------------------------------------------
+
+  const ViolationSink& violations() const { return sink_; }
+  ViolationSink& sink() { return sink_; }
+
+  /// Decisions externalized in DECISION messages (input to TCS-LL's (10)).
+  const std::map<TxnId, tcs::Decision>& decided() const { return decided_; }
+
+  /// Assembles the TCS-LL checker input from the collected records.
+  checker::TcsLLInput tcsll_input(const tcs::History& history,
+                                  const tcs::ShardMap& shard_map,
+                                  const tcs::Certifier& certifier) const;
+
+  /// Number of completed acceptances (diagnostics).
+  std::size_t accepted_count() const { return acceptances_.size(); }
+
+ private:
+  struct SnapshotEntry {
+    bool filled = false;
+    TxnId txn = 0;
+    tcs::Decision vote = tcs::Decision::kAbort;
+    tcs::Payload payload;
+  };
+  struct Acceptance {
+    ShardId shard = 0;
+    Epoch epoch = kNoEpoch;
+    Slot slot = kNoSlot;
+    TxnId txn = 0;
+    tcs::Payload payload;
+    tcs::Decision vote = tcs::Decision::kAbort;
+    std::vector<SnapshotEntry> leader_prefix;  ///< slots 1..slot at PREPARE_ACK
+    std::set<ProcessId> acks;
+    bool complete = false;
+  };
+  struct VoteRecord {
+    tcs::Decision vote = tcs::Decision::kAbort;
+    tcs::Payload payload;
+    std::vector<TxnId> committed_against;
+    std::vector<TxnId> prepared_against;
+  };
+
+  using AcceptKey = std::tuple<ShardId, Epoch, Slot>;
+
+  Replica* replica_of(ProcessId pid) const;
+  ShardId shard_of(ProcessId pid) const;
+  const configsvc::ShardConfig* config_of(ShardId shard, Epoch epoch) const;
+  void maybe_complete(Acceptance& acc);
+  void check_prefix_against_leader(const Replica& replica, const Acceptance& acc,
+                                   const char* invariant);
+  void report(const std::string& invariant, const std::string& details);
+
+  sim::Simulator& sim_;
+  ViolationSink sink_;
+  std::map<ProcessId, Replica*> replicas_;
+  std::map<ShardId, std::map<Epoch, configsvc::ShardConfig>> configs_;
+
+  std::map<AcceptKey, Acceptance> acceptances_;
+  /// First complete acceptance per (shard, txn) — the TCS-LL records; also
+  /// backs the Inv 11 checks.
+  std::map<std::pair<ShardId, TxnId>, AcceptKey> accepted_txn_;
+  /// Complete acceptances per (shard, slot), for the Inv 11a cross-epoch check.
+  std::map<std::pair<ShardId, Slot>, std::vector<AcceptKey>> complete_by_slot_;
+  /// Vote computations keyed (shard, slot, txn) -> epoch -> record.
+  std::map<std::tuple<ShardId, Slot, TxnId>, std::map<Epoch, VoteRecord>> votes_;
+
+  // Inv 3: highest epoch each process acknowledged a PROBE for.
+  std::map<ProcessId, Epoch> probe_acked_;
+  // Inv 4a: decision per (shard, slot); Inv 4b: decision per txn.
+  std::map<std::pair<ShardId, Slot>, tcs::Decision> slot_decision_;
+  std::map<TxnId, tcs::Decision> decided_;
+  // Inv 6/9: ACCEPT consistency.
+  std::map<AcceptKey, std::tuple<TxnId, tcs::Payload, tcs::Decision>> accept_sent_;
+  std::map<std::tuple<ShardId, Epoch, TxnId>, Slot> accept_slot_;
+  std::set<std::string> reported_;
+};
+
+}  // namespace ratc::commit

@@ -1,0 +1,553 @@
+#include "commit/replica.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "commit/monitor.h"
+#include "common/log.h"
+
+namespace ratc::commit {
+
+using tcs::Decision;
+
+Replica::Replica(sim::Simulator& sim, sim::Network& net, ProcessId id, Options options)
+    : Process(sim, id, "r" + std::to_string(id) + "/s" + std::to_string(options.shard)),
+      options_(std::move(options)),
+      net_(net),
+      cs_(sim, net, id, options_.cs_endpoints),
+      fd_responder_(net, id),
+      monitor_(options_.monitor) {
+  assert(options_.shard_map != nullptr && options_.certifier != nullptr);
+}
+
+const configsvc::ShardConfig& Replica::view(ShardId s) const {
+  static const configsvc::ShardConfig kInvalid;
+  auto it = views_.find(s);
+  return it == views_.end() ? kInvalid : it->second;
+}
+
+void Replica::bootstrap(Status status,
+                        const std::map<ShardId, configsvc::ShardConfig>& all_views) {
+  views_ = all_views;
+  status_ = status;
+  initialized_ = true;
+  new_epoch_ = view(options_.shard).epoch;
+  arm_retry_timer();
+}
+
+void Replica::bootstrap_spare(
+    const std::map<ShardId, configsvc::ShardConfig>& all_views) {
+  views_ = all_views;
+  status_ = Status::kReconfiguring;  // inert until it receives NEW_STATE
+  initialized_ = false;
+  new_epoch_ = kNoEpoch;
+  // A spare's view of its own shard must not claim membership.
+  arm_retry_timer();
+}
+
+// --- certification ----------------------------------------------------------
+
+void Replica::certify_local(TxnId txn, const tcs::Payload& payload,
+                            std::function<void(tcs::Decision)> cb) {
+  TxnMeta meta;
+  meta.txn = txn;
+  meta.participants = options_.shard_map->shards_of(payload);
+  meta.client = kNoProcess;
+  start_certification(std::move(meta), &payload, std::move(cb));
+}
+
+void Replica::start_certification(TxnMeta meta, const tcs::Payload* full_payload,
+                                  std::function<void(tcs::Decision)> local_cb) {
+  TxnId txn = meta.txn;
+  // Transactions touching no shard (empty payloads) commit trivially.
+  if (meta.participants.empty()) {
+    if (local_cb) {
+      if (monitor_) monitor_->on_local_decision(txn, Decision::kCommit);
+      local_cb(Decision::kCommit);
+    } else if (meta.client != kNoProcess) {
+      net_.send_msg(id(), meta.client, ClientDecision{txn, Decision::kCommit});
+    }
+    return;
+  }
+  CoordState& c = coord_[txn];
+  c.meta = meta;
+  if (local_cb) c.local_cb = std::move(local_cb);
+  // Line 2-3: send PREPARE with the shard projection to each leader.
+  for (ShardId s : meta.participants) {
+    Prepare p;
+    p.txn = txn;
+    if (full_payload != nullptr) {
+      p.has_payload = true;
+      p.payload = options_.shard_map->project(*full_payload, s);
+    } else {
+      p.has_payload = false;  // ⊥: retry path (line 73)
+    }
+    p.meta = meta;
+    net_.send_msg(id(), view(s).leader, p);
+  }
+}
+
+void Replica::retry(Slot k) {
+  const LogEntry* e = log_.find(k);
+  // Line 71 pre: phase[k] = prepared.
+  if (e == nullptr || e->phase != Phase::kPrepared) return;
+  TxnMeta meta = e->meta;
+  RATC_DEBUG(name() << " retries txn" << meta.txn);
+  // Lines 72-73: PREPARE(txn[k], ⊥) to the leaders of shards(txn[k]); this
+  // replica becomes an additional coordinator for the transaction.
+  start_certification(std::move(meta), nullptr, nullptr);
+}
+
+void Replica::handle_prepare(ProcessId from, const Prepare& m) {
+  // Line 5 pre: status = leader.
+  if (status_ != Status::kLeader) return;
+  prepare_and_ack(from, m);
+}
+
+void Replica::prepare_and_ack(ProcessId coordinator, const Prepare& m) {
+  Slot existing = log_.slot_of(m.txn);
+  PrepareAck ack;
+  ack.epoch = view(options_.shard).epoch;
+  ack.shard = options_.shard;
+  ack.txn = m.txn;
+  if (existing != kNoSlot) {
+    // Lines 6-7: already certified; re-send the stored result.
+    const LogEntry& e = *log_.find(existing);
+    ack.slot = existing;
+    ack.payload = e.payload;
+    ack.vote = e.vote;
+    ack.meta = e.meta;
+  } else {
+    // Lines 9-17: append to the certification order and vote.
+    next_ += 1;
+    LogEntry& e = log_.at(next_);
+    e.txn = m.txn;
+    e.phase = Phase::kPrepared;
+    e.meta = m.meta;
+    if (m.has_payload) {
+      e.payload = m.payload;     // line 13
+      e.vote = compute_vote(next_, m.payload);  // line 12
+    } else {
+      e.vote = Decision::kAbort;     // line 15
+      e.payload = tcs::empty_payload();  // line 16
+      if (monitor_) {
+        // Report the same witness sets a real vote computation would use:
+        // constraint (10) of Fig. 6 pins T_s exactly even for abort votes.
+        Witnesses w = collect_witnesses(next_);
+        monitor_->on_vote_computed(options_.shard, view(options_.shard).epoch, next_,
+                                   m.txn, e.vote, e.payload, std::move(w.committed),
+                                   std::move(w.prepared));
+      }
+    }
+    prepared_at_[next_] = sim().now();
+    ack.slot = next_;
+    ack.payload = e.payload;
+    ack.vote = e.vote;
+    ack.meta = e.meta;
+  }
+  net_.send_msg(id(), coordinator, ack);
+  if (options_.leader_ships_accepts) {
+    // Ablation: leader-driven replication — the leader fans the ACCEPT out
+    // itself; followers acknowledge to the coordinator.
+    Accept acc;
+    acc.epoch = ack.epoch;
+    acc.shard = ack.shard;
+    acc.slot = ack.slot;
+    acc.txn = ack.txn;
+    acc.payload = ack.payload;
+    acc.vote = ack.vote;
+    acc.meta = ack.meta;
+    acc.coordinator = coordinator;
+    for (ProcessId f : view(options_.shard).followers()) {
+      net_.send_msg(id(), f, acc);
+    }
+  }
+}
+
+Replica::Witnesses Replica::collect_witnesses(Slot slot) const {
+  // The L1/L2 definitions below Fig. 1:
+  //   L1 = payloads of decided-commit slots before this one,
+  //   L2 = payloads of prepared slots with commit votes before this one.
+  Witnesses w;
+  for (Slot k = 1; k < slot; ++k) {
+    const LogEntry* e = log_.find(k);
+    if (e == nullptr || !e->filled()) continue;
+    if (e->phase == Phase::kDecided && e->dec == Decision::kCommit) {
+      w.l1.push_back(&e->payload);
+      w.committed.push_back(e->txn);
+    } else if (e->phase == Phase::kPrepared && e->vote == Decision::kCommit) {
+      w.l2.push_back(&e->payload);
+      w.prepared.push_back(e->txn);
+    }
+  }
+  return w;
+}
+
+tcs::Decision Replica::compute_vote(Slot slot, const tcs::Payload& l) {
+  // Line 12: vote = f_s(L1, l) ⊓ g_s(L2, l).
+  Witnesses w = collect_witnesses(slot);
+  Decision vote = options_.certifier->vote(w.l1, w.l2, l);
+  if (monitor_) {
+    monitor_->on_vote_computed(options_.shard, view(options_.shard).epoch, slot,
+                               log_.find(slot)->txn, vote, l, std::move(w.committed),
+                               std::move(w.prepared));
+  }
+  return vote;
+}
+
+void Replica::handle_prepare_ack(ProcessId from, const PrepareAck& m) {
+  (void)from;
+  // Line 19 pre: epoch[s] = e (the coordinator's view matches the ack).
+  if (view(m.shard).epoch != m.epoch) return;
+  auto it = coord_.find(m.txn);
+  if (it == coord_.end() || it->second.decided) return;
+  CoordState& c = it->second;
+  ShardProgress& pr = c.progress[m.shard];
+  if (pr.have_prepare_ack && pr.epoch == m.epoch && pr.slot == m.slot) {
+    // Duplicate: keep existing follower acks, just re-replicate below.
+  } else {
+    pr.have_prepare_ack = true;
+    pr.epoch = m.epoch;
+    pr.slot = m.slot;
+    pr.vote = m.vote;
+    pr.follower_acks.clear();
+  }
+  // Line 20: delegate replication to the coordinator — ship the leader's
+  // result to the followers.  (Suppressed in the leader-driven ablation,
+  // where the leader already fanned the ACCEPT out.)
+  if (!options_.leader_ships_accepts) {
+    Accept acc;
+    acc.epoch = m.epoch;
+    acc.shard = m.shard;
+    acc.slot = m.slot;
+    acc.txn = m.txn;
+    acc.payload = m.payload;
+    acc.vote = m.vote;
+    acc.meta = m.meta;
+    for (ProcessId f : view(m.shard).followers()) {
+      net_.send_msg(id(), f, acc);
+    }
+  }
+  check_coordination(m.txn);  // zero-follower shards complete immediately
+}
+
+void Replica::handle_accept(ProcessId from, const Accept& m) {
+  // Line 22 pre: status = follower ∧ epoch[s0] = e.  This guard is what the
+  // RDMA variant loses (Sec. 5) — see rdma/replica.cc.
+  if (status_ != Status::kFollower) return;
+  if (view(options_.shard).epoch != m.epoch) return;
+  LogEntry& e = log_.at(m.slot);
+  if (e.phase == Phase::kStart) {
+    // Line 24 (the paper writes `next`; the intended index is k).
+    e.txn = m.txn;
+    e.payload = m.payload;
+    e.vote = m.vote;
+    e.phase = Phase::kPrepared;
+    e.meta = m.meta;
+    prepared_at_[m.slot] = sim().now();
+  }
+  // Line 25: acknowledge to the coordinator (which in the leader-driven
+  // ablation is not the sender).
+  ProcessId coordinator = m.coordinator != kNoProcess ? m.coordinator : from;
+  net_.send_msg(id(), coordinator,
+                AcceptAck{options_.shard, m.epoch, m.slot, m.txn, m.vote});
+}
+
+void Replica::handle_accept_ack(ProcessId from, const AcceptAck& m) {
+  auto it = coord_.find(m.txn);
+  if (it == coord_.end() || it->second.decided) return;
+  CoordState& c = it->second;
+  auto pit = c.progress.find(m.shard);
+  if (pit == c.progress.end()) return;
+  ShardProgress& pr = pit->second;
+  // Only acks matching the epoch/slot we replicated count (line 26 requires
+  // acks at epoch[s]).
+  if (!pr.have_prepare_ack || pr.epoch != m.epoch || pr.slot != m.slot) return;
+  pr.follower_acks.insert(from);
+  check_coordination(m.txn);
+}
+
+void Replica::check_coordination(TxnId txn) {
+  auto it = coord_.find(txn);
+  if (it == coord_.end() || it->second.decided) return;
+  CoordState& c = it->second;
+  // Line 26: ACCEPT_ACKs from every follower of every involved shard, at
+  // the coordinator's current epoch for that shard.
+  Decision decision = Decision::kCommit;
+  for (ShardId s : c.meta.participants) {
+    auto pit = c.progress.find(s);
+    if (pit == c.progress.end()) return;
+    const ShardProgress& pr = pit->second;
+    const configsvc::ShardConfig& v = view(s);
+    if (!pr.have_prepare_ack || pr.epoch != v.epoch) return;
+    for (ProcessId f : v.followers()) {
+      if (pr.follower_acks.count(f) == 0) return;
+    }
+    decision = meet(decision, pr.vote);  // line 27's ⊓ fold
+  }
+  c.decided = true;
+  // Line 27: report the decision to the client.
+  if (c.local_cb) {
+    if (monitor_) monitor_->on_local_decision(txn, decision);
+    c.local_cb(decision);
+  } else if (c.meta.client != kNoProcess) {
+    net_.send_msg(id(), c.meta.client, ClientDecision{txn, decision});
+  }
+  // Lines 28-29: persist the decision at every member of each shard.
+  for (ShardId s : c.meta.participants) {
+    const ShardProgress& pr = c.progress.at(s);
+    const configsvc::ShardConfig& v = view(s);
+    for (ProcessId p : v.members) {
+      net_.send_msg(id(), p, DecisionMsg{v.epoch, s, pr.slot, txn, decision});
+    }
+  }
+}
+
+void Replica::handle_decision(ProcessId from, const DecisionMsg& m) {
+  (void)from;
+  // Line 31 pre: status ∈ {leader, follower} ∧ epoch[s0] ≥ e.
+  if (status_ == Status::kReconfiguring) return;
+  if (view(options_.shard).epoch < m.epoch) return;
+  // Line 32.
+  LogEntry& e = log_.at(m.slot);
+  if (e.phase == Phase::kStart) e.txn = m.txn;  // decision for a hole (abort only)
+  e.dec = m.decision;
+  e.phase = Phase::kDecided;
+  prepared_at_.erase(m.slot);
+}
+
+// --- reconfiguration ----------------------------------------------------------
+
+void Replica::reconfigure(ShardId s) {
+  // Line 34 pre: probing = false.
+  if (probing_) return;
+  probing_ = true;
+  recon_shard_ = s;
+  probe_responders_.clear();
+  round_has_false_ack_ = false;
+  ++probe_round_;
+  // Line 36: read the latest configuration from the CS.
+  cs_.get_last(s, [this, s, round = probe_round_](const configsvc::ShardConfig& cfg) {
+    if (!probing_ || probe_round_ != round) return;
+    if (!cfg.valid()) {  // nothing stored: cannot reconfigure an unborn shard
+      probing_ = false;
+      return;
+    }
+    probed_epoch_ = cfg.epoch;
+    probed_members_ = cfg.members;
+    recon_epoch_ = cfg.epoch + 1;  // line 37
+    RATC_DEBUG(name() << " reconfigures s" << s << ": probing epoch " << probed_epoch_
+                      << " for new epoch " << recon_epoch_);
+    for (ProcessId p : probed_members_) {  // line 39
+      net_.send_msg(id(), p, Probe{recon_epoch_});
+    }
+  });
+}
+
+void Replica::handle_probe(ProcessId from, const Probe& m) {
+  // Line 41 pre: e ≥ new_epoch.
+  if (m.epoch < new_epoch_) return;
+  // Lines 42-44: stop processing transactions and acknowledge.
+  status_ = Status::kReconfiguring;
+  new_epoch_ = m.epoch;
+  net_.send_msg(id(), from, ProbeAck{initialized_, m.epoch, options_.shard});
+}
+
+void Replica::handle_probe_ack(ProcessId from, const ProbeAck& m) {
+  // Pattern match: this ack must be for our ongoing reconfiguration.
+  if (!probing_ || m.epoch != recon_epoch_ || m.shard != recon_shard_) return;
+  probe_responders_.insert(from);
+  if (m.initialized) {
+    // Line 45: found the new leader.
+    probing_ = false;
+    ProcessId new_leader = from;
+    std::vector<ProcessId> members = compute_membership(new_leader);  // line 48
+    configsvc::ShardConfig next;
+    next.epoch = recon_epoch_;
+    next.members = members;
+    next.leader = new_leader;
+    // Line 49: CAS against the epoch we started probing from.
+    cs_.cas(recon_shard_, recon_epoch_ - 1, next,
+            [this, new_leader, next](bool ok) {
+              if (ok) {
+                // Line 50.
+                net_.send_msg(id(), new_leader, NewConfig{next.epoch, next.members});
+              } else {
+                RATC_DEBUG(name() << " lost reconfiguration CAS for s"
+                                  << next.epoch);
+              }
+            });
+  } else {
+    // Line 51 (non-deterministic): maybe this epoch will never be
+    // operational; wait probe_patience for a positive ack, then descend.
+    round_has_false_ack_ = true;
+    arm_probe_descend_timer();
+  }
+}
+
+void Replica::arm_probe_descend_timer() {
+  if (descend_timer_armed_) return;
+  descend_timer_armed_ = true;
+  sim().schedule_for(id(), options_.probe_patience,
+                     [this, round = probe_round_] {
+                       descend_timer_armed_ = false;
+                       if (!probing_ || probe_round_ != round) return;
+                       if (!round_has_false_ack_) return;
+                       descend_probing();
+                     });
+}
+
+void Replica::descend_probing() {
+  // Lines 52-55: the probed epoch is not operational and never will be;
+  // continue with the preceding epoch.
+  if (probed_epoch_ <= 1) {
+    // All shard data lost — liveness Assumption 1 violated; give up.
+    RATC_WARN(name() << " abandoning reconfiguration of s" << recon_shard_
+                     << ": probed down to the first epoch with no initialized member");
+    probing_ = false;
+    return;
+  }
+  probed_epoch_ -= 1;
+  round_has_false_ack_ = false;
+  cs_.get(recon_shard_, probed_epoch_,
+          [this, round = probe_round_](bool found, const configsvc::ShardConfig& cfg) {
+            if (!probing_ || probe_round_ != round) return;
+            if (!found) {  // epochs are contiguous; this cannot happen
+              probing_ = false;
+              return;
+            }
+            probed_members_ = cfg.members;
+            for (ProcessId p : probed_members_) {
+              net_.send_msg(id(), p, Probe{recon_epoch_});
+            }
+          });
+}
+
+std::vector<ProcessId> Replica::compute_membership(ProcessId new_leader) {
+  // Line 48: must contain the new leader; may contain probing responders
+  // and fresh processes.  Policy: leader, then other responders (recently
+  // alive, and members of probed-but-never-activated epochs are safe to
+  // reuse since such epochs accepted nothing), topped up with fresh spares.
+  std::vector<ProcessId> members{new_leader};
+  for (ProcessId p : probe_responders_) {
+    if (members.size() >= options_.target_shard_size) break;
+    if (p != new_leader) members.push_back(p);
+  }
+  if (members.size() < options_.target_shard_size && options_.allocate_spares) {
+    for (ProcessId spare : options_.allocate_spares(
+             recon_shard_, options_.target_shard_size - members.size())) {
+      members.push_back(spare);
+    }
+  }
+  return members;
+}
+
+void Replica::handle_new_config(ProcessId from, const NewConfig& m) {
+  (void)from;
+  // Guard per the proof of Invariant 3: only accept configurations at least
+  // as new as the highest probed epoch.
+  if (m.epoch < new_epoch_) return;
+  new_epoch_ = m.epoch;
+  // Lines 57-58.
+  status_ = Status::kLeader;
+  configsvc::ShardConfig& v = views_[options_.shard];
+  v.epoch = m.epoch;
+  v.members = m.members;
+  v.leader = id();
+  // Line 59.
+  next_ = log_.max_filled();
+  if (monitor_) monitor_->on_epoch_installed(*this);
+  // Line 60: transfer state to the followers.
+  NewState ns;
+  ns.epoch = m.epoch;
+  ns.members = m.members;
+  ns.log = log_;
+  for (ProcessId p : m.members) {
+    if (p != id()) net_.send_msg(id(), p, ns);
+  }
+  RATC_DEBUG(name() << " leads s" << options_.shard << " at epoch " << m.epoch);
+}
+
+void Replica::handle_new_state(ProcessId from, const NewState& m) {
+  // Line 62 pre: e ≥ new_epoch.
+  if (m.epoch < new_epoch_) return;
+  new_epoch_ = m.epoch;
+  // Lines 63-66.
+  initialized_ = true;
+  status_ = Status::kFollower;
+  configsvc::ShardConfig& v = views_[options_.shard];
+  v.epoch = m.epoch;
+  v.members = m.members;
+  v.leader = from;
+  log_ = m.log;
+  prepared_at_.clear();
+  if (monitor_) monitor_->on_epoch_installed(*this);
+  RATC_DEBUG(name() << " follows " << process_name(from) << " in s" << options_.shard
+                    << " at epoch " << m.epoch);
+}
+
+void Replica::handle_config_change(const configsvc::ConfigChange& m) {
+  // Line 68 pre: epoch[s] < e ∧ s ≠ s0.
+  if (m.shard == options_.shard) return;
+  configsvc::ShardConfig& v = views_[m.shard];
+  if (v.epoch >= m.config.epoch) return;
+  v = m.config;  // line 69
+}
+
+// --- retry timer ----------------------------------------------------------
+
+void Replica::arm_retry_timer() {
+  if (options_.retry_timeout == 0) return;
+  sim().schedule_for(id(), options_.retry_timeout, [this] {
+    Time now = sim().now();
+    std::vector<Slot> stale;
+    for (const auto& [slot, since] : prepared_at_) {
+      const LogEntry* e = log_.find(slot);
+      if (e != nullptr && e->phase == Phase::kPrepared &&
+          now - since >= options_.retry_timeout) {
+        stale.push_back(slot);
+      }
+    }
+    for (Slot k : stale) {
+      prepared_at_[k] = now;  // rate-limit further retries
+      retry(k);
+    }
+    arm_retry_timer();
+  });
+}
+
+// --- dispatch ----------------------------------------------------------------
+
+void Replica::on_message(ProcessId from, const sim::AnyMessage& msg) {
+  if (cs_.handle(msg)) return;
+  if (fd_responder_.handle(from, msg)) return;
+  if (const auto* m = msg.as<CertifyRequest>()) {
+    TxnMeta meta;
+    meta.txn = m->txn;
+    meta.participants = options_.shard_map->shards_of(m->payload);
+    meta.client = from;
+    start_certification(std::move(meta), &m->payload, nullptr);
+  } else if (const auto* p = msg.as<Prepare>()) {
+    handle_prepare(from, *p);
+  } else if (const auto* pa = msg.as<PrepareAck>()) {
+    handle_prepare_ack(from, *pa);
+  } else if (const auto* a = msg.as<Accept>()) {
+    handle_accept(from, *a);
+  } else if (const auto* aa = msg.as<AcceptAck>()) {
+    handle_accept_ack(from, *aa);
+  } else if (const auto* d = msg.as<DecisionMsg>()) {
+    handle_decision(from, *d);
+  } else if (const auto* pr = msg.as<Probe>()) {
+    handle_probe(from, *pr);
+  } else if (const auto* pra = msg.as<ProbeAck>()) {
+    handle_probe_ack(from, *pra);
+  } else if (const auto* nc = msg.as<NewConfig>()) {
+    handle_new_config(from, *nc);
+  } else if (const auto* ns = msg.as<NewState>()) {
+    handle_new_state(from, *ns);
+  } else if (const auto* cc = msg.as<configsvc::ConfigChange>()) {
+    handle_config_change(*cc);
+  }
+}
+
+}  // namespace ratc::commit

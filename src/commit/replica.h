@@ -1,0 +1,212 @@
+// Replica process of the atomic commit protocol (paper Fig. 1).
+//
+// Every replica plays up to four roles simultaneously:
+//  * shard leader: orders and certifies transactions (PREPARE handling);
+//  * follower: persists votes shipped by transaction coordinators (ACCEPT);
+//  * transaction coordinator: drives 2PC for transactions submitted to it
+//    (any replica can coordinate; this spreads the replication fan-out
+//    away from leaders, Fig. 1 lines 18-29);
+//  * reconfigurer: replaces failed replicas via the configuration service
+//    (Vertical-Paxos style probing, Fig. 1 lines 33-69).
+//
+// Code comments cite figure line numbers.  Deviations from the pseudocode
+// are listed in DESIGN.md Sec. 2 (participant lists carried in messages,
+// timer realization of the non-deterministic probing rule, etc.).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "commit/log.h"
+#include "commit/messages.h"
+#include "configsvc/client.h"
+#include "configsvc/config.h"
+#include "fd/failure_detector.h"
+#include "sim/network.h"
+#include "sim/process.h"
+#include "tcs/certifier.h"
+#include "tcs/shard_map.h"
+
+namespace ratc::commit {
+
+class Monitor;
+
+enum class Status { kLeader, kFollower, kReconfiguring };
+
+inline const char* to_string(Status s) {
+  switch (s) {
+    case Status::kLeader: return "leader";
+    case Status::kFollower: return "follower";
+    case Status::kReconfiguring: return "reconfiguring";
+  }
+  return "?";
+}
+
+class Replica : public sim::Process {
+ public:
+  struct Options {
+    ShardId shard = 0;
+    const tcs::ShardMap* shard_map = nullptr;
+    const tcs::Certifier* certifier = nullptr;
+    std::vector<ProcessId> cs_endpoints;
+    /// Desired configuration size (f+1); compute_membership tops up to this.
+    std::size_t target_shard_size = 2;
+    /// Allocator for *fresh* processes (paper line 48: new members may only
+    /// be probing responders or fresh processes).  Freshness must be global:
+    /// a process that ever belonged to a configuration may not be handed out
+    /// again (otherwise Invariant 5 breaks), so allocation permanently
+    /// consumes from a shared pool — the cluster harness models the resource
+    /// manager that real deployments use for this.
+    std::function<std::vector<ProcessId>(ShardId, std::size_t)> allocate_spares;
+    /// How long the reconfigurer waits for a PROBE_ACK(true) after the first
+    /// PROBE_ACK(false) before descending an epoch (the paper's
+    /// non-deterministic rule at line 51, scheduled by timer).
+    Duration probe_patience = 5;
+    /// If nonzero, this replica periodically retries transactions that have
+    /// been prepared but undecided for longer than this (coordinator
+    /// recovery, line 70).
+    Duration retry_timeout = 0;
+    /// ABLATION (experiment E14): the leader ships ACCEPTs to its followers
+    /// directly instead of delegating to the coordinator.  One message
+    /// delay faster, but concentrates the replication fan-out on the
+    /// leader — the design trade-off Sec. 3 discusses.
+    bool leader_ships_accepts = false;
+    Monitor* monitor = nullptr;
+  };
+
+  Replica(sim::Simulator& sim, sim::Network& net, ProcessId id, Options options);
+
+  // --- bootstrap ------------------------------------------------------------
+
+  /// Installs the pre-activated initial configuration (all shards' views).
+  void bootstrap(Status status,
+                 const std::map<ShardId, configsvc::ShardConfig>& all_views);
+
+  /// Initializes a fresh spare: knows the views but holds no shard state.
+  void bootstrap_spare(const std::map<ShardId, configsvc::ShardConfig>& all_views);
+
+  // --- client API -------------------------------------------------------------
+
+  /// certify(t, l) with this replica as coordinator and a co-located client:
+  /// the decision is delivered through `cb` with no extra message delay
+  /// (paper Sec. 3: "co-locating the client with the transaction
+  /// coordinator").
+  void certify_local(TxnId txn, const tcs::Payload& payload,
+                     std::function<void(tcs::Decision)> cb);
+
+  // --- recovery API -------------------------------------------------------------
+
+  /// Initiates reconfiguration of shard s (line 33).  Any process may call
+  /// this when it suspects a failure in s.
+  void reconfigure(ShardId s);
+
+  /// Coordinator recovery for the transaction in slot k (line 70).
+  void retry(Slot k);
+
+  // --- introspection (used by monitors, tests, benches) ---------------------
+
+  ShardId shard() const { return options_.shard; }
+  Status status() const { return status_; }
+  bool initialized() const { return initialized_; }
+  Epoch epoch() const { return view(options_.shard).epoch; }
+  Epoch new_epoch() const { return new_epoch_; }
+  const ReplicaLog& log() const { return log_; }
+  Slot next() const { return next_; }
+  const configsvc::ShardConfig& view(ShardId s) const;
+  bool is_probing() const { return probing_; }
+
+  void on_message(ProcessId from, const sim::AnyMessage& msg) override;
+
+ private:
+  struct ShardProgress {
+    bool have_prepare_ack = false;
+    Epoch epoch = kNoEpoch;
+    Slot slot = kNoSlot;
+    tcs::Decision vote = tcs::Decision::kAbort;
+    std::set<ProcessId> follower_acks;
+  };
+  struct CoordState {
+    TxnMeta meta;
+    std::map<ShardId, ShardProgress> progress;
+    bool decided = false;
+    std::function<void(tcs::Decision)> local_cb;  ///< set for co-located clients
+  };
+
+  // Fig. 1 handlers.
+  void start_certification(TxnMeta meta, const tcs::Payload* full_payload,
+                           std::function<void(tcs::Decision)> local_cb);
+  void handle_prepare(ProcessId from, const Prepare& m);            // line 4
+  void handle_prepare_ack(ProcessId from, const PrepareAck& m);     // line 18
+  void handle_accept(ProcessId from, const Accept& m);              // line 21
+  void handle_accept_ack(ProcessId from, const AcceptAck& m);       // line 26
+  void handle_decision(ProcessId from, const DecisionMsg& m);       // line 30
+  void handle_probe(ProcessId from, const Probe& m);                // line 40
+  void handle_probe_ack(ProcessId from, const ProbeAck& m);         // lines 45/51
+  void handle_new_config(ProcessId from, const NewConfig& m);       // line 56
+  void handle_new_state(ProcessId from, const NewState& m);         // line 61
+  void handle_config_change(const configsvc::ConfigChange& m);      // line 67
+
+  /// Prepares a transaction at the leader and replies with PREPARE_ACK
+  /// (lines 6-17).
+  void prepare_and_ack(ProcessId coordinator, const Prepare& m);
+
+  struct Witnesses {
+    std::vector<const tcs::Payload*> l1, l2;
+    std::vector<TxnId> committed, prepared;
+  };
+  /// The L1/L2 sets (and their transaction ids) for a vote at `slot`.
+  Witnesses collect_witnesses(Slot slot) const;
+
+  /// Computes the vote for the freshly appended slot (line 12), reporting
+  /// the witness sets to the monitor.
+  tcs::Decision compute_vote(Slot slot, const tcs::Payload& l);
+
+  /// Line 26's standing "when" condition, evaluated after every relevant
+  /// event for the given transaction.
+  void check_coordination(TxnId txn);
+
+  /// compute_membership() (line 48): the new leader, plus probing
+  /// responders, topped up with fresh spares to the target size.
+  std::vector<ProcessId> compute_membership(ProcessId new_leader);
+
+  /// Arms the timer realizing the non-deterministic descent rule (line 51).
+  void arm_probe_descend_timer();
+  void descend_probing();
+
+  void arm_retry_timer();
+
+  Options options_;
+  sim::Network& net_;
+  configsvc::CsClient cs_;
+  fd::Responder fd_responder_;
+  Monitor* monitor_;
+
+  // Fig. 1 process state.
+  Status status_ = Status::kReconfiguring;
+  bool initialized_ = false;
+  Epoch new_epoch_ = kNoEpoch;
+  std::map<ShardId, configsvc::ShardConfig> views_;  // epoch/members/leader arrays
+  ReplicaLog log_;
+  Slot next_ = 0;
+
+  // Reconfigurer state (lines 33-55).
+  bool probing_ = false;
+  ShardId recon_shard_ = 0;
+  Epoch recon_epoch_ = kNoEpoch;
+  Epoch probed_epoch_ = kNoEpoch;
+  std::vector<ProcessId> probed_members_;
+  std::set<ProcessId> probe_responders_;
+  bool round_has_false_ack_ = false;
+  bool descend_timer_armed_ = false;
+  std::uint64_t probe_round_ = 0;
+
+  // Coordinator state.
+  std::map<TxnId, CoordState> coord_;
+
+  // Local bookkeeping for the retry timer.
+  std::map<Slot, Time> prepared_at_;
+};
+
+}  // namespace ratc::commit

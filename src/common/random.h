@@ -1,0 +1,77 @@
+// Deterministic random number generation.
+//
+// All stochastic choices in the simulator, the workloads, and the property
+// tests flow from a single seeded Rng so that every run is reproducible
+// from its seed.  The generator is xoshiro256** seeded via SplitMix64,
+// which is fast, has a 256-bit state, and passes BigCrush.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ratc {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, n) for n > 0.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform real in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Exponentially distributed value with the given mean, rounded up to at
+  /// least 1 (used for network delay sampling).
+  Duration exponential(double mean);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Split off an independent generator (for subsystems that must not
+  /// perturb each other's streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipfian distribution over [0, n) with parameter theta (YCSB-style).
+/// Used by workload generators to create contended key choices.
+class Zipfian {
+ public:
+  Zipfian(std::uint64_t n, double theta);
+
+  std::uint64_t sample(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+}  // namespace ratc

@@ -1,0 +1,60 @@
+// Core identifier and quantity types shared by every module.
+//
+// All ids are plain integral types wrapped in distinct aliases (not strong
+// structs) because they cross module boundaries constantly and appear in
+// aggregate message structs; distinctness mistakes are caught by the
+// protocol checkers rather than the type system.  Quantities that have an
+// algebra (virtual time) get their own section.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace ratc {
+
+/// Identifies a simulated process (replica, client, CS frontend, ...).
+using ProcessId = std::uint32_t;
+
+/// Identifies a data shard (partition).
+using ShardId = std::uint32_t;
+
+/// Unique transaction identifier; assigned by clients.
+using TxnId = std::uint64_t;
+
+/// Configuration epoch of a shard (or of the whole system in the RDMA
+/// protocol).  Epoch 0 is reserved as "before any configuration".
+using Epoch = std::uint64_t;
+
+/// Object (key) identifier in the transactional store.
+using ObjectId = std::uint64_t;
+
+/// Totally ordered object version (paper Sec. 2).
+using Version = std::uint64_t;
+
+/// Value stored for an object.  A fixed-width integer keeps the simulation
+/// allocation-free; the store layer maps application values onto it.
+using Value = std::int64_t;
+
+/// Slot index in a shard's certification order (paper's `txn` array index).
+/// Slots are 1-based in the paper's pseudocode; we keep 0 as "invalid".
+using Slot = std::uint64_t;
+
+inline constexpr ProcessId kNoProcess = std::numeric_limits<ProcessId>::max();
+inline constexpr Slot kNoSlot = 0;
+inline constexpr Epoch kNoEpoch = 0;
+
+/// Virtual time of the discrete-event simulation, in abstract ticks.  In
+/// unit-delay mode one tick == one message delay, which is how the latency
+/// benches reproduce the paper's delay counts.
+using Time = std::uint64_t;
+using Duration = std::uint64_t;
+
+inline constexpr Time kTimeZero = 0;
+
+/// Render helpers used by traces and test failure messages.
+inline std::string process_name(ProcessId p) {
+  return p == kNoProcess ? "<none>" : "p" + std::to_string(p);
+}
+
+}  // namespace ratc

@@ -1,0 +1,46 @@
+// Collection point for safety-property violations detected by runtime
+// monitors (the checkers for the paper's Figure 3 / Figure 5 invariants).
+//
+// Violations are collected rather than thrown: the Figure 4a reproduction
+// deliberately runs an unsafe protocol variant and asserts that a violation
+// IS detected, while every other test asserts the sink stays empty.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ratc {
+
+struct Violation {
+  Time time = 0;
+  std::string invariant;  ///< e.g. "Invariant4b"
+  std::string details;
+};
+
+class ViolationSink {
+ public:
+  void report(Time time, std::string invariant, std::string details) {
+    violations_.push_back({time, std::move(invariant), std::move(details)});
+  }
+
+  bool empty() const { return violations_.empty(); }
+  const std::vector<Violation>& all() const { return violations_; }
+
+  /// Human-readable dump for test failure messages.
+  std::string summary() const {
+    std::string out;
+    for (const auto& v : violations_) {
+      out += "t=" + std::to_string(v.time) + " " + v.invariant + ": " + v.details + "\n";
+    }
+    return out;
+  }
+
+  void clear() { violations_.clear(); }
+
+ private:
+  std::vector<Violation> violations_;
+};
+
+}  // namespace ratc

@@ -1,0 +1,90 @@
+// Shard configurations (paper Sec. 3): a configuration of a shard s is a
+// tuple <e, M, pl> with epoch e, member set M and leader pl ∈ M.  The RDMA
+// protocol (Sec. 5) replaces per-shard configurations with a single global
+// configuration parameterized by shard.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ratc::configsvc {
+
+struct ShardConfig {
+  Epoch epoch = kNoEpoch;
+  std::vector<ProcessId> members;
+  ProcessId leader = kNoProcess;
+
+  bool valid() const { return epoch != kNoEpoch; }
+
+  bool has_member(ProcessId p) const {
+    return std::find(members.begin(), members.end(), p) != members.end();
+  }
+
+  std::vector<ProcessId> followers() const {
+    std::vector<ProcessId> out;
+    for (ProcessId p : members) {
+      if (p != leader) out.push_back(p);
+    }
+    return out;
+  }
+
+  std::string to_string() const {
+    std::string out = "<e=" + std::to_string(epoch) + ", M={";
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (i) out += ",";
+      out += process_name(members[i]);
+    }
+    out += "}, leader=" + process_name(leader) + ">";
+    return out;
+  }
+
+  friend bool operator==(const ShardConfig&, const ShardConfig&) = default;
+};
+
+/// Global configuration for the RDMA protocol (Sec. 5 / Sec. C): one epoch
+/// for the whole system, with per-shard membership and leaders.
+struct GlobalConfig {
+  Epoch epoch = kNoEpoch;
+  std::map<ShardId, std::vector<ProcessId>> members;
+  std::map<ShardId, ProcessId> leaders;
+
+  bool valid() const { return epoch != kNoEpoch; }
+
+  ShardConfig shard(ShardId s) const {
+    ShardConfig c;
+    c.epoch = epoch;
+    auto mit = members.find(s);
+    if (mit != members.end()) c.members = mit->second;
+    auto lit = leaders.find(s);
+    if (lit != leaders.end()) c.leader = lit->second;
+    return c;
+  }
+
+  std::vector<ProcessId> all_members() const {
+    std::vector<ProcessId> out;
+    for (const auto& [s, ms] : members) {
+      (void)s;
+      for (ProcessId p : ms) {
+        if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
+      }
+    }
+    return out;
+  }
+
+  std::vector<ProcessId> all_leaders() const {
+    std::vector<ProcessId> out;
+    for (const auto& [s, l] : leaders) {
+      (void)s;
+      out.push_back(l);
+    }
+    return out;
+  }
+
+  friend bool operator==(const GlobalConfig&, const GlobalConfig&) = default;
+};
+
+}  // namespace ratc::configsvc

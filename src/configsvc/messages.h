@@ -1,0 +1,108 @@
+// Configuration service message vocabulary (paper Sec. 3: compare_and_swap,
+// get_last, get, and CONFIG_CHANGE notifications; Sec. 5 global variants).
+#pragma once
+
+#include "common/types.h"
+#include "configsvc/config.h"
+
+namespace ratc::configsvc {
+
+using RequestId = std::uint64_t;
+
+// --- per-shard interface (Sec. 3 protocol) --------------------------------
+
+struct CsCas {
+  static constexpr const char* kName = "CS_CAS";
+  ShardId shard = 0;
+  Epoch expected = kNoEpoch;
+  ShardConfig next;
+  RequestId req_id = 0;
+  std::size_t wire_size() const { return 32 + next.members.size() * 4; }
+};
+
+struct CsCasReply {
+  static constexpr const char* kName = "CS_CAS_REPLY";
+  bool ok = false;
+  RequestId req_id = 0;
+};
+
+struct CsGetLast {
+  static constexpr const char* kName = "CS_GET_LAST";
+  ShardId shard = 0;
+  RequestId req_id = 0;
+};
+
+struct CsGetLastReply {
+  static constexpr const char* kName = "CS_GET_LAST_REPLY";
+  ShardConfig config;
+  RequestId req_id = 0;
+  std::size_t wire_size() const { return 24 + config.members.size() * 4; }
+};
+
+struct CsGet {
+  static constexpr const char* kName = "CS_GET";
+  ShardId shard = 0;
+  Epoch epoch = kNoEpoch;
+  RequestId req_id = 0;
+};
+
+struct CsGetReply {
+  static constexpr const char* kName = "CS_GET_REPLY";
+  bool found = false;
+  ShardConfig config;
+  RequestId req_id = 0;
+  std::size_t wire_size() const { return 24 + config.members.size() * 4; }
+};
+
+/// Sent by the CS to processes in other shards when a new configuration is
+/// persisted (handled at Fig. 1 line 67).
+struct ConfigChange {
+  static constexpr const char* kName = "CONFIG_CHANGE";
+  ShardId shard = 0;
+  ShardConfig config;
+  std::size_t wire_size() const { return 16 + config.members.size() * 4; }
+};
+
+// --- global interface (Sec. 5 / Sec. C RDMA protocol) ----------------------
+
+struct GcsCas {
+  static constexpr const char* kName = "GCS_CAS";
+  Epoch expected = kNoEpoch;
+  GlobalConfig next;
+  RequestId req_id = 0;
+  std::size_t wire_size() const { return 32 + next.members.size() * 16; }
+};
+
+struct GcsCasReply {
+  static constexpr const char* kName = "GCS_CAS_REPLY";
+  bool ok = false;
+  RequestId req_id = 0;
+};
+
+struct GcsGetLast {
+  static constexpr const char* kName = "GCS_GET_LAST";
+  RequestId req_id = 0;
+};
+
+struct GcsGetLastReply {
+  static constexpr const char* kName = "GCS_GET_LAST_REPLY";
+  GlobalConfig config;
+  RequestId req_id = 0;
+  std::size_t wire_size() const { return 24 + config.members.size() * 16; }
+};
+
+struct GcsGet {
+  static constexpr const char* kName = "GCS_GET";
+  Epoch epoch = kNoEpoch;
+  RequestId req_id = 0;
+};
+
+struct GcsGetReply {
+  static constexpr const char* kName = "GCS_GET_REPLY";
+  bool found = false;
+  GlobalConfig config;
+  RequestId req_id = 0;
+  std::size_t wire_size() const { return 24 + config.members.size() * 16; }
+};
+
+}  // namespace ratc::configsvc

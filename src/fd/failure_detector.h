@@ -1,0 +1,130 @@
+// Heartbeat-based failure detection.
+//
+// The paper (Sec. 3) says "reconfiguration is initiated by a replica when
+// it suspects another replica of failing" without prescribing a mechanism.
+// This module supplies one: a ping/pong monitor embeddable in any process.
+// In the simulator's reliable network, a peer is suspected iff it actually
+// crashed (after the timeout) — an eventually-perfect detector.
+//
+//  * fd::Responder — drop-in pong responder for monitored processes.
+//  * fd::PingMonitor — sends pings on a period, suspects after a silence
+//    threshold, fires a callback once per suspicion.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace ratc::fd {
+
+struct Ping {
+  static constexpr const char* kName = "FD_PING";
+  std::uint64_t seq = 0;
+};
+
+struct Pong {
+  static constexpr const char* kName = "FD_PONG";
+  std::uint64_t seq = 0;
+};
+
+/// Embed in a monitored process: answers pings.  Returns true if consumed.
+class Responder {
+ public:
+  Responder(sim::Network& net, ProcessId owner) : net_(net), owner_(owner) {}
+
+  bool handle(ProcessId from, const sim::AnyMessage& msg) {
+    const auto* ping = msg.as<Ping>();
+    if (ping == nullptr) return false;
+    net_.send_msg(owner_, from, Pong{ping->seq});
+    return true;
+  }
+
+ private:
+  sim::Network& net_;
+  ProcessId owner_;
+};
+
+/// Embed in a monitoring process: pings watched peers periodically and
+/// reports suspicions.
+class PingMonitor {
+ public:
+  struct Options {
+    Duration ping_every = 20;
+    Duration suspect_after = 50;  ///< silence threshold
+  };
+
+  PingMonitor(sim::Simulator& sim, sim::Network& net, ProcessId owner,
+              Options options)
+      : sim_(sim), net_(net), owner_(owner), options_(options) {}
+
+  PingMonitor(sim::Simulator& sim, sim::Network& net, ProcessId owner)
+      : PingMonitor(sim, net, owner, Options{}) {}
+
+  /// Fires once per watched process when it becomes suspected.
+  std::function<void(ProcessId)> on_suspect;
+
+  void watch(ProcessId peer) {
+    watched_[peer] = sim_.now();
+    suspected_.erase(peer);
+  }
+
+  void unwatch(ProcessId peer) {
+    watched_.erase(peer);
+    suspected_.erase(peer);
+  }
+
+  bool watching(ProcessId peer) const { return watched_.count(peer) > 0; }
+  bool suspects(ProcessId peer) const { return suspected_.count(peer) > 0; }
+
+  void start() {
+    if (started_) return;
+    started_ = true;
+    tick();
+  }
+
+  /// The owner forwards incoming messages; returns true if consumed.
+  bool handle(ProcessId from, const sim::AnyMessage& msg) {
+    const auto* pong = msg.as<Pong>();
+    if (pong == nullptr) return false;
+    auto it = watched_.find(from);
+    if (it != watched_.end()) {
+      it->second = sim_.now();
+      suspected_.erase(from);  // spurious suspicion retracted
+    }
+    return true;
+  }
+
+ private:
+  void tick() {
+    // Callbacks may watch/unwatch (mutating watched_), so collect suspects
+    // first and fire after the iteration.
+    std::vector<ProcessId> newly_suspected;
+    for (auto& [peer, last_heard] : watched_) {
+      net_.send_msg(owner_, peer, Ping{seq_++});
+      if (sim_.now() - last_heard >= options_.suspect_after &&
+          suspected_.insert(peer).second) {
+        newly_suspected.push_back(peer);
+      }
+    }
+    for (ProcessId peer : newly_suspected) {
+      if (on_suspect) on_suspect(peer);
+    }
+    sim_.schedule_for(owner_, options_.ping_every, [this] { tick(); });
+  }
+
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  ProcessId owner_;
+  Options options_;
+  std::map<ProcessId, Time> watched_;
+  std::set<ProcessId> suspected_;
+  std::uint64_t seq_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace ratc::fd

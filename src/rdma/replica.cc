@@ -1,0 +1,747 @@
+#include "rdma/replica.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.h"
+#include "rdma/monitor.h"
+
+namespace ratc::rdma {
+
+using tcs::Decision;
+
+Replica::Replica(sim::Simulator& sim, sim::Network& net, Fabric& fabric, ProcessId id,
+                 Options options)
+    : Process(sim, id, "rr" + std::to_string(id) + "/s" + std::to_string(options.shard)),
+      options_(std::move(options)),
+      net_(net),
+      fabric_(fabric),
+      gcs_(sim, net, id, options_.cs_endpoints),
+      cs_(sim, net, id, options_.cs_endpoints),
+      fd_responder_(net, id),
+      monitor_(options_.monitor) {
+  assert(options_.shard_map != nullptr && options_.certifier != nullptr);
+  fabric_.attach(
+      id,
+      [this](ProcessId from, const sim::AnyMessage& msg) { deliver_rdma(from, msg); },
+      [this](const RdmaAck& ack) { handle_rdma_ack(ack); });
+}
+
+Epoch Replica::epoch() const {
+  if (options_.mode == ReconfigMode::kGlobalSafe) return epoch_;
+  auto it = views_.find(options_.shard);
+  return it == views_.end() ? kNoEpoch : it->second.epoch;
+}
+
+Epoch Replica::view_epoch(ShardId s) const {
+  if (options_.mode == ReconfigMode::kGlobalSafe) return epoch_;
+  auto it = views_.find(s);
+  return it == views_.end() ? kNoEpoch : it->second.epoch;
+}
+
+ProcessId Replica::leader_of(ShardId s) const {
+  if (options_.mode == ReconfigMode::kGlobalSafe) {
+    auto it = config_.leaders.find(s);
+    return it == config_.leaders.end() ? kNoProcess : it->second;
+  }
+  auto it = views_.find(s);
+  return it == views_.end() ? kNoProcess : it->second.leader;
+}
+
+std::vector<ProcessId> Replica::members_of(ShardId s) const {
+  if (options_.mode == ReconfigMode::kGlobalSafe) {
+    auto it = config_.members.find(s);
+    return it == config_.members.end() ? std::vector<ProcessId>{} : it->second;
+  }
+  auto it = views_.find(s);
+  return it == views_.end() ? std::vector<ProcessId>{} : it->second.members;
+}
+
+void Replica::bootstrap(Status status, const configsvc::GlobalConfig& config) {
+  status_ = status;
+  initialized_ = true;
+  epoch_ = config.epoch;
+  new_epoch_ = config.epoch;
+  config_ = config;
+  for (const auto& [s, members] : config.members) {
+    configsvc::ShardConfig& v = views_[s];
+    v.epoch = config.epoch;
+    v.members = members;
+    v.leader = config.leaders.at(s);
+  }
+  // Epoch 1 is pre-activated: all connections open.
+  for (ProcessId p : config.all_members()) {
+    if (p == id()) continue;
+    fabric_.open(id(), p);
+    connections_.insert(p);
+  }
+  arm_retry_timer();
+}
+
+void Replica::bootstrap_spare(const configsvc::GlobalConfig& config) {
+  status_ = Status::kReconfiguring;
+  initialized_ = false;
+  config_ = config;
+  epoch_ = kNoEpoch;
+  new_epoch_ = kNoEpoch;
+  for (const auto& [s, members] : config.members) {
+    configsvc::ShardConfig& v = views_[s];
+    v.epoch = config.epoch;
+    v.members = members;
+    v.leader = config.leaders.at(s);
+  }
+  if (options_.mode == ReconfigMode::kPerShardUnsafe) {
+    // No connection management in the strawman: spares accept writes too.
+    for (ProcessId p : config.all_members()) {
+      if (p != id()) fabric_.open(id(), p);
+    }
+  }
+  arm_retry_timer();
+}
+
+// --- certification (Fig. 7) ---------------------------------------------------
+
+void Replica::certify_local(TxnId txn, const tcs::Payload& payload,
+                            std::function<void(tcs::Decision)> cb) {
+  commit::TxnMeta meta;
+  meta.txn = txn;
+  meta.participants = options_.shard_map->shards_of(payload);
+  meta.client = kNoProcess;
+  start_certification(std::move(meta), &payload, std::move(cb));
+}
+
+void Replica::start_certification(commit::TxnMeta meta, const tcs::Payload* full_payload,
+                                  std::function<void(tcs::Decision)> local_cb) {
+  TxnId txn = meta.txn;
+  if (meta.participants.empty()) {
+    if (local_cb) {
+      if (monitor_) monitor_->on_local_decision(txn, Decision::kCommit);
+      local_cb(Decision::kCommit);
+    } else if (meta.client != kNoProcess) {
+      net_.send_msg(id(), meta.client, commit::ClientDecision{txn, Decision::kCommit});
+    }
+    return;
+  }
+  CoordState& c = coord_[txn];
+  c.meta = meta;
+  if (local_cb) c.local_cb = std::move(local_cb);
+  // Lines 75-76.
+  for (ShardId s : meta.participants) {
+    commit::Prepare p;
+    p.txn = txn;
+    if (full_payload != nullptr) {
+      p.has_payload = true;
+      p.payload = options_.shard_map->project(*full_payload, s);
+    } else {
+      p.has_payload = false;
+    }
+    p.meta = meta;
+    net_.send_msg(id(), leader_of(s), p);
+  }
+}
+
+void Replica::retry(Slot k) {
+  const commit::LogEntry* e = log_.find(k);
+  // Line 168 pre: phase[k] = prepared.
+  if (e == nullptr || e->phase != commit::Phase::kPrepared) return;
+  start_certification(e->meta, nullptr, nullptr);  // lines 169-170
+}
+
+void Replica::handle_prepare(ProcessId from, const commit::Prepare& m) {
+  // Line 78 pre.
+  if (status_ != Status::kLeader) return;
+  prepare_and_ack(from, m);
+}
+
+void Replica::prepare_and_ack(ProcessId coordinator, const commit::Prepare& m) {
+  Slot existing = log_.slot_of(m.txn);
+  commit::PrepareAck ack;
+  ack.epoch = view_epoch(options_.shard);
+  ack.shard = options_.shard;
+  ack.txn = m.txn;
+  if (existing != kNoSlot) {
+    // Lines 79-80.
+    const commit::LogEntry& e = *log_.find(existing);
+    ack.slot = existing;
+    ack.payload = e.payload;
+    ack.vote = e.vote;
+    ack.meta = e.meta;
+  } else {
+    // Lines 82-90.
+    next_ += 1;
+    commit::LogEntry& e = log_.at(next_);
+    e.txn = m.txn;
+    e.phase = commit::Phase::kPrepared;
+    e.meta = m.meta;
+    if (m.has_payload) {
+      e.payload = m.payload;
+      e.vote = compute_vote(next_, m.payload);
+    } else {
+      e.vote = Decision::kAbort;
+      e.payload = tcs::empty_payload();
+      if (monitor_) {
+        // Report the abort's witness sets too: TCS-LL's (10) pins T_s even
+        // for abort votes (see commit/replica.cc).
+        std::vector<TxnId> t_set, p_set;
+        for (Slot k = 1; k < next_; ++k) {
+          const commit::LogEntry* prev = log_.find(k);
+          if (prev == nullptr || !prev->filled()) continue;
+          if (prev->phase == commit::Phase::kDecided && prev->dec == Decision::kCommit) {
+            t_set.push_back(prev->txn);
+          } else if (prev->phase == commit::Phase::kPrepared &&
+                     prev->vote == Decision::kCommit) {
+            p_set.push_back(prev->txn);
+          }
+        }
+        monitor_->on_vote_computed(options_.shard, view_epoch(options_.shard), next_,
+                                   m.txn, e.vote, e.payload, std::move(t_set),
+                                   std::move(p_set));
+      }
+    }
+    prepared_at_[next_] = sim().now();
+    ack.slot = next_;
+    ack.payload = e.payload;
+    ack.vote = e.vote;
+    ack.meta = e.meta;
+  }
+  net_.send_msg(id(), coordinator, ack);
+}
+
+tcs::Decision Replica::compute_vote(Slot slot, const tcs::Payload& l) {
+  std::vector<const tcs::Payload*> l1, l2;
+  std::vector<TxnId> t_set, p_set;
+  for (Slot k = 1; k < slot; ++k) {
+    const commit::LogEntry* e = log_.find(k);
+    if (e == nullptr || !e->filled()) continue;
+    if (e->phase == commit::Phase::kDecided && e->dec == Decision::kCommit) {
+      l1.push_back(&e->payload);
+      t_set.push_back(e->txn);
+    } else if (e->phase == commit::Phase::kPrepared && e->vote == Decision::kCommit) {
+      l2.push_back(&e->payload);
+      p_set.push_back(e->txn);
+    }
+  }
+  Decision vote = options_.certifier->vote(l1, l2, l);  // line 85
+  if (monitor_) {
+    monitor_->on_vote_computed(options_.shard, view_epoch(options_.shard), slot,
+                               log_.find(slot)->txn, vote, l, std::move(t_set),
+                               std::move(p_set));
+  }
+  return vote;
+}
+
+void Replica::handle_prepare_ack(const commit::PrepareAck& m) {
+  // Line 92 pre: e = epoch (the coordinator's current epoch; per-shard view
+  // in the unsafe variant).
+  if (view_epoch(m.shard) != m.epoch) return;
+  auto it = coord_.find(m.txn);
+  if (it == coord_.end() || it->second.decided) return;
+  CoordState& c = it->second;
+  ShardProgress& pr = c.progress[m.shard];
+  if (!(pr.have_prepare_ack && pr.epoch == m.epoch && pr.slot == m.slot)) {
+    pr.have_prepare_ack = true;
+    pr.epoch = m.epoch;
+    pr.slot = m.slot;
+    pr.vote = m.vote;
+    pr.acked.clear();
+  }
+  // Line 93: one-sided writes to the followers.
+  RAccept acc;
+  acc.epoch = m.epoch;
+  acc.shard = m.shard;
+  acc.slot = m.slot;
+  acc.txn = m.txn;
+  acc.payload = m.payload;
+  acc.vote = m.vote;
+  acc.meta = m.meta;
+  std::vector<ProcessId> followers;
+  for (ProcessId p : members_of(m.shard)) {
+    if (p != leader_of(m.shard)) followers.push_back(p);
+  }
+  for (ProcessId f : followers) {
+    std::uint64_t token = fabric_.send_rdma(id(), f, sim::AnyMessage(acc));
+    write_tokens_[token] = {m.txn, m.shard, f};
+  }
+  check_coordination(m.txn);
+}
+
+void Replica::handle_rdma_ack(const RdmaAck& ack) {
+  auto it = write_tokens_.find(ack.token);
+  if (it == write_tokens_.end()) return;  // a DECISION write; nothing to track
+  auto [txn, s, follower] = it->second;
+  write_tokens_.erase(it);
+  auto cit = coord_.find(txn);
+  if (cit == coord_.end() || cit->second.decided) return;
+  auto pit = cit->second.progress.find(s);
+  if (pit == cit->second.progress.end()) return;
+  pit->second.acked.insert(follower);
+  check_coordination(txn);
+}
+
+void Replica::check_coordination(TxnId txn) {
+  auto it = coord_.find(txn);
+  if (it == coord_.end() || it->second.decided) return;
+  CoordState& c = it->second;
+  // Lines 96-97: ack-rdma from every current follower of every shard, and
+  // the PREPARE_ACK epoch still matches the coordinator's current epoch.
+  Decision decision = Decision::kCommit;
+  for (ShardId s : c.meta.participants) {
+    auto pit = c.progress.find(s);
+    if (pit == c.progress.end()) return;
+    const ShardProgress& pr = pit->second;
+    if (!pr.have_prepare_ack || pr.epoch != view_epoch(s)) return;
+    ProcessId l = leader_of(s);
+    for (ProcessId p : members_of(s)) {
+      if (p != l && pr.acked.count(p) == 0) return;
+    }
+    decision = meet(decision, pr.vote);
+  }
+  c.decided = true;
+  // Line 98.
+  if (c.local_cb) {
+    if (monitor_) monitor_->on_local_decision(txn, decision);
+    c.local_cb(decision);
+  } else if (c.meta.client != kNoProcess) {
+    net_.send_msg(id(), c.meta.client, commit::ClientDecision{txn, decision});
+  }
+  // Lines 99-100: decisions are one-sided writes too.
+  for (ShardId s : c.meta.participants) {
+    const ShardProgress& pr = c.progress.at(s);
+    RDecision d;
+    d.epoch = pr.epoch;
+    d.shard = s;
+    d.slot = pr.slot;
+    d.txn = txn;
+    d.decision = decision;
+    for (ProcessId p : members_of(s)) {
+      fabric_.send_rdma(id(), p, sim::AnyMessage(d));
+    }
+  }
+}
+
+void Replica::deliver_rdma(ProcessId from, const sim::AnyMessage& msg) {
+  (void)from;
+  if (const auto* a = msg.as<RAccept>()) {
+    // Line 95: no guard — the write already landed; the CPU just records it.
+    commit::LogEntry& e = log_.at(a->slot);
+    e.txn = a->txn;
+    e.payload = a->payload;
+    e.vote = a->vote;
+    e.phase = commit::Phase::kPrepared;
+    e.meta = a->meta;
+    prepared_at_[a->slot] = sim().now();
+  } else if (const auto* d = msg.as<RDecision>()) {
+    // Line 102.
+    commit::LogEntry& e = log_.at(d->slot);
+    if (e.phase == commit::Phase::kStart) e.txn = d->txn;
+    e.dec = d->decision;
+    e.phase = commit::Phase::kDecided;
+    prepared_at_.erase(d->slot);
+  }
+}
+
+// --- reconfiguration: global safe mode (Fig. 8) --------------------------------
+
+void Replica::reconfigure() {
+  assert(options_.mode == ReconfigMode::kGlobalSafe);
+  // Line 104 pre.
+  if (rec_status_ != RecStatus::kReady) return;
+  rec_status_ = RecStatus::kProbing;
+  ++probe_round_;
+  probe_state_.clear();
+  // Lines 106-110.
+  gcs_.get_last([this, round = probe_round_](const configsvc::GlobalConfig& cfg) {
+    if (rec_status_ != RecStatus::kProbing || probe_round_ != round) return;
+    if (!cfg.valid()) {
+      rec_status_ = RecStatus::kReady;
+      return;
+    }
+    recon_epoch_ = cfg.epoch + 1;
+    for (const auto& [s, members] : cfg.members) {
+      ProbeState& ps = probe_state_[s];
+      ps.probed_epoch = cfg.epoch;
+      ps.probed_members = members;
+      for (ProcessId p : members) {
+        net_.send_msg(id(), p, commit::Probe{recon_epoch_});
+      }
+    }
+  });
+}
+
+void Replica::handle_probe(ProcessId from, const commit::Probe& m) {
+  // Line 112 pre (line 41 in unsafe mode).
+  if (m.epoch < new_epoch_) return;
+  status_ = Status::kReconfiguring;
+  if (options_.mode == ReconfigMode::kGlobalSafe) {
+    // Line 114: sever all incoming RDMA connections — the guard that the
+    // unsafe variant lacks.
+    fabric_.close_all(id());
+    connections_.clear();
+  }
+  new_epoch_ = m.epoch;
+  net_.send_msg(id(), from, commit::ProbeAck{initialized_, m.epoch, options_.shard});
+}
+
+void Replica::handle_probe_ack(ProcessId from, const commit::ProbeAck& m) {
+  if (options_.mode == ReconfigMode::kPerShardUnsafe) {
+    // Fig. 1 lines 45-55, restricted to recon_shard_.
+    if (!probing_unsafe_ || m.epoch != recon_epoch_ || m.shard != recon_shard_) return;
+    ProbeState& ps = probe_state_[m.shard];
+    ps.responders.insert(from);
+    if (m.initialized) {
+      probing_unsafe_ = false;
+      ProcessId new_leader = from;
+      configsvc::ShardConfig next;
+      next.epoch = recon_epoch_;
+      next.leader = new_leader;
+      next.members = {new_leader};
+      for (ProcessId p : ps.responders) {
+        if (next.members.size() >= options_.target_shard_size) break;
+        if (p != new_leader) next.members.push_back(p);
+      }
+      if (next.members.size() < options_.target_shard_size && options_.allocate_spares) {
+        for (ProcessId sp : options_.allocate_spares(
+                 recon_shard_, options_.target_shard_size - next.members.size())) {
+          next.members.push_back(sp);
+        }
+      }
+      cs_.cas(recon_shard_, recon_epoch_ - 1, next, [this, new_leader, next](bool ok) {
+        if (ok) net_.send_msg(id(), new_leader, commit::NewConfig{next.epoch, next.members});
+      });
+    } else {
+      ps.round_has_false_ack = true;
+      arm_descend_timer(m.shard);
+    }
+    return;
+  }
+  // Safe mode, lines 117-130.
+  if (rec_status_ != RecStatus::kProbing || m.epoch != recon_epoch_) return;
+  ProbeState& ps = probe_state_[m.shard];
+  ps.responders.insert(from);
+  if (m.initialized) {
+    if (ps.leader_candidate == kNoProcess) ps.leader_candidate = from;
+    check_probing_done();
+  } else {
+    ps.round_has_false_ack = true;
+    arm_descend_timer(m.shard);
+  }
+}
+
+void Replica::check_probing_done() {
+  // Line 117: a PROBE_ACK(true) for every shard.
+  for (const auto& [s, ps] : probe_state_) {
+    (void)s;
+    if (ps.leader_candidate == kNoProcess) return;
+  }
+  finish_probing();
+}
+
+void Replica::finish_probing() {
+  // Lines 119-124.
+  rec_status_ = RecStatus::kReady;
+  recon_config_ = {};
+  recon_config_.epoch = recon_epoch_;
+  for (auto& [s, ps] : probe_state_) {
+    std::vector<ProcessId> members{ps.leader_candidate};
+    for (ProcessId p : ps.responders) {
+      if (members.size() >= options_.target_shard_size) break;
+      if (p != ps.leader_candidate) members.push_back(p);
+    }
+    if (members.size() < options_.target_shard_size && options_.allocate_spares) {
+      for (ProcessId sp :
+           options_.allocate_spares(s, options_.target_shard_size - members.size())) {
+        members.push_back(sp);
+      }
+    }
+    recon_config_.members[s] = members;
+    recon_config_.leaders[s] = ps.leader_candidate;
+  }
+  gcs_.cas(recon_epoch_ - 1, recon_config_, [this](bool ok) {
+    if (!ok) return;
+    rec_status_ = RecStatus::kInstalling;
+    config_prepare_acks_.clear();
+    for (ProcessId p : recon_config_.all_members()) {
+      net_.send_msg(id(), p, ConfigPrepare{recon_config_.epoch, recon_config_});
+    }
+  });
+}
+
+void Replica::arm_descend_timer(ShardId s) {
+  ProbeState& ps = probe_state_[s];
+  if (ps.descend_timer_armed) return;
+  ps.descend_timer_armed = true;
+  sim().schedule_for(id(), options_.probe_patience, [this, s, round = probe_round_] {
+    auto it = probe_state_.find(s);
+    if (it == probe_state_.end() || probe_round_ != round) return;
+    it->second.descend_timer_armed = false;
+    bool active = options_.mode == ReconfigMode::kGlobalSafe
+                      ? rec_status_ == RecStatus::kProbing
+                      : probing_unsafe_;
+    if (!active || !it->second.round_has_false_ack) return;
+    if (it->second.leader_candidate != kNoProcess) return;
+    descend_probing(s);
+  });
+}
+
+void Replica::descend_probing(ShardId s) {
+  ProbeState& ps = probe_state_[s];
+  if (ps.probed_epoch <= 1) {
+    RATC_WARN(name() << " abandoning reconfiguration: shard " << s
+                     << " has no initialized member in any epoch");
+    rec_status_ = RecStatus::kReady;
+    probing_unsafe_ = false;
+    return;
+  }
+  ps.probed_epoch -= 1;
+  ps.round_has_false_ack = false;
+  if (options_.mode == ReconfigMode::kGlobalSafe) {
+    gcs_.get(ps.probed_epoch,
+             [this, s, round = probe_round_](bool found, const configsvc::GlobalConfig& cfg) {
+               if (rec_status_ != RecStatus::kProbing || probe_round_ != round || !found) {
+                 return;
+               }
+               auto mit = cfg.members.find(s);
+               if (mit == cfg.members.end()) return;
+               probe_state_[s].probed_members = mit->second;
+               for (ProcessId p : mit->second) {
+                 net_.send_msg(id(), p, commit::Probe{recon_epoch_});
+               }
+             });
+  } else {
+    cs_.get(s, ps.probed_epoch,
+            [this, s](bool found, const configsvc::ShardConfig& cfg) {
+              if (!probing_unsafe_ || !found) return;
+              probe_state_[s].probed_members = cfg.members;
+              for (ProcessId p : cfg.members) {
+                net_.send_msg(id(), p, commit::Probe{recon_epoch_});
+              }
+            });
+  }
+}
+
+void Replica::handle_config_prepare(ProcessId from, const ConfigPrepare& m) {
+  // Lines 132-136.
+  if (m.epoch < new_epoch_) return;
+  pending_config_ = m.config;
+  new_epoch_ = m.epoch;
+  net_.send_msg(id(), from, ConfigPrepareAck{m.epoch});
+}
+
+void Replica::handle_config_prepare_ack(ProcessId from, const ConfigPrepareAck& m) {
+  // Lines 137-140.
+  if (rec_status_ != RecStatus::kInstalling || m.epoch != recon_config_.epoch) return;
+  config_prepare_acks_.insert(from);
+  for (ProcessId p : recon_config_.all_members()) {
+    if (config_prepare_acks_.count(p) == 0) return;
+  }
+  rec_status_ = RecStatus::kReady;
+  for (ProcessId l : recon_config_.all_leaders()) {
+    net_.send_msg(id(), l, RNewConfig{recon_config_.epoch});
+  }
+}
+
+void Replica::handle_new_config(const RNewConfig& m) {
+  // Lines 141-147.
+  if (m.epoch < new_epoch_ || pending_config_.epoch != m.epoch) return;
+  // Line 142: everything the NICs acknowledged must be visible before the
+  // state transfer — coordinators may have externalized decisions based on
+  // those acknowledgements.
+  if (!options_.ablate_flush) fabric_.flush(id());
+  status_ = Status::kLeader;
+  epoch_ = m.epoch;
+  new_epoch_ = m.epoch;
+  config_ = pending_config_;
+  next_ = log_.max_filled();  // line 145
+  RNewState ns;
+  ns.epoch = epoch_;
+  ns.log = log_;
+  for (ProcessId p : config_.members.at(options_.shard)) {
+    if (p != id()) net_.send_msg(id(), p, ns);
+  }
+  open_connections_to(config_.all_members());  // line 147
+  arm_connect_retry();
+  RATC_DEBUG(name() << " leads s" << options_.shard << " at global epoch " << epoch_);
+}
+
+void Replica::handle_new_state(ProcessId from, const RNewState& m) {
+  (void)from;
+  // Lines 148-153.
+  if (m.epoch < new_epoch_ || pending_config_.epoch != m.epoch) return;
+  status_ = Status::kFollower;
+  epoch_ = m.epoch;
+  new_epoch_ = m.epoch;
+  initialized_ = true;
+  config_ = pending_config_;
+  log_ = m.log;
+  prepared_at_.clear();
+  // Line 153 sends CONNECT only to other shards' members; we connect to all
+  // members so same-shard followers can serve as coordinators for each
+  // other too (see DESIGN.md Sec. 2).
+  open_connections_to(config_.all_members());
+  arm_connect_retry();
+}
+
+void Replica::open_connections_to(const std::vector<ProcessId>& peers) {
+  for (ProcessId p : peers) {
+    if (p == id() || connections_.count(p)) continue;
+    net_.send_msg(id(), p, Connect{epoch_});
+  }
+}
+
+void Replica::arm_connect_retry() {
+  sim().schedule_for(id(), options_.connect_retry, [this, e = epoch_] {
+    if (epoch_ != e || status_ == Status::kReconfiguring) return;
+    bool missing = false;
+    for (ProcessId p : config_.all_members()) {
+      if (p != id() && connections_.count(p) == 0) {
+        net_.send_msg(id(), p, Connect{epoch_});
+        missing = true;
+      }
+    }
+    if (missing) arm_connect_retry();
+  });
+}
+
+void Replica::handle_connect(ProcessId from, const Connect& m) {
+  // Lines 154-158.
+  if (status_ == Status::kReconfiguring || m.epoch != epoch_) return;
+  if (connections_.count(from) == 0) {
+    fabric_.open(id(), from);
+    connections_.insert(from);
+  }
+  net_.send_msg(id(), from, ConnectAck{epoch_});
+}
+
+void Replica::handle_connect_ack(ProcessId from, const ConnectAck& m) {
+  // Lines 159-162.
+  if (status_ == Status::kReconfiguring || m.epoch != epoch_) return;
+  if (connections_.count(from)) return;
+  fabric_.open(id(), from);
+  connections_.insert(from);
+}
+
+// --- reconfiguration: per-shard unsafe mode (Fig. 4a strawman) -----------------
+
+void Replica::reconfigure_shard(ShardId s) {
+  assert(options_.mode == ReconfigMode::kPerShardUnsafe);
+  if (probing_unsafe_) return;
+  probing_unsafe_ = true;
+  recon_shard_ = s;
+  ++probe_round_;
+  probe_state_.clear();
+  cs_.get_last(s, [this, s](const configsvc::ShardConfig& cfg) {
+    if (!probing_unsafe_ || !cfg.valid()) {
+      probing_unsafe_ = false;
+      return;
+    }
+    recon_epoch_ = cfg.epoch + 1;
+    ProbeState& ps = probe_state_[s];
+    ps.probed_epoch = cfg.epoch;
+    ps.probed_members = cfg.members;
+    for (ProcessId p : cfg.members) {
+      net_.send_msg(id(), p, commit::Probe{recon_epoch_});
+    }
+  });
+}
+
+void Replica::handle_new_config_unsafe(const commit::NewConfig& m) {
+  if (m.epoch < new_epoch_) return;
+  new_epoch_ = m.epoch;
+  status_ = Status::kLeader;
+  configsvc::ShardConfig& v = views_[options_.shard];
+  v.epoch = m.epoch;
+  v.members = m.members;
+  v.leader = id();
+  next_ = log_.max_filled();
+  commit::NewState ns;
+  ns.epoch = m.epoch;
+  ns.members = m.members;
+  ns.log = log_;
+  for (ProcessId p : m.members) {
+    if (p != id()) net_.send_msg(id(), p, ns);
+  }
+}
+
+void Replica::handle_new_state_unsafe(ProcessId from, const commit::NewState& m) {
+  if (m.epoch < new_epoch_) return;
+  new_epoch_ = m.epoch;
+  initialized_ = true;
+  status_ = Status::kFollower;
+  configsvc::ShardConfig& v = views_[options_.shard];
+  v.epoch = m.epoch;
+  v.members = m.members;
+  v.leader = from;
+  log_ = m.log;
+  prepared_at_.clear();
+}
+
+void Replica::handle_config_change(const configsvc::ConfigChange& m) {
+  if (m.shard == options_.shard) return;
+  configsvc::ShardConfig& v = views_[m.shard];
+  if (v.epoch >= m.config.epoch) return;
+  v = m.config;
+}
+
+// --- plumbing -------------------------------------------------------------------
+
+void Replica::arm_retry_timer() {
+  if (options_.retry_timeout == 0) return;
+  sim().schedule_for(id(), options_.retry_timeout, [this] {
+    Time now = sim().now();
+    std::vector<Slot> stale;
+    for (const auto& [slot, since] : prepared_at_) {
+      const commit::LogEntry* e = log_.find(slot);
+      if (e != nullptr && e->phase == commit::Phase::kPrepared &&
+          now - since >= options_.retry_timeout) {
+        stale.push_back(slot);
+      }
+    }
+    for (Slot k : stale) {
+      prepared_at_[k] = now;
+      retry(k);
+    }
+    arm_retry_timer();
+  });
+}
+
+void Replica::on_message(ProcessId from, const sim::AnyMessage& msg) {
+  if (options_.mode == ReconfigMode::kGlobalSafe ? gcs_.handle(msg) : cs_.handle(msg)) {
+    return;
+  }
+  if (fd_responder_.handle(from, msg)) return;
+  if (const auto* c = msg.as<commit::CertifyRequest>()) {
+    commit::TxnMeta meta;
+    meta.txn = c->txn;
+    meta.participants = options_.shard_map->shards_of(c->payload);
+    meta.client = from;
+    start_certification(std::move(meta), &c->payload, nullptr);
+  } else if (const auto* p = msg.as<commit::Prepare>()) {
+    handle_prepare(from, *p);
+  } else if (const auto* pa = msg.as<commit::PrepareAck>()) {
+    handle_prepare_ack(*pa);
+  } else if (const auto* pr = msg.as<commit::Probe>()) {
+    handle_probe(from, *pr);
+  } else if (const auto* pra = msg.as<commit::ProbeAck>()) {
+    handle_probe_ack(from, *pra);
+  } else if (const auto* cp = msg.as<ConfigPrepare>()) {
+    handle_config_prepare(from, *cp);
+  } else if (const auto* cpa = msg.as<ConfigPrepareAck>()) {
+    handle_config_prepare_ack(from, *cpa);
+  } else if (const auto* nc = msg.as<RNewConfig>()) {
+    handle_new_config(*nc);
+  } else if (const auto* ns = msg.as<RNewState>()) {
+    handle_new_state(from, *ns);
+  } else if (const auto* cn = msg.as<Connect>()) {
+    handle_connect(from, *cn);
+  } else if (const auto* cna = msg.as<ConnectAck>()) {
+    handle_connect_ack(from, *cna);
+  } else if (const auto* nc2 = msg.as<commit::NewConfig>()) {
+    handle_new_config_unsafe(*nc2);
+  } else if (const auto* ns2 = msg.as<commit::NewState>()) {
+    handle_new_state_unsafe(from, *ns2);
+  } else if (const auto* cc = msg.as<configsvc::ConfigChange>()) {
+    handle_config_change(*cc);
+  }
+}
+
+}  // namespace ratc::rdma

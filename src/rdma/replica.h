@@ -1,0 +1,201 @@
+// Replica of the RDMA-based atomic commit protocol (paper Sec. 5, Figs. 7-8).
+//
+// Differences from the message-passing protocol of Fig. 1:
+//  * ACCEPT and DECISION are one-sided RDMA writes; followers acknowledge
+//    through their NIC without executing any check — the coordinator acts
+//    on ack-rdma completions (Fig. 7 lines 93-100);
+//  * because the follower-side epoch guard (Fig. 1 line 22) is therefore
+//    gone, reconfiguration must be *global*: a single system epoch, probing
+//    of every shard, CONFIG_PREPARE dissemination to the whole membership
+//    before activation, and connection management (close on PROBE, flush on
+//    NEW_CONFIG, re-open via CONNECT) — Fig. 8;
+//  * processes keep one `epoch` variable instead of a per-shard vector.
+//
+// The replica also implements ReconfigMode::kPerShardUnsafe: the Fig. 1
+// reconfiguration (per-shard, no connection management) combined with the
+// RDMA data path.  This is the protocol the paper proves INCORRECT via the
+// Figure 4a counter-example; tests use it to reproduce the violation and
+// to show the global protocol prevents it (experiment E7).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "commit/log.h"
+#include "commit/messages.h"
+#include "configsvc/client.h"
+#include "configsvc/config.h"
+#include "fd/failure_detector.h"
+#include "rdma/fabric.h"
+#include "rdma/messages.h"
+#include "sim/network.h"
+#include "sim/process.h"
+#include "tcs/certifier.h"
+#include "tcs/shard_map.h"
+
+namespace ratc::rdma {
+
+class RdmaMonitor;
+
+enum class ReconfigMode {
+  kGlobalSafe,      ///< Fig. 8: the paper's corrected protocol
+  kPerShardUnsafe,  ///< Fig. 4a strawman: per-shard reconfiguration + RDMA
+};
+
+enum class Status { kLeader, kFollower, kReconfiguring };
+enum class RecStatus { kReady, kProbing, kInstalling };
+
+class Replica : public sim::Process {
+ public:
+  struct Options {
+    ShardId shard = 0;
+    ReconfigMode mode = ReconfigMode::kGlobalSafe;
+    const tcs::ShardMap* shard_map = nullptr;
+    const tcs::Certifier* certifier = nullptr;
+    /// Global-CS endpoints (safe mode) or per-shard-CS endpoints (unsafe).
+    std::vector<ProcessId> cs_endpoints;
+    std::size_t target_shard_size = 2;
+    std::function<std::vector<ProcessId>(ShardId, std::size_t)> allocate_spares;
+    Duration probe_patience = 5;
+    Duration connect_retry = 5;
+    Duration retry_timeout = 0;
+    /// ABLATION (tests only): skip the flush() at NEW_CONFIG (Fig. 8 line
+    /// 142).  Unsafe: acknowledged-but-unpolled writes are dropped from the
+    /// state transfer even though coordinators may have externalized
+    /// decisions based on those acknowledgements.
+    bool ablate_flush = false;
+    RdmaMonitor* monitor = nullptr;
+  };
+
+  Replica(sim::Simulator& sim, sim::Network& net, Fabric& fabric, ProcessId id,
+          Options options);
+
+  /// Installs the pre-activated initial configuration.  The harness opens
+  /// the initial RDMA connections.
+  void bootstrap(Status status, const configsvc::GlobalConfig& config);
+  void bootstrap_spare(const configsvc::GlobalConfig& config);
+
+  void certify_local(TxnId txn, const tcs::Payload& payload,
+                     std::function<void(tcs::Decision)> cb);
+
+  /// Global reconfiguration (safe mode, Fig. 8 line 103).
+  void reconfigure();
+  /// Per-shard reconfiguration (unsafe mode only).
+  void reconfigure_shard(ShardId s);
+
+  void retry(Slot k);
+
+  ShardId shard() const { return options_.shard; }
+  Status status() const { return status_; }
+  bool initialized() const { return initialized_; }
+  Epoch epoch() const;
+  const commit::ReplicaLog& log() const { return log_; }
+  const configsvc::GlobalConfig& global_config() const { return config_; }
+  ProcessId leader_of(ShardId s) const;
+  std::vector<ProcessId> members_of(ShardId s) const;
+  const std::set<ProcessId>& connections() const { return connections_; }
+
+  void on_message(ProcessId from, const sim::AnyMessage& msg) override;
+
+ private:
+  struct ShardProgress {
+    bool have_prepare_ack = false;
+    Epoch epoch = kNoEpoch;
+    Slot slot = kNoSlot;
+    tcs::Decision vote = tcs::Decision::kAbort;
+    std::set<ProcessId> pending_writes;  ///< followers whose ack is awaited
+    std::set<ProcessId> acked;
+  };
+  struct CoordState {
+    commit::TxnMeta meta;
+    std::map<ShardId, ShardProgress> progress;
+    bool decided = false;
+    std::function<void(tcs::Decision)> local_cb;
+  };
+  /// Per-shard probing state of an ongoing global reconfiguration.
+  struct ProbeState {
+    Epoch probed_epoch = kNoEpoch;
+    std::vector<ProcessId> probed_members;
+    std::set<ProcessId> responders;
+    ProcessId leader_candidate = kNoProcess;
+    bool round_has_false_ack = false;
+    bool descend_timer_armed = false;
+  };
+
+  // Certification path (Fig. 7).
+  void start_certification(commit::TxnMeta meta, const tcs::Payload* full_payload,
+                           std::function<void(tcs::Decision)> local_cb);
+  void handle_prepare(ProcessId from, const commit::Prepare& m);
+  void prepare_and_ack(ProcessId coordinator, const commit::Prepare& m);
+  tcs::Decision compute_vote(Slot slot, const tcs::Payload& l);
+  void handle_prepare_ack(const commit::PrepareAck& m);
+  void deliver_rdma(ProcessId from, const sim::AnyMessage& msg);
+  void handle_rdma_ack(const RdmaAck& ack);
+  void check_coordination(TxnId txn);
+
+  // Reconfiguration (Fig. 8 for safe mode; Fig. 1 lines 33-69 for unsafe).
+  void handle_probe(ProcessId from, const commit::Probe& m);
+  void handle_probe_ack(ProcessId from, const commit::ProbeAck& m);
+  void check_probing_done();
+  void arm_descend_timer(ShardId s);
+  void descend_probing(ShardId s);
+  void finish_probing();
+  void handle_config_prepare(ProcessId from, const ConfigPrepare& m);
+  void handle_config_prepare_ack(ProcessId from, const ConfigPrepareAck& m);
+  void handle_new_config(const RNewConfig& m);
+  void handle_new_state(ProcessId from, const RNewState& m);
+  void handle_connect(ProcessId from, const Connect& m);
+  void handle_connect_ack(ProcessId from, const ConnectAck& m);
+  void open_connections_to(const std::vector<ProcessId>& peers);
+  void arm_connect_retry();
+
+  // Unsafe-mode reconfiguration (per-shard, Fig. 1 shape).
+  void handle_new_config_unsafe(const commit::NewConfig& m);
+  void handle_new_state_unsafe(ProcessId from, const commit::NewState& m);
+  void handle_config_change(const configsvc::ConfigChange& m);
+
+  void arm_retry_timer();
+  Epoch view_epoch(ShardId s) const;
+
+  Options options_;
+  sim::Network& net_;
+  Fabric& fabric_;
+  configsvc::GcsClient gcs_;
+  configsvc::CsClient cs_;  // unsafe mode
+  fd::Responder fd_responder_;
+  RdmaMonitor* monitor_;
+
+  Status status_ = Status::kReconfiguring;
+  bool initialized_ = false;
+  Epoch new_epoch_ = kNoEpoch;
+  Epoch epoch_ = kNoEpoch;  ///< the single system epoch (safe mode)
+  configsvc::GlobalConfig config_;
+  configsvc::GlobalConfig pending_config_;  ///< staged by CONFIG_PREPARE
+  /// Unsafe mode: per-shard views, as in Fig. 1.
+  std::map<ShardId, configsvc::ShardConfig> views_;
+  commit::ReplicaLog log_;
+  Slot next_ = 0;
+  std::set<ProcessId> connections_;
+
+  // Reconfigurer state.
+  RecStatus rec_status_ = RecStatus::kReady;
+  Epoch recon_epoch_ = kNoEpoch;
+  std::map<ShardId, ProbeState> probe_state_;
+  std::uint64_t probe_round_ = 0;
+  configsvc::GlobalConfig recon_config_;
+  std::set<ProcessId> config_prepare_acks_;
+  // Unsafe-mode reconfigurer state (single shard).
+  bool probing_unsafe_ = false;
+  ShardId recon_shard_ = 0;
+
+  // Coordinator state.
+  std::map<TxnId, CoordState> coord_;
+  /// RDMA write tokens -> (txn, shard, follower) for ack matching.
+  std::map<std::uint64_t, std::tuple<TxnId, ShardId, ProcessId>> write_tokens_;
+
+  std::map<Slot, Time> prepared_at_;
+};
+
+}  // namespace ratc::rdma

@@ -1,0 +1,40 @@
+// Base class for simulated processes (paper Sec. 3 "system model": a set of
+// processes that may fail by crashing, i.e. permanently stop executing).
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+#include "sim/message.h"
+
+namespace ratc::sim {
+
+class Simulator;
+
+class Process {
+ public:
+  Process(Simulator& sim, ProcessId id, std::string name)
+      : sim_(sim), id_(id), name_(std::move(name)) {}
+  virtual ~Process() = default;
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  ProcessId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// Invoked by the network when a message is delivered.  Never invoked
+  /// after the process crashes.
+  virtual void on_message(ProcessId from, const AnyMessage& msg) = 0;
+
+ protected:
+  Simulator& sim() { return sim_; }
+  const Simulator& sim() const { return sim_; }
+
+ private:
+  Simulator& sim_;
+  ProcessId id_;
+  std::string name_;
+};
+
+}  // namespace ratc::sim

@@ -1,0 +1,70 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace ratc::sim {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+void Simulator::add_process(Process* p) {
+  assert(p != nullptr);
+  assert(processes_.count(p->id()) == 0 && "duplicate process id");
+  processes_[p->id()] = p;
+}
+
+Process* Simulator::process(ProcessId id) const {
+  auto it = processes_.find(id);
+  return it == processes_.end() ? nullptr : it->second;
+}
+
+void Simulator::crash(ProcessId id) { crashed_.insert(id); }
+
+void Simulator::push_event(Time time, ProcessId owner, std::function<void()> fn) {
+  queue_.push(Event{time, next_seq_++, owner, std::move(fn)});
+}
+
+void Simulator::schedule(Duration delay, std::function<void()> fn) {
+  push_event(now_ + delay, kNoProcess, std::move(fn));
+}
+
+void Simulator::schedule_for(ProcessId owner, Duration delay, std::function<void()> fn) {
+  push_event(now_ + delay, owner, std::move(fn));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  assert(ev.time >= now_);
+  now_ = ev.time;
+  ++events_executed_;
+  if (ev.owner == kNoProcess || crashed_.count(ev.owner) == 0) {
+    ev.fn();
+  }
+  return true;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+std::size_t Simulator::run_until(Time deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().time <= deadline && step()) ++n;
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+bool Simulator::run_until_pred(const std::function<bool()>& done, std::size_t max_events) {
+  if (done()) return true;
+  std::size_t n = 0;
+  while (n < max_events && step()) {
+    ++n;
+    if (done()) return true;
+  }
+  return done();
+}
+
+}  // namespace ratc::sim

@@ -1,0 +1,56 @@
+// Optimistic transaction executor (paper Sec. 2): runs a transaction's
+// reads/writes against the committed store, producing the payload
+// <R, W, Vc> submitted for certification.
+#pragma once
+
+#include <algorithm>
+
+#include "store/versioned_store.h"
+#include "tcs/payload.h"
+
+namespace ratc::store {
+
+class TransactionExecutor {
+ public:
+  explicit TransactionExecutor(const VersionedStore& store) : store_(&store) {}
+
+  /// Reads the latest committed value, recording the version in R.
+  Value read(ObjectId object) {
+    VersionedValue v = store_->read(object);
+    if (!payload_.reads_object(object)) {
+      payload_.reads.push_back({object, v.version});
+      max_read_version_ = std::max(max_read_version_, v.version);
+    }
+    // Read-your-writes within the transaction.
+    for (const auto& w : payload_.writes) {
+      if (w.object == object) return w.value;
+    }
+    return v.value;
+  }
+
+  /// Buffers a write; reads the object first (the payload well-formedness
+  /// requirement that written objects are also read).
+  void write(ObjectId object, Value value) {
+    if (!payload_.reads_object(object)) read(object);
+    for (auto& w : payload_.writes) {
+      if (w.object == object) {
+        w.value = value;
+        return;
+      }
+    }
+    payload_.writes.push_back({object, value});
+  }
+
+  /// Finalizes the payload: Vc exceeds every version read.
+  tcs::Payload finish() {
+    payload_.commit_version = payload_.writes.empty() ? 0 : max_read_version_ + 1;
+    return payload_;
+  }
+
+ private:
+  const VersionedStore* store_;
+  tcs::Payload payload_;
+  Version max_read_version_ = 0;
+};
+
+}  // namespace ratc::store

@@ -1,0 +1,129 @@
+// Closed-loop workload runner: drives any TCS implementation (the paper's
+// protocol, the RDMA variant, or the 2PC-over-Paxos baseline) with the same
+// workload, applying committed writes back to the store.  Used by the
+// end-to-end tests, the examples and every throughput/abort-rate bench.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "common/types.h"
+#include "sim/simulator.h"
+#include "store/versioned_store.h"
+#include "tcs/decision.h"
+#include "tcs/payload.h"
+
+namespace ratc::store {
+
+/// Minimal submission interface over a TCS implementation.
+class TcsFrontend {
+ public:
+  virtual ~TcsFrontend() = default;
+  virtual TxnId next_txn_id() = 0;
+  /// Submits asynchronously; the decision is reported through on_decision
+  /// (possibly never, if a coordinator dies and recovery is disabled).
+  virtual void submit(TxnId txn, const tcs::Payload& payload) = 0;
+
+  std::function<void(TxnId, tcs::Decision)> on_decision;
+};
+
+struct RunnerStats {
+  std::size_t submitted = 0;
+  std::size_t committed = 0;
+  std::size_t aborted = 0;
+  std::size_t undecided = 0;
+  Duration total_latency = 0;   ///< sum over decided transactions
+  Time wall_time = 0;           ///< virtual time consumed by the run
+
+  double abort_rate() const {
+    std::size_t decided = committed + aborted;
+    return decided == 0 ? 0.0 : static_cast<double>(aborted) / static_cast<double>(decided);
+  }
+  double mean_latency() const {
+    std::size_t decided = committed + aborted;
+    return decided == 0 ? 0.0
+                        : static_cast<double>(total_latency) / static_cast<double>(decided);
+  }
+  /// Committed transactions per 1000 virtual ticks.
+  double throughput() const {
+    return wall_time == 0 ? 0.0
+                          : 1000.0 * static_cast<double>(committed) /
+                                static_cast<double>(wall_time);
+  }
+};
+
+class WorkloadRunner {
+ public:
+  /// `next_payload` executes one transaction against the committed store.
+  WorkloadRunner(sim::Simulator& sim, TcsFrontend& frontend, VersionedStore& db,
+                 std::function<tcs::Payload(const VersionedStore&)> next_payload,
+                 std::size_t window = 8)
+      : sim_(sim),
+        frontend_(frontend),
+        db_(db),
+        next_payload_(std::move(next_payload)),
+        window_(window) {
+    frontend_.on_decision = [this](TxnId txn, tcs::Decision d) {
+      auto it = in_flight_.find(txn);
+      if (it == in_flight_.end()) return;
+      if (d == tcs::Decision::kCommit) {
+        db_.apply(it->second.payload);
+        ++stats_.committed;
+      } else {
+        ++stats_.aborted;
+      }
+      stats_.total_latency += sim_.now() - it->second.submitted_at;
+      in_flight_.erase(it);
+      ++completed_;
+    };
+  }
+
+  /// Issues `txns` new transactions (on top of any previous run() calls)
+  /// and drives the simulation until they all decide or progress stops.
+  /// Stats are cumulative across calls.
+  RunnerStats run(std::size_t txns, std::size_t max_events_per_step = 500'000) {
+    Time start = sim_.now();
+    std::size_t target_issued = issued_ + txns;
+    auto pump = [&] {
+      while (issued_ < target_issued && in_flight_.size() < window_) {
+        tcs::Payload p = next_payload_(db_);
+        TxnId txn = frontend_.next_txn_id();
+        in_flight_[txn] = {p, sim_.now()};
+        ++issued_;
+        ++stats_.submitted;
+        frontend_.submit(txn, p);
+      }
+    };
+    pump();
+    while (completed_ < target_issued) {
+      std::size_t before = completed_;
+      bool progressed = sim_.run_until_pred([&] { return completed_ > before; },
+                                            max_events_per_step);
+      if (!progressed) break;  // no decision forthcoming (e.g. lost coordinator)
+      pump();
+    }
+    stats_.undecided = in_flight_.size();
+    stats_.wall_time += sim_.now() - start;
+    return stats_;
+  }
+
+  const RunnerStats& stats() const { return stats_; }
+
+ private:
+  struct InFlight {
+    tcs::Payload payload;
+    Time submitted_at = 0;
+  };
+
+  sim::Simulator& sim_;
+  TcsFrontend& frontend_;
+  VersionedStore& db_;
+  std::function<tcs::Payload(const VersionedStore&)> next_payload_;
+  std::size_t window_;
+  std::map<TxnId, InFlight> in_flight_;
+  std::size_t issued_ = 0;
+  std::size_t completed_ = 0;
+  RunnerStats stats_;
+};
+
+}  // namespace ratc::store

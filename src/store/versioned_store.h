@@ -1,0 +1,48 @@
+// Versioned key-value store: the transactional data the TCS certifies.
+//
+// Objects carry totally ordered versions (paper Sec. 2).  The store holds
+// the *committed* state; optimistic execution reads it, and committed
+// payloads are applied back to it.  This provides the Sec. 2 assumption
+// that "transactions submitted for certification only read versions written
+// by previously committed transactions".
+#pragma once
+
+#include <map>
+
+#include "common/types.h"
+#include "tcs/payload.h"
+
+namespace ratc::store {
+
+struct VersionedValue {
+  Value value = 0;
+  Version version = 0;  ///< 0 = never written
+};
+
+class VersionedStore {
+ public:
+  /// Latest committed value/version (default-initialized if never written).
+  VersionedValue read(ObjectId object) const {
+    auto it = data_.find(object);
+    return it == data_.end() ? VersionedValue{} : it->second;
+  }
+
+  /// Applies the writes of a committed payload at its commit version.
+  /// Out-of-order application is tolerated: only newer versions overwrite.
+  void apply(const tcs::Payload& payload) {
+    for (const auto& w : payload.writes) {
+      VersionedValue& v = data_[w.object];
+      if (payload.commit_version > v.version) {
+        v.value = w.value;
+        v.version = payload.commit_version;
+      }
+    }
+  }
+
+  std::size_t size() const { return data_.size(); }
+
+ private:
+  std::map<ObjectId, VersionedValue> data_;
+};
+
+}  // namespace ratc::store

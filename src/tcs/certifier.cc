@@ -1,0 +1,62 @@
+#include "tcs/certifier.h"
+
+#include <stdexcept>
+
+namespace ratc::tcs {
+
+Decision SerializabilityCertifier::against_committed(const Payload& committed,
+                                                     const Payload& l) const {
+  // Paper (2): commit iff none of the versions in R have been overwritten:
+  // ∀(x,v) ∈ R. (x,_) ∈ W' ⟹ V'c ≤ v.
+  for (const auto& r : l.reads) {
+    if (committed.writes_object(r.object) && committed.commit_version > r.version) {
+      return Decision::kAbort;
+    }
+  }
+  return Decision::kCommit;
+}
+
+Decision SerializabilityCertifier::against_prepared(const Payload& prepared,
+                                                    const Payload& l) const {
+  // Paper g_s: abort if (i) l read an object written by a prepared
+  // transaction, or (ii) l writes an object read by a prepared transaction.
+  for (const auto& r : l.reads) {
+    if (prepared.writes_object(r.object)) return Decision::kAbort;
+  }
+  for (const auto& w : l.writes) {
+    if (prepared.reads_object(w.object)) return Decision::kAbort;
+  }
+  return Decision::kCommit;
+}
+
+Decision SnapshotIsolationCertifier::against_committed(const Payload& committed,
+                                                       const Payload& l) const {
+  // First-committer-wins on write-write conflicts: abort if a committed
+  // transaction installed a newer version of an object l is writing.
+  // Written objects are always read (payload well-formedness), so the read
+  // version is l's snapshot of the object.
+  for (const auto& w : l.writes) {
+    if (!committed.writes_object(w.object)) continue;
+    auto snapshot = l.read_version(w.object);
+    if (!snapshot.has_value() || committed.commit_version > *snapshot) {
+      return Decision::kAbort;
+    }
+  }
+  return Decision::kCommit;
+}
+
+Decision SnapshotIsolationCertifier::against_prepared(const Payload& prepared,
+                                                      const Payload& l) const {
+  for (const auto& w : l.writes) {
+    if (prepared.writes_object(w.object)) return Decision::kAbort;
+  }
+  return Decision::kCommit;
+}
+
+std::unique_ptr<Certifier> make_certifier(const std::string& name) {
+  if (name == "serializability") return std::make_unique<SerializabilityCertifier>();
+  if (name == "snapshot-isolation") return std::make_unique<SnapshotIsolationCertifier>();
+  throw std::invalid_argument("unknown certifier: " + name);
+}
+
+}  // namespace ratc::tcs

@@ -1,0 +1,94 @@
+// Certification functions (paper Sec. 2), parametric in the isolation level.
+//
+// The paper requires f, f_s, g_s to be *distributive*: the decision against
+// a set of payloads is the meet of the decisions against its elements
+// (requirement (1)).  We bake distributivity in by construction: concrete
+// certifiers implement only the pairwise checks
+//     against_committed(l', l)   —  f_s({l'}, l)
+//     against_prepared(l', l)    —  g_s({l'}, l)
+// and the set versions fold with the ⊓ operator.  The global function f and
+// the shard-local f_s are the same pairwise check applied to unprojected or
+// projected payloads — which is exactly the matching condition (3).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "tcs/decision.h"
+#include "tcs/payload.h"
+
+namespace ratc::tcs {
+
+class Certifier {
+ public:
+  virtual ~Certifier() = default;
+
+  /// f_s({committed}, l): may l commit given this previously committed
+  /// payload?
+  virtual Decision against_committed(const Payload& committed, const Payload& l) const = 0;
+
+  /// g_s({prepared}, l): may l commit given this payload prepared to commit
+  /// but not yet decided?  Required to be no weaker than against_committed
+  /// (requirement (4)) and commutative in the sense of requirement (5).
+  virtual Decision against_prepared(const Payload& prepared, const Payload& l) const = 0;
+
+  virtual const char* name() const = 0;
+
+  /// f_s(L, l) folded with ⊓ over the set.
+  template <typename Iterable>
+  Decision committed_set(const Iterable& committed, const Payload& l) const {
+    for (const auto& c : committed) {
+      if (against_committed(deref(c), l) == Decision::kAbort) return Decision::kAbort;
+    }
+    return Decision::kCommit;
+  }
+
+  /// g_s(L, l) folded with ⊓ over the set.
+  template <typename Iterable>
+  Decision prepared_set(const Iterable& prepared, const Payload& l) const {
+    for (const auto& p : prepared) {
+      if (against_prepared(deref(p), l) == Decision::kAbort) return Decision::kAbort;
+    }
+    return Decision::kCommit;
+  }
+
+  /// The vote computation of Figure 1 line 12: f_s(L1, l) ⊓ g_s(L2, l).
+  template <typename I1, typename I2>
+  Decision vote(const I1& committed, const I2& prepared, const Payload& l) const {
+    return meet(committed_set(committed, l), prepared_set(prepared, l));
+  }
+
+ private:
+  static const Payload& deref(const Payload& p) { return p; }
+  static const Payload& deref(const Payload* p) { return *p; }
+};
+
+/// Classical backward-validation serializability (paper Sec. 2 running
+/// example):
+///  * f_s aborts l if a committed transaction overwrote (with a higher
+///    version) any object l read;
+///  * g_s aborts l if it read an object a prepared transaction writes, or
+///    writes an object a prepared transaction read (lock-conflict shape).
+class SerializabilityCertifier final : public Certifier {
+ public:
+  Decision against_committed(const Payload& committed, const Payload& l) const override;
+  Decision against_prepared(const Payload& prepared, const Payload& l) const override;
+  const char* name() const override { return "serializability"; }
+};
+
+/// Snapshot isolation: only write-write conflicts abort.
+///  * f_s aborts l if a committed transaction wrote one of l's written
+///    objects at a version above the version l read (first-committer-wins,
+///    using read versions as the snapshot);
+///  * g_s aborts l if its write set intersects a prepared write set.
+/// Satisfies requirements (4) and (5); see tests/tcs_certifier_test.cc.
+class SnapshotIsolationCertifier final : public Certifier {
+ public:
+  Decision against_committed(const Payload& committed, const Payload& l) const override;
+  Decision against_prepared(const Payload& prepared, const Payload& l) const override;
+  const char* name() const override { return "snapshot-isolation"; }
+};
+
+std::unique_ptr<Certifier> make_certifier(const std::string& name);
+
+}  // namespace ratc::tcs

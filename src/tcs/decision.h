@@ -1,0 +1,26 @@
+// Decisions and the meet operator (paper Sec. 2).
+#pragma once
+
+#include <string>
+
+namespace ratc::tcs {
+
+enum class Decision { kAbort = 0, kCommit = 1 };
+
+/// The ⊓ operator: commit ⊓ commit = commit, anything ⊓ abort = abort.
+inline Decision meet(Decision a, Decision b) {
+  return (a == Decision::kCommit && b == Decision::kCommit) ? Decision::kCommit
+                                                            : Decision::kAbort;
+}
+
+/// The ⊑ order used by constraint (9) of Figure 6: abort ⊑ everything,
+/// commit ⊑ commit.
+inline bool leq(Decision a, Decision b) {
+  return a == Decision::kAbort || b == Decision::kCommit;
+}
+
+inline const char* to_string(Decision d) {
+  return d == Decision::kCommit ? "commit" : "abort";
+}
+
+}  // namespace ratc::tcs

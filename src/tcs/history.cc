@@ -1,0 +1,93 @@
+#include "tcs/history.h"
+
+#include <set>
+#include <sstream>
+
+namespace ratc::tcs {
+
+void History::record_certify(Time time, TxnId txn, Payload payload) {
+  HistoryEvent ev;
+  ev.kind = HistoryEvent::Kind::kCertify;
+  ev.time = time;
+  ev.txn = txn;
+  ev.payload = payload;
+  events_.push_back(std::move(ev));
+  payloads_.emplace(txn, std::move(payload));
+}
+
+void History::record_decide(Time time, TxnId txn, Decision d) {
+  HistoryEvent ev;
+  ev.kind = HistoryEvent::Kind::kDecide;
+  ev.time = time;
+  ev.txn = txn;
+  ev.decision = d;
+  events_.push_back(ev);
+  first_decision_.emplace(txn, d);
+}
+
+std::optional<Decision> History::decision_of(TxnId t) const {
+  auto it = first_decision_.find(t);
+  if (it == first_decision_.end()) return std::nullopt;
+  return it->second;
+}
+
+const Payload* History::payload_of(TxnId t) const {
+  auto it = payloads_.find(t);
+  return it == payloads_.end() ? nullptr : &it->second;
+}
+
+bool History::complete() const {
+  for (const auto& [t, _] : payloads_) {
+    if (first_decision_.count(t) == 0) return false;
+  }
+  return true;
+}
+
+std::vector<TxnId> History::all_txns() const {
+  std::vector<TxnId> out;
+  out.reserve(payloads_.size());
+  for (const auto& [t, _] : payloads_) out.push_back(t);
+  return out;
+}
+
+std::vector<TxnId> History::committed_txns() const {
+  std::vector<TxnId> out;
+  for (const auto& [t, d] : first_decision_) {
+    if (d == Decision::kCommit) out.push_back(t);
+  }
+  return out;
+}
+
+std::size_t History::aborted_count() const {
+  std::size_t n = 0;
+  for (const auto& [t, d] : first_decision_) {
+    if (d == Decision::kAbort) ++n;
+  }
+  return n;
+}
+
+std::vector<TxnId> History::conflicting_decisions() const {
+  std::set<TxnId> bad;
+  for (const auto& ev : events_) {
+    if (ev.kind != HistoryEvent::Kind::kDecide) continue;
+    auto it = first_decision_.find(ev.txn);
+    if (it != first_decision_.end() && it->second != ev.decision) bad.insert(ev.txn);
+  }
+  return {bad.begin(), bad.end()};
+}
+
+std::string History::to_string() const {
+  std::ostringstream os;
+  for (const auto& ev : events_) {
+    if (ev.kind == HistoryEvent::Kind::kCertify) {
+      os << "t=" << ev.time << " certify(txn" << ev.txn << ", " << ev.payload.to_string()
+         << ")\n";
+    } else {
+      os << "t=" << ev.time << " decide(txn" << ev.txn << ", "
+         << tcs::to_string(ev.decision) << ")\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace ratc::tcs

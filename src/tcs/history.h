@@ -1,0 +1,61 @@
+// TCS histories (paper Sec. 2): sequences of certify(t, l) and decide(t, d)
+// actions recorded at the client boundary, fed to the checkers.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "tcs/decision.h"
+#include "tcs/payload.h"
+
+namespace ratc::tcs {
+
+struct HistoryEvent {
+  enum class Kind { kCertify, kDecide } kind = Kind::kCertify;
+  Time time = 0;
+  TxnId txn = 0;
+  Payload payload;              // for kCertify
+  Decision decision = Decision::kAbort;  // for kDecide
+};
+
+class History {
+ public:
+  void record_certify(Time time, TxnId txn, Payload payload);
+
+  /// Records a decide action.  Duplicate decide events for the same
+  /// transaction are recorded too (they occur only in the deliberately
+  /// unsafe Figure 4a mode); `conflicting_decisions()` finds contradictory
+  /// ones.
+  void record_decide(Time time, TxnId txn, Decision d);
+
+  const std::vector<HistoryEvent>& events() const { return events_; }
+
+  bool certified(TxnId t) const { return payloads_.count(t) > 0; }
+  std::optional<Decision> decision_of(TxnId t) const;
+  const Payload* payload_of(TxnId t) const;
+
+  /// Every certify has a matching decide (paper: "complete" history).
+  bool complete() const;
+
+  std::vector<TxnId> all_txns() const;
+  std::vector<TxnId> committed_txns() const;
+  std::size_t committed_count() const { return committed_txns().size(); }
+  std::size_t aborted_count() const;
+
+  /// Transactions for which two decide events with different decisions were
+  /// externalized — a violation of the TCS spec (Invariant 4b at the client
+  /// boundary).
+  std::vector<TxnId> conflicting_decisions() const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<HistoryEvent> events_;
+  std::map<TxnId, Payload> payloads_;
+  std::map<TxnId, Decision> first_decision_;
+};
+
+}  // namespace ratc::tcs

@@ -1,0 +1,38 @@
+#include "tcs/payload.h"
+
+#include <set>
+#include <sstream>
+
+namespace ratc::tcs {
+
+bool Payload::well_formed() const {
+  std::set<ObjectId> read_objs;
+  for (const auto& r : reads) {
+    if (!read_objs.insert(r.object).second) return false;  // duplicate read entry
+    if (commit_version <= r.version && !writes.empty()) return false;  // Vc must exceed reads
+  }
+  std::set<ObjectId> write_objs;
+  for (const auto& w : writes) {
+    if (!write_objs.insert(w.object).second) return false;  // duplicate write entry
+    if (read_objs.count(w.object) == 0) return false;       // writes must be read first
+  }
+  return true;
+}
+
+std::string Payload::to_string() const {
+  std::ostringstream os;
+  os << "R{";
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    if (i) os << ",";
+    os << "x" << reads[i].object << "@v" << reads[i].version;
+  }
+  os << "} W{";
+  for (std::size_t i = 0; i < writes.size(); ++i) {
+    if (i) os << ",";
+    os << "x" << writes[i].object << "=" << writes[i].value;
+  }
+  os << "} Vc=" << commit_version;
+  return os.str();
+}
+
+}  // namespace ratc::tcs

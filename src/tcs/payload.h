@@ -1,0 +1,76 @@
+// Transaction payloads (paper Sec. 2): the result of a transaction's
+// optimistic execution submitted for certification.
+//
+// A payload is a triple <R, W, Vc>:
+//   * read set R: objects with the versions that were read (one per object),
+//   * write set W: objects with the values to be written (one per object),
+//   * commit version Vc: the version assigned to all writes, required to be
+//     higher than every version read.
+// The paper requires that every object written has also been read; the
+// store layer's executor guarantees it and `well_formed()` checks it.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ratc::tcs {
+
+struct ReadEntry {
+  ObjectId object = 0;
+  Version version = 0;
+  friend bool operator==(const ReadEntry&, const ReadEntry&) = default;
+};
+
+struct WriteEntry {
+  ObjectId object = 0;
+  Value value = 0;
+  friend bool operator==(const WriteEntry&, const WriteEntry&) = default;
+};
+
+struct Payload {
+  std::vector<ReadEntry> reads;
+  std::vector<WriteEntry> writes;
+  Version commit_version = 0;
+
+  /// The distinguished empty payload ε (paper Sec. 2).
+  bool is_empty() const { return reads.empty() && writes.empty(); }
+
+  /// Version at which `object` was read, if it was.
+  std::optional<Version> read_version(ObjectId object) const {
+    for (const auto& r : reads) {
+      if (r.object == object) return r.version;
+    }
+    return std::nullopt;
+  }
+
+  bool reads_object(ObjectId object) const { return read_version(object).has_value(); }
+
+  bool writes_object(ObjectId object) const {
+    return std::any_of(writes.begin(), writes.end(),
+                       [&](const WriteEntry& w) { return w.object == object; });
+  }
+
+  /// Paper Sec. 2 well-formedness: one version per object read, one value
+  /// per object written, writes ⊆ reads, Vc greater than every read version.
+  bool well_formed() const;
+
+  /// Approximate serialized size; drives the byte-count statistics of the
+  /// replication-cost experiment (E4).
+  std::size_t wire_size() const {
+    return 16 + reads.size() * 16 + writes.size() * 16;
+  }
+
+  std::string to_string() const;
+
+  friend bool operator==(const Payload&, const Payload&) = default;
+};
+
+/// Returns the empty payload ε.
+inline Payload empty_payload() { return Payload{}; }
+
+}  // namespace ratc::tcs

@@ -1,0 +1,54 @@
+// Mapping of objects to shards and payload projection l|s (paper Sec. 2).
+//
+// shards(t) in the paper is a function of the transaction id; in this
+// implementation the participant set is derived from the payload (the
+// shards storing the objects it accesses) and then carried inside protocol
+// messages, which is what lets `retry` work at any replica that has the
+// transaction prepared.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "common/types.h"
+#include "tcs/payload.h"
+
+namespace ratc::tcs {
+
+class ShardMap {
+ public:
+  explicit ShardMap(std::uint32_t num_shards) : num_shards_(num_shards) {}
+
+  std::uint32_t num_shards() const { return num_shards_; }
+
+  ShardId shard_of(ObjectId object) const {
+    return static_cast<ShardId>(object % num_shards_);
+  }
+
+  /// The projection l|s: the parts of the payload relevant to shard s.
+  /// For s ∉ shards(l) this is ε, as the paper requires.
+  Payload project(const Payload& l, ShardId s) const {
+    Payload out;
+    out.commit_version = l.commit_version;
+    for (const auto& r : l.reads) {
+      if (shard_of(r.object) == s) out.reads.push_back(r);
+    }
+    for (const auto& w : l.writes) {
+      if (shard_of(w.object) == s) out.writes.push_back(w);
+    }
+    return out;
+  }
+
+  /// shards(t): the sorted set of shards that must certify the payload.
+  std::vector<ShardId> shards_of(const Payload& l) const {
+    std::set<ShardId> s;
+    for (const auto& r : l.reads) s.insert(shard_of(r.object));
+    for (const auto& w : l.writes) s.insert(shard_of(w.object));
+    return {s.begin(), s.end()};
+  }
+
+ private:
+  std::uint32_t num_shards_;
+};
+
+}  // namespace ratc::tcs

@@ -1,0 +1,341 @@
+#include <gtest/gtest.h>
+
+#include "checker/conflict_graph.h"
+#include "checker/linearization.h"
+#include "checker/tcsll.h"
+#include "tcs/certifier.h"
+
+namespace ratc::checker {
+namespace {
+
+using tcs::Decision;
+using tcs::History;
+using tcs::Payload;
+using tcs::ReadEntry;
+using tcs::WriteEntry;
+using tcs::empty_payload;
+
+Payload make_payload(std::vector<ReadEntry> reads, std::vector<WriteEntry> writes,
+                     Version vc) {
+  Payload p;
+  p.reads = std::move(reads);
+  p.writes = std::move(writes);
+  p.commit_version = vc;
+  return p;
+}
+
+// --- Linearization checker -------------------------------------------------
+
+TEST(Linearization, EmptyHistoryOk) {
+  History h;
+  tcs::SerializabilityCertifier cert;
+  EXPECT_TRUE(check_linearization(h, cert).ok);
+}
+
+TEST(Linearization, SingleCommitOk) {
+  History h;
+  h.record_certify(1, 1, make_payload({{1, 0}}, {{1, 5}}, 1));
+  h.record_decide(2, 1, Decision::kCommit);
+  auto r = check_linearization(h, tcs::SerializabilityCertifier{});
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.order, (std::vector<TxnId>{1}));
+}
+
+TEST(Linearization, ConcurrentConflictBothCommitted_NotLinearizable) {
+  // Both read x@0 and wrote x: whichever goes first invalidates the other.
+  History h;
+  h.record_certify(1, 1, make_payload({{1, 0}}, {{1, 5}}, 1));
+  h.record_certify(1, 2, make_payload({{1, 0}}, {{1, 6}}, 2));
+  h.record_decide(2, 1, Decision::kCommit);
+  h.record_decide(2, 2, Decision::kCommit);
+  EXPECT_FALSE(check_linearization(h, tcs::SerializabilityCertifier{}).ok);
+}
+
+TEST(Linearization, ChainOfDependentCommitsOk) {
+  // t2 read the version t1 installed; t3 read the version t2 installed.
+  History h;
+  h.record_certify(1, 1, make_payload({{1, 0}}, {{1, 10}}, 1));
+  h.record_decide(2, 1, Decision::kCommit);
+  h.record_certify(3, 2, make_payload({{1, 1}}, {{1, 20}}, 2));
+  h.record_decide(4, 2, Decision::kCommit);
+  h.record_certify(5, 3, make_payload({{1, 2}}, {{1, 30}}, 3));
+  h.record_decide(6, 3, Decision::kCommit);
+  auto r = check_linearization(h, tcs::SerializabilityCertifier{});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.order, (std::vector<TxnId>{1, 2, 3}));
+}
+
+TEST(Linearization, RealTimeOrderConstrains) {
+  // t1 decided before t2 was certified, but t2's payload only commits if
+  // linearized BEFORE t1 — must fail.
+  History h;
+  h.record_certify(1, 1, make_payload({{1, 0}}, {{1, 5}}, 1));
+  h.record_decide(2, 1, Decision::kCommit);
+  h.record_certify(3, 2, make_payload({{1, 0}}, {}, 0));  // stale read of x@0
+  h.record_decide(4, 2, Decision::kCommit);
+  EXPECT_FALSE(check_linearization(h, tcs::SerializabilityCertifier{}).ok);
+}
+
+TEST(Linearization, ConcurrentCertifyAllowsEitherOrder) {
+  // Same payloads as above but t2 was certified before t1 decided, so the
+  // checker may order t2 first.
+  History h;
+  h.record_certify(1, 1, make_payload({{1, 0}}, {{1, 5}}, 1));
+  h.record_certify(1, 2, make_payload({{1, 0}}, {}, 0));
+  h.record_decide(2, 1, Decision::kCommit);
+  h.record_decide(2, 2, Decision::kCommit);
+  auto r = check_linearization(h, tcs::SerializabilityCertifier{});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.order, (std::vector<TxnId>{2, 1}));
+}
+
+TEST(Linearization, AbortedTransactionsIgnored) {
+  History h;
+  h.record_certify(1, 1, make_payload({{1, 0}}, {{1, 5}}, 1));
+  h.record_certify(1, 2, make_payload({{1, 0}}, {{1, 6}}, 2));
+  h.record_decide(2, 1, Decision::kCommit);
+  h.record_decide(2, 2, Decision::kAbort);  // the conflicting one aborted
+  EXPECT_TRUE(check_linearization(h, tcs::SerializabilityCertifier{}).ok);
+}
+
+// --- Conflict graph checker ------------------------------------------------
+
+TEST(ConflictGraph, SerialHistoryOk) {
+  History h;
+  h.record_certify(1, 1, make_payload({{1, 0}}, {{1, 10}}, 1));
+  h.record_decide(2, 1, Decision::kCommit);
+  h.record_certify(3, 2, make_payload({{1, 1}}, {{1, 20}}, 2));
+  h.record_decide(4, 2, Decision::kCommit);
+  auto r = check_conflict_graph(h);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(ConflictGraph, RwCycleDetected) {
+  // Classic write-skew-to-cycle under serializability requirements:
+  // t1 reads x@0 writes y; t2 reads y@0 writes x; both commit.
+  History h;
+  h.record_certify(1, 1, make_payload({{1, 0}, {2, 0}}, {{2, 5}}, 1));
+  h.record_certify(1, 2, make_payload({{1, 0}, {2, 0}}, {{1, 6}}, 1));
+  h.record_decide(2, 1, Decision::kCommit);
+  h.record_decide(2, 2, Decision::kCommit);
+  auto r = check_conflict_graph(h);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.cycle.size(), 2u);
+}
+
+TEST(ConflictGraph, DuplicateVersionInstallRejected) {
+  History h;
+  h.record_certify(1, 1, make_payload({{1, 0}}, {{1, 5}}, 1));
+  h.record_certify(1, 2, make_payload({{1, 0}}, {{1, 6}}, 1));  // same Vc=1 on obj 1
+  h.record_decide(2, 1, Decision::kCommit);
+  h.record_decide(2, 2, Decision::kCommit);
+  auto r = check_conflict_graph(h);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(ConflictGraph, RealTimeEdgeCreatesCycle) {
+  // t2 decided before t3 certified (rt edge t2->t3) but t3 reads the version
+  // t2 overwrote, creating rw edge t3->t2: cycle.
+  History h;
+  h.record_certify(1, 2, make_payload({{1, 0}}, {{1, 9}}, 1));
+  h.record_decide(2, 2, Decision::kCommit);
+  h.record_certify(3, 3, make_payload({{1, 0}}, {}, 0));
+  h.record_decide(4, 3, Decision::kCommit);
+  auto r = check_conflict_graph(h);
+  EXPECT_FALSE(r.ok);
+}
+
+// --- TCS-LL checker ----------------------------------------------------------
+
+class TcsLLFixture : public ::testing::Test {
+ protected:
+  TcsLLFixture() : shard_map_(2) {
+    input_.history = &history_;
+    input_.shard_map = &shard_map_;
+    input_.certifier = &certifier_;
+  }
+
+  ShardCertRecord& add_record(TxnId t, ShardId s, Slot pos, Decision vote,
+                              Payload pload) {
+    ShardCertRecord rec;
+    rec.txn = t;
+    rec.shard = s;
+    rec.epoch = 1;
+    rec.pos = pos;
+    rec.vote = vote;
+    rec.pload = std::move(pload);
+    auto [it, _] = input_.records.emplace(std::make_pair(t, s), std::move(rec));
+    return it->second;
+  }
+
+  History history_;
+  tcs::ShardMap shard_map_;
+  tcs::SerializabilityCertifier certifier_;
+  TcsLLInput input_;
+};
+
+TEST_F(TcsLLFixture, EmptyOk) {
+  auto r = check_tcsll(input_);
+  EXPECT_TRUE(r.ok) << r.summary();
+}
+
+TEST_F(TcsLLFixture, SingleShardCommitOk) {
+  // Objects 0 -> shard 0.
+  Payload l = make_payload({{0, 0}}, {{0, 5}}, 1);
+  history_.record_certify(1, 1, l);
+  history_.record_decide(5, 1, Decision::kCommit);
+  add_record(1, 0, 1, Decision::kCommit, shard_map_.project(l, 0));
+  input_.decided[1] = Decision::kCommit;
+  auto r = check_tcsll(input_);
+  EXPECT_TRUE(r.ok) << r.summary();
+}
+
+TEST_F(TcsLLFixture, Violation6_DecisionNotMeet) {
+  // Cross-shard txn on objects 0 (shard 0) and 1 (shard 1); one shard voted
+  // abort but decision says commit.
+  Payload l = make_payload({{0, 0}, {1, 0}}, {{0, 5}, {1, 5}}, 1);
+  history_.record_certify(1, 1, l);
+  history_.record_decide(5, 1, Decision::kCommit);
+  add_record(1, 0, 1, Decision::kCommit, shard_map_.project(l, 0));
+  add_record(1, 1, 1, Decision::kAbort, shard_map_.project(l, 1));
+  auto r = check_tcsll(input_);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.summary().find("(6)"), std::string::npos);
+}
+
+TEST_F(TcsLLFixture, Violation7_DuplicatePosition) {
+  Payload l1 = make_payload({{0, 0}}, {}, 0);
+  Payload l2 = make_payload({{2, 0}}, {}, 0);
+  history_.record_certify(1, 1, l1);
+  history_.record_certify(2, 2, l2);
+  history_.record_decide(5, 1, Decision::kCommit);
+  history_.record_decide(6, 2, Decision::kCommit);
+  add_record(1, 0, 1, Decision::kCommit, shard_map_.project(l1, 0));
+  add_record(2, 0, 1, Decision::kCommit, shard_map_.project(l2, 0));  // same pos
+  auto r = check_tcsll(input_);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.summary().find("(7)"), std::string::npos);
+}
+
+TEST_F(TcsLLFixture, Violation8_CommitWithWrongPayload) {
+  Payload l = make_payload({{0, 0}}, {{0, 5}}, 1);
+  history_.record_certify(1, 1, l);
+  history_.record_decide(5, 1, Decision::kCommit);
+  add_record(1, 0, 1, Decision::kCommit, empty_payload());  // must be l|s
+  auto r = check_tcsll(input_);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.summary().find("(8)"), std::string::npos);
+}
+
+TEST_F(TcsLLFixture, AbortWithEmptyPayloadAllowed) {
+  // The retry path prepares unknown transactions as aborted with ε.
+  Payload l = make_payload({{0, 0}}, {{0, 5}}, 1);
+  history_.record_certify(1, 1, l);
+  history_.record_decide(5, 1, Decision::kAbort);
+  add_record(1, 0, 1, Decision::kAbort, empty_payload());
+  auto r = check_tcsll(input_);
+  EXPECT_TRUE(r.ok) << r.summary();
+}
+
+TEST_F(TcsLLFixture, Violation9_UnjustifiedCommit) {
+  // t2 committed against a conflicting committed witness.
+  Payload l1 = make_payload({{0, 0}}, {{0, 5}}, 1);
+  Payload l2 = make_payload({{0, 0}}, {}, 0);  // reads what t1 overwrote
+  history_.record_certify(1, 1, l1);
+  history_.record_decide(2, 1, Decision::kCommit);
+  history_.record_certify(3, 2, l2);
+  history_.record_decide(4, 2, Decision::kCommit);
+  add_record(1, 0, 1, Decision::kCommit, shard_map_.project(l1, 0));
+  auto& rec2 = add_record(2, 0, 2, Decision::kCommit, shard_map_.project(l2, 0));
+  rec2.committed_against = {1};  // the vote claims it checked against t1
+  input_.decided[1] = Decision::kCommit;
+  input_.decided[2] = Decision::kCommit;
+  auto r = check_tcsll(input_);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.summary().find("(9)"), std::string::npos);
+}
+
+TEST_F(TcsLLFixture, Violation10_MissingCommittedWitness) {
+  // t1 committed at pos 1, t2's record claims an empty T set.
+  Payload l1 = make_payload({{0, 0}}, {{0, 5}}, 1);
+  Payload l2 = make_payload({{2, 0}}, {{2, 7}}, 1);
+  history_.record_certify(1, 1, l1);
+  history_.record_decide(2, 1, Decision::kCommit);
+  history_.record_certify(3, 2, l2);
+  history_.record_decide(4, 2, Decision::kCommit);
+  add_record(1, 0, 1, Decision::kCommit, shard_map_.project(l1, 0));
+  add_record(2, 0, 2, Decision::kCommit, shard_map_.project(l2, 0));
+  // committed_against left empty although t1 precedes and committed.
+  input_.decided[1] = Decision::kCommit;
+  input_.decided[2] = Decision::kCommit;
+  auto r = check_tcsll(input_);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.summary().find("(10)"), std::string::npos);
+}
+
+TEST_F(TcsLLFixture, CorrectWitnessSetsPass) {
+  Payload l1 = make_payload({{0, 0}}, {{0, 5}}, 1);
+  Payload l2 = make_payload({{2, 0}}, {{2, 7}}, 1);
+  history_.record_certify(1, 1, l1);
+  history_.record_decide(2, 1, Decision::kCommit);
+  history_.record_certify(3, 2, l2);
+  history_.record_decide(4, 2, Decision::kCommit);
+  add_record(1, 0, 1, Decision::kCommit, shard_map_.project(l1, 0));
+  auto& rec2 = add_record(2, 0, 2, Decision::kCommit, shard_map_.project(l2, 0));
+  rec2.committed_against = {1};
+  input_.decided[1] = Decision::kCommit;
+  input_.decided[2] = Decision::kCommit;
+  auto r = check_tcsll(input_);
+  EXPECT_TRUE(r.ok) << r.summary();
+}
+
+TEST_F(TcsLLFixture, PreparedWitnessAllowedAndChecked) {
+  Payload l1 = make_payload({{0, 0}}, {{0, 5}}, 1);
+  Payload l2 = make_payload({{2, 0}}, {{2, 7}}, 1);
+  history_.record_certify(1, 1, l1);
+  history_.record_certify(2, 2, l2);
+  history_.record_decide(3, 1, Decision::kCommit);
+  history_.record_decide(4, 2, Decision::kCommit);
+  add_record(1, 0, 1, Decision::kCommit, shard_map_.project(l1, 0));
+  auto& rec2 = add_record(2, 0, 2, Decision::kCommit, shard_map_.project(l2, 0));
+  rec2.prepared_against = {1};  // t1 was merely prepared when t2 was voted on
+  input_.decided[1] = Decision::kCommit;
+  input_.decided[2] = Decision::kCommit;
+  auto r = check_tcsll(input_);
+  EXPECT_TRUE(r.ok) << r.summary();
+}
+
+TEST_F(TcsLLFixture, LostPreparedWitnessSkipped) {
+  // Paper Sec. 3 "losing undecided transactions": t2's vote was computed
+  // against prepared t9, which was lost in a reconfiguration and has no
+  // record.  The history is still TCS-LL-correct.
+  Payload l2 = make_payload({{2, 0}}, {{2, 7}}, 1);
+  history_.record_certify(2, 2, l2);
+  history_.record_decide(4, 2, Decision::kCommit);
+  auto& rec2 = add_record(2, 0, 2, Decision::kCommit, shard_map_.project(l2, 0));
+  rec2.prepared_against = {9};  // lost: no record, never decided
+  input_.decided[2] = Decision::kCommit;
+  auto r = check_tcsll(input_);
+  EXPECT_TRUE(r.ok) << r.summary();
+}
+
+TEST_F(TcsLLFixture, Violation12_RealTimeOrderVsPositions) {
+  // t1 decided before t2 was certified, yet t2 sits earlier in the
+  // certification order of their common shard.
+  Payload l1 = make_payload({{0, 0}}, {}, 0);
+  Payload l2 = make_payload({{0, 0}}, {}, 0);
+  history_.record_certify(1, 1, l1);
+  history_.record_decide(2, 1, Decision::kCommit);
+  history_.record_certify(3, 2, l2);  // after t1's decide
+  history_.record_decide(4, 2, Decision::kCommit);
+  add_record(1, 0, 2, Decision::kCommit, shard_map_.project(l1, 0));
+  add_record(2, 0, 1, Decision::kCommit, shard_map_.project(l2, 0));
+  input_.decided[1] = Decision::kCommit;
+  input_.decided[2] = Decision::kCommit;
+  auto r = check_tcsll(input_);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.summary().find("(12)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ratc::checker

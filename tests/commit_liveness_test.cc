@@ -1,0 +1,139 @@
+// Liveness properties (paper Theorems 4.2-4.4): reconfiguration introduces
+// and activates new configurations, and certification makes progress, under
+// the stated conditions (Assumption 1: one non-faulty member per
+// configuration throughout its lifetime; no concurrent reconfigurations;
+// processes non-faulty for long enough).
+#include <gtest/gtest.h>
+
+#include "commit/cluster.h"
+
+namespace ratc::commit {
+namespace {
+
+using tcs::Decision;
+using tcs::Payload;
+
+Payload one_object(ObjectId o, Version v = 0) {
+  Payload p;
+  p.reads = {{o, v}};
+  p.writes = {{o, static_cast<Value>(o)}};
+  p.commit_version = v + 1;
+  return p;
+}
+
+// Theorem 4.2: a solo reconfigurer that stays up eventually *introduces* a
+// new configuration (stores it in the CS).
+TEST(Liveness, Theorem42_SoloReconfigurerIntroduces) {
+  Cluster cluster({.seed = 1, .num_shards = 1, .shard_size = 3});
+  cluster.crash(cluster.leader_of(0));
+  ASSERT_EQ(cluster.current_config(0).epoch, 1u);
+  cluster.reconfigure(0, cluster.replica(0, 1).id());
+  bool introduced = cluster.sim().run_until_pred(
+      [&] { return cluster.current_config(0).epoch == 2; });
+  EXPECT_TRUE(introduced);
+}
+
+// Theorem 4.3: an introduced configuration whose members stay non-faulty is
+// eventually *activated* (all members process NEW_STATE / NEW_CONFIG).
+TEST(Liveness, Theorem43_IntroducedConfigurationActivates) {
+  Cluster cluster({.seed = 2, .num_shards = 1, .shard_size = 3});
+  cluster.crash(cluster.leader_of(0));
+  cluster.reconfigure(0, cluster.replica(0, 1).id());
+  ASSERT_TRUE(cluster.await_active_epoch(0, 2));
+  configsvc::ShardConfig cfg = cluster.current_config(0);
+  for (ProcessId m : cfg.members) {
+    const Replica& r = cluster.replica_by_pid(m);
+    EXPECT_EQ(r.epoch(), 2u);
+    EXPECT_TRUE(r.initialized());
+    EXPECT_TRUE(r.status() == Status::kLeader || r.status() == Status::kFollower);
+  }
+}
+
+// Theorem 4.4: with every shard's configuration active, everyone aware of
+// it, and no failures or reconfigurations, every submitted transaction is
+// eventually decided.
+TEST(Liveness, Theorem44_CertificationTerminates) {
+  Cluster cluster({.seed = 3, .num_shards = 3, .shard_size = 2});
+  Client& client = cluster.add_client();
+  std::vector<TxnId> txns;
+  for (int i = 0; i < 40; ++i) {
+    TxnId t = cluster.next_txn_id();
+    txns.push_back(t);
+    client.certify_colocated(cluster.replica(static_cast<ShardId>(i % 3), 1), t,
+                             one_object(static_cast<ObjectId>(i)));
+  }
+  cluster.sim().run();
+  for (TxnId t : txns) {
+    EXPECT_TRUE(client.decided(t)) << "txn" << t << " undecided";
+  }
+  EXPECT_EQ(cluster.verify(), "");
+}
+
+// Theorem 4.4 applies per configuration: after a reconfiguration settles,
+// certification terminates again.
+TEST(Liveness, Theorem44_AfterReconfiguration) {
+  Cluster cluster({.seed = 4, .num_shards = 2, .shard_size = 2});
+  Client& client = cluster.add_client();
+  cluster.crash(cluster.leader_of(0));
+  cluster.reconfigure(0, cluster.replica(0, 1).id());
+  ASSERT_TRUE(cluster.await_active_epoch(0, 2));
+  std::vector<TxnId> txns;
+  for (int i = 0; i < 20; ++i) {
+    TxnId t = cluster.next_txn_id();
+    txns.push_back(t);
+    client.certify_colocated(cluster.replica(1, 1), t,
+                             one_object(static_cast<ObjectId>(2 * i)));
+  }
+  cluster.sim().run();
+  for (TxnId t : txns) EXPECT_TRUE(client.decided(t));
+  EXPECT_EQ(cluster.verify(), "");
+}
+
+// The reconfiguration of one shard does not disturb certification confined
+// to other shards (Sec. 3: "Reconfiguration is done only in the affected
+// shard, without disrupting others").
+TEST(Liveness, OtherShardsUndisturbedDuringReconfiguration) {
+  Cluster cluster({.seed = 5, .num_shards = 3, .shard_size = 2});
+  Client& client = cluster.add_client();
+  cluster.crash(cluster.leader_of(0));
+  cluster.reconfigure(0, cluster.replica(0, 1).id());
+  // Submit to shards 1 and 2 while shard 0 is mid-change.
+  std::vector<TxnId> txns;
+  for (int i = 0; i < 20; ++i) {
+    ShardId s = 1 + static_cast<ShardId>(i % 2);
+    TxnId t = cluster.next_txn_id();
+    txns.push_back(t);
+    client.certify_colocated(cluster.replica(s, 1), t,
+                             one_object(static_cast<ObjectId>(3 * i + s)));
+  }
+  cluster.sim().run();
+  for (TxnId t : txns) EXPECT_TRUE(client.decided(t));
+  EXPECT_EQ(cluster.verify(), "");
+}
+
+// Negative space of Assumption 1: if EVERY member of every epoch of a shard
+// dies, reconfiguration cannot find an initialized process and gives up
+// (data loss), without violating safety elsewhere.
+TEST(Liveness, Assumption1ViolationMeansNoProgressButNoUnsafety) {
+  Cluster cluster({.seed = 6, .num_shards = 2, .shard_size = 2});
+  Client& client = cluster.add_client();
+  cluster.crash(cluster.replica(0, 0).id());
+  cluster.crash(cluster.replica(0, 1).id());  // whole shard gone
+  ProcessId spare = cluster.spares(0)[0];
+  cluster.reconfigure(0, spare);
+  cluster.sim().run_until(2000);
+  // No new epoch could be introduced for shard 0; the reconfigurer stays
+  // stuck probing (the paper: "the reconfiguration procedure will get stuck
+  // if it cannot find an initialized process").
+  EXPECT_EQ(cluster.current_config(0).epoch, 1u);
+  EXPECT_TRUE(cluster.replica_by_pid(spare).is_probing());
+  // Shard 1 still works.
+  TxnId t = cluster.next_txn_id();
+  client.certify_colocated(cluster.replica(1, 1), t, one_object(1));
+  cluster.sim().run();
+  EXPECT_EQ(client.decision(t), Decision::kCommit);
+  EXPECT_EQ(cluster.verify(), "");
+}
+
+}  // namespace
+}  // namespace ratc::commit

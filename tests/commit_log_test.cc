@@ -1,0 +1,91 @@
+// Unit tests for the replica-side certification log (the paper's txn /
+// payload / vote / dec / phase arrays with holes).
+#include <gtest/gtest.h>
+
+#include "commit/log.h"
+
+namespace ratc::commit {
+namespace {
+
+using tcs::Decision;
+
+TEST(ReplicaLog, EmptyLog) {
+  ReplicaLog log;
+  EXPECT_EQ(log.max_filled(), 0u);
+  EXPECT_EQ(log.slot_of(1), kNoSlot);
+  EXPECT_EQ(log.find(1), nullptr);
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(ReplicaLog, AtGrowsAndFills) {
+  ReplicaLog log;
+  LogEntry& e = log.at(3);
+  e.txn = 42;
+  e.phase = Phase::kPrepared;
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.max_filled(), 3u);
+  EXPECT_EQ(log.slot_of(42), 3u);
+  // Slots 1 and 2 are holes.
+  EXPECT_FALSE(log.find(1)->filled());
+  EXPECT_FALSE(log.find(2)->filled());
+}
+
+TEST(ReplicaLog, MaxFilledSkipsTrailingHoles) {
+  ReplicaLog log;
+  log.at(1).phase = Phase::kPrepared;
+  log.at(1).txn = 1;
+  log.at(5);  // grows but stays a hole
+  EXPECT_EQ(log.size(), 5u);
+  EXPECT_EQ(log.max_filled(), 1u);
+}
+
+TEST(ReplicaLog, SlotOfIgnoresHoles) {
+  ReplicaLog log;
+  log.at(2).txn = 7;  // phase still kStart: not "filled"
+  EXPECT_EQ(log.slot_of(7), kNoSlot);
+  log.at(2).phase = Phase::kDecided;
+  EXPECT_EQ(log.slot_of(7), 2u);
+}
+
+TEST(ReplicaLog, FindOutOfRange) {
+  ReplicaLog log;
+  log.at(2).phase = Phase::kPrepared;
+  EXPECT_EQ(log.find(0), nullptr);   // slot 0 invalid
+  EXPECT_EQ(log.find(3), nullptr);   // beyond the end
+  EXPECT_NE(log.find(2), nullptr);
+}
+
+TEST(ReplicaLog, CopySemanticsForStateTransfer) {
+  // NEW_STATE copies the whole log; the copy must be independent.
+  ReplicaLog log;
+  log.at(1).txn = 1;
+  log.at(1).phase = Phase::kPrepared;
+  log.at(1).vote = Decision::kCommit;
+  ReplicaLog copy = log;
+  copy.at(1).vote = Decision::kAbort;
+  copy.at(2).txn = 2;
+  copy.at(2).phase = Phase::kPrepared;
+  EXPECT_EQ(log.find(1)->vote, Decision::kCommit);
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(copy.size(), 2u);
+}
+
+TEST(ReplicaLog, WireSizeGrowsWithPayloads) {
+  ReplicaLog small, big;
+  small.at(1).phase = Phase::kPrepared;
+  big.at(1).phase = Phase::kPrepared;
+  big.at(1).payload.reads = {{1, 0}, {2, 0}, {3, 0}};
+  big.at(2).phase = Phase::kPrepared;
+  EXPECT_GT(big.wire_size(), small.wire_size());
+}
+
+TEST(TxnMetaEquality, UsedByResendPaths) {
+  TxnMeta a{1, {0, 2}, 77};
+  TxnMeta b{1, {0, 2}, 77};
+  TxnMeta c{1, {0, 1}, 77};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace ratc::commit

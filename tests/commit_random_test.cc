@@ -1,0 +1,244 @@
+// Randomized property tests (experiment E12): under random workloads,
+// crashes, reconfigurations and coordinator recovery, every execution must
+// satisfy the Figure 3/5 invariants (checked online by the monitor) and the
+// TCS-LL constraints of Figure 6 (checked post-hoc), and histories must
+// stay linearizable.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "checker/linearization.h"
+#include "commit/cluster.h"
+#include "common/random.h"
+
+namespace ratc::commit {
+namespace {
+
+using tcs::Decision;
+using tcs::Payload;
+
+struct DriverConfig {
+  std::uint64_t seed = 1;
+  std::uint32_t num_shards = 3;
+  std::size_t shard_size = 2;
+  std::size_t spares_per_shard = 4;
+  int total_txns = 300;
+  /// Every `crash_every` transactions, crash one replica and reconfigure.
+  int crash_every = 60;
+  ObjectId object_universe = 24;
+  std::string isolation = "serializability";
+  /// Exponential link delays widen the space of explored schedules far
+  /// beyond the unit-delay lockstep.
+  bool exponential_delays = false;
+};
+
+/// Drives a cluster with a contended random workload and failure injection.
+class RandomDriver {
+ public:
+  explicit RandomDriver(const DriverConfig& cfg)
+      : cfg_(cfg),
+        cluster_({.seed = cfg.seed,
+                  .num_shards = cfg.num_shards,
+                  .shard_size = cfg.shard_size,
+                  .spares_per_shard = cfg.spares_per_shard,
+                  .isolation = cfg.isolation,
+                  .retry_timeout = cfg.exponential_delays ? Duration{400} : Duration{80},
+                  .exponential_delays = cfg.exponential_delays,
+                  .delay_mean = 4.0}),
+        rng_(cfg.seed ^ 0xabcdef) {
+    client_ = &cluster_.add_client();
+    client_->on_decision = [this](TxnId t, Decision d) {
+      if (d == Decision::kCommit) {
+        auto it = payloads_.find(t);
+        if (it != payloads_.end()) {
+          for (const auto& w : it->second.writes) {
+            versions_[w.object] = std::max(versions_[w.object],
+                                           it->second.commit_version);
+          }
+        }
+      }
+    };
+  }
+
+  void run() {
+    int since_crash = 0;
+    for (int i = 0; i < cfg_.total_txns; ++i) {
+      submit_one();
+      // Let the system breathe a random number of ticks so submissions
+      // overlap in interesting ways.
+      cluster_.sim().run_until(cluster_.sim().now() + rng_.range(0, 6));
+      if (++since_crash >= cfg_.crash_every) {
+        since_crash = 0;
+        inject_failure();
+      }
+    }
+    // Drain: bounded because retry timers re-arm forever.
+    cluster_.sim().run_until(cluster_.sim().now() + 5000);
+  }
+
+  void verify() {
+    std::string problems = cluster_.verify();
+    EXPECT_EQ(problems, "") << "seed " << cfg_.seed;
+    // Most transactions must decide (some may be lost with their
+    // coordinators, which the paper allows).
+    EXPECT_GE(client_->decided_count() * 10, payloads_.size() * 9)
+        << "seed " << cfg_.seed << ": only " << client_->decided_count() << " of "
+        << payloads_.size() << " decided";
+    std::vector<TxnId> committed = cluster_.history().committed_txns();
+    if (committed.size() <= 25) {
+      auto lin = checker::check_linearization(cluster_.history(), cluster_.certifier());
+      EXPECT_TRUE(lin.ok) << lin.error;
+    }
+  }
+
+  Cluster& cluster() { return cluster_; }
+  std::size_t submitted() const { return payloads_.size(); }
+  std::size_t decided() const { return client_->decided_count(); }
+
+ private:
+  void submit_one() {
+    Payload p;
+    std::uint64_t nobjs = 1 + rng_.below(3);
+    Version maxv = 0;
+    for (std::uint64_t j = 0; j < nobjs; ++j) {
+      ObjectId obj = rng_.below(cfg_.object_universe);
+      if (p.reads_object(obj)) continue;
+      Version v = versions_.count(obj) ? versions_[obj] : 0;
+      p.reads.push_back({obj, v});
+      maxv = std::max(maxv, v);
+    }
+    for (const auto& r : p.reads) {
+      if (rng_.chance(0.6)) {
+        p.writes.push_back({r.object, static_cast<Value>(rng_.below(1000))});
+      }
+    }
+    p.commit_version = maxv + 1;
+
+    Replica* coord = pick_alive_coordinator();
+    if (coord == nullptr) return;
+    TxnId t = cluster_.next_txn_id();
+    payloads_[t] = p;
+    client_->certify_colocated(*coord, t, p);
+  }
+
+  Replica* pick_alive_coordinator() {
+    for (int attempts = 0; attempts < 20; ++attempts) {
+      ShardId s = static_cast<ShardId>(rng_.below(cfg_.num_shards));
+      configsvc::ShardConfig cfg = cluster_.current_config(s);
+      if (cfg.members.empty()) continue;
+      ProcessId pid = cfg.members[rng_.below(cfg.members.size())];
+      if (cluster_.sim().crashed(pid)) continue;
+      Replica& r = cluster_.replica_by_pid(pid);
+      // Must have a current view of its own shard to coordinate.
+      if (r.epoch() != cfg.epoch) continue;
+      return &r;
+    }
+    return nullptr;
+  }
+
+  void inject_failure() {
+    ShardId s = static_cast<ShardId>(rng_.below(cfg_.num_shards));
+    configsvc::ShardConfig cfg = cluster_.current_config(s);
+    // Keep at least one live member so Assumption 1 holds.
+    std::vector<ProcessId> alive;
+    for (ProcessId m : cfg.members) {
+      if (!cluster_.sim().crashed(m)) alive.push_back(m);
+    }
+    if (alive.size() < cfg.members.size() || alive.size() <= 1) return;
+    ProcessId victim = alive[rng_.below(alive.size())];
+    cluster_.crash(victim);
+    ProcessId survivor = kNoProcess;
+    for (ProcessId m : alive) {
+      if (m != victim) survivor = m;
+    }
+    cluster_.reconfigure(s, survivor);
+    cluster_.await_active_epoch(s, cfg.epoch + 1, 500000);
+  }
+
+  DriverConfig cfg_;
+  Cluster cluster_;
+  Rng rng_;
+  Client* client_ = nullptr;
+  std::map<TxnId, Payload> payloads_;
+  std::map<ObjectId, Version> versions_;
+};
+
+class CommitRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CommitRandom, FailureFreeWorkloadIsCorrect) {
+  DriverConfig cfg;
+  cfg.seed = GetParam();
+  cfg.total_txns = 250;
+  cfg.crash_every = 1 << 30;  // no failures
+  RandomDriver driver(cfg);
+  driver.run();
+  driver.verify();
+  // Without failures every transaction decides.
+  EXPECT_EQ(driver.decided(), driver.submitted());
+}
+
+TEST_P(CommitRandom, CrashyWorkloadIsCorrect) {
+  DriverConfig cfg;
+  cfg.seed = GetParam() * 77 + 5;
+  cfg.total_txns = 260;
+  cfg.crash_every = 55;
+  RandomDriver driver(cfg);
+  driver.run();
+  driver.verify();
+}
+
+TEST_P(CommitRandom, ExponentialDelaysWithCrashesAreCorrect) {
+  DriverConfig cfg;
+  cfg.seed = GetParam() * 101 + 9;
+  cfg.total_txns = 200;
+  cfg.crash_every = 80;
+  cfg.exponential_delays = true;
+  RandomDriver driver(cfg);
+  driver.run();
+  driver.verify();
+}
+
+TEST_P(CommitRandom, SnapshotIsolationWorkloadIsCorrect) {
+  DriverConfig cfg;
+  cfg.seed = GetParam() * 31 + 1;
+  cfg.total_txns = 200;
+  cfg.crash_every = 70;
+  cfg.isolation = "snapshot-isolation";
+  RandomDriver driver(cfg);
+  driver.run();
+  driver.verify();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CommitRandom, ::testing::Values(1, 2, 3, 4, 5, 6),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+TEST(CommitRandomBig, LargeContendedRun) {
+  DriverConfig cfg;
+  cfg.seed = 424242;
+  cfg.total_txns = 2000;
+  cfg.crash_every = 400;
+  cfg.num_shards = 4;
+  cfg.object_universe = 40;
+  RandomDriver driver(cfg);
+  driver.run();
+  driver.verify();
+}
+
+TEST(CommitRandomBig, SingleMemberShardsUnderChurn) {
+  // f = 0: reconfiguration replaces the only replica wholesale.
+  DriverConfig cfg;
+  cfg.seed = 77;
+  cfg.num_shards = 2;
+  cfg.shard_size = 1;
+  cfg.total_txns = 150;
+  cfg.crash_every = 1 << 30;  // crashing the only member loses the shard
+  RandomDriver driver(cfg);
+  driver.run();
+  driver.verify();
+}
+
+}  // namespace
+}  // namespace ratc::commit

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fd/failure_detector.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace ratc::fd {
+namespace {
+
+/// Monitored process: just answers pings.
+class Target : public sim::Process {
+ public:
+  Target(sim::Simulator& sim, sim::Network& net, ProcessId id)
+      : Process(sim, id, "target"), responder_(net, id) {}
+  void on_message(ProcessId from, const sim::AnyMessage& msg) override {
+    responder_.handle(from, msg);
+  }
+
+ private:
+  Responder responder_;
+};
+
+/// Monitoring process.
+class Watcher : public sim::Process {
+ public:
+  Watcher(sim::Simulator& sim, sim::Network& net, ProcessId id,
+          PingMonitor::Options opts = {})
+      : Process(sim, id, "watcher"), monitor(sim, net, id, opts) {
+    monitor.on_suspect = [this](ProcessId p) { suspected.push_back(p); };
+  }
+  void on_message(ProcessId from, const sim::AnyMessage& msg) override {
+    monitor.handle(from, msg);
+  }
+
+  PingMonitor monitor;
+  std::vector<ProcessId> suspected;
+};
+
+TEST(FailureDetector, NoSuspicionWhileAlive) {
+  sim::Simulator sim(1);
+  sim::Network net(sim);
+  Target t(sim, net, 1);
+  Watcher w(sim, net, 2);
+  sim.add_process(&t);
+  sim.add_process(&w);
+  w.monitor.watch(t.id());
+  w.monitor.start();
+  sim.run_until(1000);
+  EXPECT_TRUE(w.suspected.empty());
+  EXPECT_FALSE(w.monitor.suspects(t.id()));
+}
+
+TEST(FailureDetector, SuspectsCrashedPeerOnce) {
+  sim::Simulator sim(2);
+  sim::Network net(sim);
+  Target t(sim, net, 1);
+  Watcher w(sim, net, 2);
+  sim.add_process(&t);
+  sim.add_process(&w);
+  w.monitor.watch(t.id());
+  w.monitor.start();
+  sim.run_until(100);
+  EXPECT_TRUE(w.suspected.empty());
+  sim.crash(t.id());
+  sim.run_until(400);
+  ASSERT_EQ(w.suspected.size(), 1u);
+  EXPECT_EQ(w.suspected[0], t.id());
+  EXPECT_TRUE(w.monitor.suspects(t.id()));
+}
+
+TEST(FailureDetector, DetectionLatencyBoundedByTimeout) {
+  sim::Simulator sim(3);
+  sim::Network net(sim);
+  Target t(sim, net, 1);
+  Watcher w(sim, net, 2, {.ping_every = 10, .suspect_after = 30});
+  sim.add_process(&t);
+  sim.add_process(&w);
+  w.monitor.watch(t.id());
+  w.monitor.start();
+  sim.run_until(50);
+  sim.crash(t.id());
+  // Must be suspected within timeout + ping period + slack.
+  bool suspected = sim.run_until_pred([&] { return !w.suspected.empty(); });
+  ASSERT_TRUE(suspected || sim.run_until(95) > 0 || !w.suspected.empty());
+  sim.run_until(100);
+  ASSERT_FALSE(w.suspected.empty());
+  EXPECT_LE(sim.now(), 100u);
+}
+
+TEST(FailureDetector, WatchesMultiplePeers) {
+  sim::Simulator sim(4);
+  sim::Network net(sim);
+  Target a(sim, net, 1), b(sim, net, 2), c(sim, net, 3);
+  Watcher w(sim, net, 9);
+  for (auto* t : {&a, &b, &c}) sim.add_process(t);
+  sim.add_process(&w);
+  for (auto* t : {&a, &b, &c}) w.monitor.watch(t->id());
+  w.monitor.start();
+  sim.run_until(100);
+  sim.crash(b.id());
+  sim.run_until(400);
+  ASSERT_EQ(w.suspected.size(), 1u);
+  EXPECT_EQ(w.suspected[0], b.id());
+}
+
+TEST(FailureDetector, UnwatchStopsSuspicion) {
+  sim::Simulator sim(5);
+  sim::Network net(sim);
+  Target t(sim, net, 1);
+  Watcher w(sim, net, 2);
+  sim.add_process(&t);
+  sim.add_process(&w);
+  w.monitor.watch(t.id());
+  w.monitor.start();
+  sim.run_until(50);
+  w.monitor.unwatch(t.id());
+  sim.crash(t.id());
+  sim.run_until(500);
+  EXPECT_TRUE(w.suspected.empty());
+}
+
+}  // namespace
+}  // namespace ratc::fd

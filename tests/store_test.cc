@@ -1,0 +1,205 @@
+// Versioned store, executor, workload generators, and the end-to-end
+// pipeline: store -> optimistic execution -> TCS -> committed writes back,
+// with conflict-graph serializability as the oracle.
+#include <gtest/gtest.h>
+
+#include "checker/conflict_graph.h"
+#include "checker/linearization.h"
+#include "store/frontends.h"
+#include "store/runner.h"
+#include "store/workload.h"
+
+namespace ratc::store {
+namespace {
+
+using tcs::Decision;
+
+TEST(VersionedStore, ReadNeverWrittenDefaults) {
+  VersionedStore db;
+  EXPECT_EQ(db.read(1).version, 0u);
+  EXPECT_EQ(db.read(1).value, 0);
+}
+
+TEST(VersionedStore, ApplyInstallsVersions) {
+  VersionedStore db;
+  tcs::Payload p;
+  p.writes = {{1, 42}};
+  p.commit_version = 3;
+  db.apply(p);
+  EXPECT_EQ(db.read(1).value, 42);
+  EXPECT_EQ(db.read(1).version, 3u);
+}
+
+TEST(VersionedStore, StaleApplyIgnored) {
+  VersionedStore db;
+  tcs::Payload newer;
+  newer.writes = {{1, 42}};
+  newer.commit_version = 5;
+  db.apply(newer);
+  tcs::Payload older;
+  older.writes = {{1, 7}};
+  older.commit_version = 3;
+  db.apply(older);
+  EXPECT_EQ(db.read(1).value, 42);
+  EXPECT_EQ(db.read(1).version, 5u);
+}
+
+TEST(Executor, ProducesWellFormedPayloads) {
+  VersionedStore db;
+  tcs::Payload init;
+  init.writes = {{1, 10}, {2, 20}};
+  init.commit_version = 1;
+  db.apply(init);
+
+  TransactionExecutor exec(db);
+  EXPECT_EQ(exec.read(1), 10);
+  exec.write(2, 99);
+  exec.write(3, 7);  // auto-reads first
+  tcs::Payload p = exec.finish();
+  EXPECT_TRUE(p.well_formed());
+  EXPECT_EQ(p.reads.size(), 3u);
+  EXPECT_EQ(p.writes.size(), 2u);
+  EXPECT_EQ(p.commit_version, 2u);  // above version 1 read
+}
+
+TEST(Executor, ReadYourWrites) {
+  VersionedStore db;
+  TransactionExecutor exec(db);
+  exec.write(5, 123);
+  EXPECT_EQ(exec.read(5), 123);
+}
+
+TEST(Executor, ReadOnlyTransactionHasZeroCommitVersion) {
+  VersionedStore db;
+  TransactionExecutor exec(db);
+  exec.read(1);
+  tcs::Payload p = exec.finish();
+  EXPECT_TRUE(p.writes.empty());
+  EXPECT_EQ(p.commit_version, 0u);
+  EXPECT_TRUE(p.well_formed());
+}
+
+TEST(Workload, GeneratesWellFormedPayloads) {
+  VersionedStore db;
+  WorkloadGenerator gen({.objects = 50, .zipf_theta = 0.9}, 7);
+  for (int i = 0; i < 500; ++i) {
+    tcs::Payload p = gen.next(db);
+    EXPECT_TRUE(p.well_formed()) << p.to_string();
+    if (p.well_formed() && !p.writes.empty()) db.apply(p);
+  }
+}
+
+TEST(Bank, TransfersPreserveTotalWhenAppliedSequentially) {
+  VersionedStore db;
+  BankWorkload bank(10, 100, 3);
+  db.apply(bank.seed_payload());
+  ASSERT_EQ(bank.total_balance(db), bank.expected_total());
+  for (int i = 0; i < 200; ++i) {
+    db.apply(bank.next_transfer(db));
+    ASSERT_EQ(bank.total_balance(db), bank.expected_total()) << "after transfer " << i;
+  }
+}
+
+// --- end-to-end through the three TCS implementations -------------------------
+
+TEST(EndToEnd, CommitProtocolSerializable) {
+  commit::Cluster cluster({.seed = 11, .num_shards = 3, .shard_size = 2});
+  CommitFrontend frontend(cluster);
+  VersionedStore db;
+  WorkloadGenerator gen({.objects = 30, .zipf_theta = 0.8, .ops_per_txn = 3}, 5);
+  WorkloadRunner runner(cluster.sim(), frontend, db,
+                        [&](const VersionedStore& d) { return gen.next(d); });
+  RunnerStats stats = runner.run(300);
+  EXPECT_EQ(stats.committed + stats.aborted, 300u);
+  EXPECT_GT(stats.committed, 50u);  // heavily contended zipfian mix
+  EXPECT_EQ(cluster.verify(), "");
+  auto cg = checker::check_conflict_graph(cluster.history());
+  EXPECT_TRUE(cg.ok) << cg.error;
+}
+
+TEST(EndToEnd, RdmaProtocolSerializable) {
+  rdma::Cluster cluster({.seed = 12, .num_shards = 3, .shard_size = 2});
+  RdmaFrontend frontend(cluster);
+  VersionedStore db;
+  WorkloadGenerator gen({.objects = 30, .zipf_theta = 0.8, .ops_per_txn = 3}, 6);
+  WorkloadRunner runner(cluster.sim(), frontend, db,
+                        [&](const VersionedStore& d) { return gen.next(d); });
+  RunnerStats stats = runner.run(300);
+  EXPECT_EQ(stats.committed + stats.aborted, 300u);
+  EXPECT_GT(stats.committed, 40u);
+  EXPECT_EQ(cluster.verify(), "");
+  auto cg = checker::check_conflict_graph(cluster.history());
+  EXPECT_TRUE(cg.ok) << cg.error;
+}
+
+TEST(EndToEnd, BaselineSerializable) {
+  baseline::BaselineCluster cluster({.seed = 13, .num_shards = 3, .shard_size = 3});
+  BaselineFrontend frontend(cluster);
+  VersionedStore db;
+  WorkloadGenerator gen({.objects = 30, .zipf_theta = 0.8, .ops_per_txn = 3}, 7);
+  WorkloadRunner runner(cluster.sim(), frontend, db,
+                        [&](const VersionedStore& d) { return gen.next(d); });
+  RunnerStats stats = runner.run(300);
+  EXPECT_EQ(stats.committed + stats.aborted, 300u);
+  EXPECT_GT(stats.committed, 50u);
+  auto cg = checker::check_conflict_graph(cluster.history());
+  EXPECT_TRUE(cg.ok) << cg.error;
+}
+
+TEST(EndToEnd, BankTransfersConserveMoneyAcrossShards) {
+  commit::Cluster cluster({.seed = 14, .num_shards = 4, .shard_size = 2});
+  CommitFrontend frontend(cluster);
+  VersionedStore db;
+  BankWorkload bank(20, 1000, 9);
+  db.apply(bank.seed_payload());
+  WorkloadRunner runner(cluster.sim(), frontend, db,
+                        [&](const VersionedStore& d) { return bank.next_transfer(d); });
+  RunnerStats stats = runner.run(400);
+  EXPECT_EQ(stats.committed + stats.aborted, 400u);
+  EXPECT_EQ(bank.total_balance(db), bank.expected_total());
+  EXPECT_EQ(cluster.verify(), "");
+}
+
+TEST(EndToEnd, AbortRateGrowsWithContention) {
+  auto abort_rate_for = [](double theta, std::uint64_t objects) {
+    commit::Cluster cluster({.seed = 15, .num_shards = 2, .shard_size = 2});
+    CommitFrontend frontend(cluster);
+    VersionedStore db;
+    WorkloadGenerator gen(
+        {.objects = objects, .zipf_theta = theta, .ops_per_txn = 4,
+         .write_fraction = 0.7},
+        21);
+    WorkloadRunner runner(cluster.sim(), frontend, db,
+                          [&](const VersionedStore& d) { return gen.next(d); });
+    return runner.run(300).abort_rate();
+  };
+  double low = abort_rate_for(0.0, 2000);
+  double high = abort_rate_for(0.99, 20);
+  EXPECT_LT(low, high);
+  EXPECT_GT(high, 0.05);
+}
+
+TEST(EndToEnd, SurvivesReconfigurationMidWorkload) {
+  commit::Cluster cluster(
+      {.seed = 16, .num_shards = 2, .shard_size = 2, .retry_timeout = 100});
+  CommitFrontend frontend(cluster);
+  VersionedStore db;
+  WorkloadGenerator gen({.objects = 40, .ops_per_txn = 3}, 11);
+  WorkloadRunner runner(cluster.sim(), frontend, db,
+                        [&](const VersionedStore& d) { return gen.next(d); });
+  RunnerStats first = runner.run(100);
+  EXPECT_EQ(first.committed + first.aborted, 100u);
+
+  cluster.crash_leader(0);
+  cluster.reconfigure(0, cluster.replica(0, 1).id());
+  ASSERT_TRUE(cluster.await_active_epoch(0, 2));
+
+  RunnerStats second = runner.run(100);
+  EXPECT_GE(second.committed + second.aborted, 195u);  // window may carry over
+  EXPECT_EQ(cluster.verify(), "");
+  auto cg = checker::check_conflict_graph(cluster.history());
+  EXPECT_TRUE(cg.ok) << cg.error;
+}
+
+}  // namespace
+}  // namespace ratc::store

@@ -1,0 +1,272 @@
+// Unit and property tests for the certification functions, including the
+// paper's requirements: distributivity (1), local/global matching (3), and
+// the f_s/g_s relationships (4) and (5).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "tcs/certifier.h"
+#include "tcs/shard_map.h"
+
+namespace ratc::tcs {
+namespace {
+
+Payload make_payload(std::vector<ReadEntry> reads, std::vector<WriteEntry> writes,
+                     Version vc) {
+  Payload p;
+  p.reads = std::move(reads);
+  p.writes = std::move(writes);
+  p.commit_version = vc;
+  return p;
+}
+
+// --- Serializability: directed cases -------------------------------------
+
+TEST(Serializability, CommitWhenNoConflict) {
+  SerializabilityCertifier c;
+  Payload committed = make_payload({{1, 0}}, {{1, 5}}, 1);
+  Payload l = make_payload({{2, 0}}, {{2, 9}}, 1);
+  EXPECT_EQ(c.against_committed(committed, l), Decision::kCommit);
+}
+
+TEST(Serializability, AbortWhenReadOverwritten) {
+  SerializabilityCertifier c;
+  // l read object 1 at version 0; a committed txn wrote it at version 1.
+  Payload committed = make_payload({{1, 0}}, {{1, 5}}, 1);
+  Payload l = make_payload({{1, 0}}, {}, 0);
+  EXPECT_EQ(c.against_committed(committed, l), Decision::kAbort);
+}
+
+TEST(Serializability, CommitWhenReadSawTheWrite) {
+  SerializabilityCertifier c;
+  // l read version 1, which is exactly what the committed txn installed.
+  Payload committed = make_payload({{1, 0}}, {{1, 5}}, 1);
+  Payload l = make_payload({{1, 1}}, {}, 0);
+  EXPECT_EQ(c.against_committed(committed, l), Decision::kCommit);
+}
+
+TEST(Serializability, PreparedWriteBlocksReader) {
+  SerializabilityCertifier c;
+  Payload prepared = make_payload({{1, 0}}, {{1, 5}}, 1);
+  Payload l = make_payload({{1, 0}}, {}, 0);
+  EXPECT_EQ(c.against_prepared(prepared, l), Decision::kAbort);
+}
+
+TEST(Serializability, PreparedReadBlocksWriter) {
+  SerializabilityCertifier c;
+  Payload prepared = make_payload({{1, 0}}, {}, 0);
+  Payload l = make_payload({{1, 0}}, {{1, 3}}, 1);
+  EXPECT_EQ(c.against_prepared(prepared, l), Decision::kAbort);
+}
+
+TEST(Serializability, PreparedDisjointCommits) {
+  SerializabilityCertifier c;
+  Payload prepared = make_payload({{1, 0}}, {{1, 5}}, 1);
+  Payload l = make_payload({{2, 0}}, {{2, 3}}, 1);
+  EXPECT_EQ(c.against_prepared(prepared, l), Decision::kCommit);
+}
+
+TEST(Serializability, EmptyPayloadAlwaysCommits) {
+  SerializabilityCertifier c;
+  Payload committed = make_payload({{1, 0}}, {{1, 5}}, 1);
+  EXPECT_EQ(c.against_committed(committed, empty_payload()), Decision::kCommit);
+  EXPECT_EQ(c.against_prepared(committed, empty_payload()), Decision::kCommit);
+}
+
+// --- Snapshot isolation: directed cases ----------------------------------
+
+TEST(SnapshotIsolation, ReadWriteConflictAllowed) {
+  SnapshotIsolationCertifier c;
+  // Write skew shape: l read an object the committed txn wrote, but writes
+  // elsewhere -> SI commits where serializability aborts.
+  Payload committed = make_payload({{1, 0}}, {{1, 5}}, 1);
+  Payload l = make_payload({{1, 0}, {2, 0}}, {{2, 9}}, 1);
+  EXPECT_EQ(c.against_committed(committed, l), Decision::kCommit);
+  SerializabilityCertifier ser;
+  EXPECT_EQ(ser.against_committed(committed, l), Decision::kAbort);
+}
+
+TEST(SnapshotIsolation, FirstCommitterWinsOnWriteWrite) {
+  SnapshotIsolationCertifier c;
+  Payload committed = make_payload({{1, 0}}, {{1, 5}}, 1);
+  Payload l = make_payload({{1, 0}}, {{1, 7}}, 1);  // wrote 1 from snapshot v0
+  EXPECT_EQ(c.against_committed(committed, l), Decision::kAbort);
+}
+
+TEST(SnapshotIsolation, SequentialWritersCommit) {
+  SnapshotIsolationCertifier c;
+  Payload committed = make_payload({{1, 0}}, {{1, 5}}, 1);
+  Payload l = make_payload({{1, 1}}, {{1, 7}}, 2);  // snapshot saw version 1
+  EXPECT_EQ(c.against_committed(committed, l), Decision::kCommit);
+}
+
+TEST(SnapshotIsolation, PreparedWriteWriteBlocks) {
+  SnapshotIsolationCertifier c;
+  Payload prepared = make_payload({{1, 0}}, {{1, 5}}, 1);
+  Payload l = make_payload({{1, 0}}, {{1, 7}}, 1);
+  EXPECT_EQ(c.against_prepared(prepared, l), Decision::kAbort);
+}
+
+TEST(SnapshotIsolation, PreparedReadOnlyDoesNotBlock) {
+  SnapshotIsolationCertifier c;
+  Payload prepared = make_payload({{1, 0}}, {}, 0);
+  Payload l = make_payload({{1, 0}}, {{1, 7}}, 1);
+  EXPECT_EQ(c.against_prepared(prepared, l), Decision::kCommit);
+}
+
+TEST(MakeCertifier, ByName) {
+  EXPECT_STREQ(make_certifier("serializability")->name(), "serializability");
+  EXPECT_STREQ(make_certifier("snapshot-isolation")->name(), "snapshot-isolation");
+  EXPECT_THROW(make_certifier("nope"), std::invalid_argument);
+}
+
+// --- Set folding (distributivity by construction) -------------------------
+
+TEST(CertifierSets, MeetOverSets) {
+  SerializabilityCertifier c;
+  Payload a = make_payload({{1, 0}}, {{1, 5}}, 1);
+  Payload b = make_payload({{2, 0}}, {{2, 5}}, 1);
+  Payload l = make_payload({{1, 0}}, {}, 0);
+  std::vector<Payload> both{a, b};
+  std::vector<Payload> only_b{b};
+  EXPECT_EQ(c.committed_set(both, l), Decision::kAbort);
+  EXPECT_EQ(c.committed_set(only_b, l), Decision::kCommit);
+  EXPECT_EQ(c.committed_set(std::vector<Payload>{}, l), Decision::kCommit);
+}
+
+TEST(CertifierSets, VoteCombinesBothChecks) {
+  SerializabilityCertifier c;
+  Payload committed = make_payload({{1, 0}}, {{1, 5}}, 1);
+  Payload prepared = make_payload({{2, 0}}, {{2, 5}}, 1);
+  Payload ok = make_payload({{3, 0}}, {{3, 5}}, 1);
+  std::vector<Payload> L1{committed}, L2{prepared};
+  EXPECT_EQ(c.vote(L1, L2, ok), Decision::kCommit);
+  Payload reads1 = make_payload({{1, 0}}, {}, 0);
+  EXPECT_EQ(c.vote(L1, L2, reads1), Decision::kAbort);
+  Payload reads2 = make_payload({{2, 0}}, {}, 0);
+  EXPECT_EQ(c.vote(L1, L2, reads2), Decision::kAbort);
+}
+
+// --- Property tests over random payloads ---------------------------------
+
+class CertifierProperties : public ::testing::TestWithParam<
+                                std::tuple<std::string, std::uint64_t>> {
+ protected:
+  void SetUp() override {
+    cert_ = make_certifier(std::get<0>(GetParam()));
+    rng_ = std::make_unique<Rng>(std::get<1>(GetParam()));
+  }
+
+  /// Random well-formed payload over a small object universe (high conflict
+  /// probability).
+  Payload random_payload() {
+    Payload p;
+    std::uint64_t nreads = 1 + rng_->below(4);
+    Version maxv = 0;
+    for (std::uint64_t i = 0; i < nreads; ++i) {
+      ObjectId obj = rng_->below(6);
+      if (p.reads_object(obj)) continue;
+      Version v = rng_->below(5);
+      p.reads.push_back({obj, v});
+      maxv = std::max(maxv, v);
+    }
+    for (const auto& r : p.reads) {
+      if (rng_->chance(0.5)) {
+        p.writes.push_back({r.object, static_cast<Value>(rng_->below(100))});
+      }
+    }
+    p.commit_version = maxv + 1 + rng_->below(3);
+    return p;
+  }
+
+  std::unique_ptr<Certifier> cert_;
+  std::unique_ptr<Rng> rng_;
+};
+
+TEST_P(CertifierProperties, PayloadGeneratorYieldsWellFormed) {
+  for (int i = 0; i < 500; ++i) EXPECT_TRUE(random_payload().well_formed());
+}
+
+// Requirement (4): g_s(L, l) = commit ⟹ f_s(L, l) = commit.
+TEST_P(CertifierProperties, PreparedCheckNoWeakerThanCommitted) {
+  for (int i = 0; i < 2000; ++i) {
+    Payload other = random_payload();
+    Payload l = random_payload();
+    if (cert_->against_prepared(other, l) == Decision::kCommit) {
+      EXPECT_EQ(cert_->against_committed(other, l), Decision::kCommit)
+          << "other=" << other.to_string() << " l=" << l.to_string();
+    }
+  }
+}
+
+// Requirement (5): g_s({l}, l') = commit ⟹ f_s({l'}, l) = commit.
+TEST_P(CertifierProperties, PreparedCommutativity) {
+  for (int i = 0; i < 2000; ++i) {
+    Payload l = random_payload();
+    Payload lp = random_payload();
+    if (cert_->against_prepared(l, lp) == Decision::kCommit) {
+      EXPECT_EQ(cert_->against_committed(lp, l), Decision::kCommit)
+          << "l=" << l.to_string() << " l'=" << lp.to_string();
+    }
+  }
+}
+
+// Requirement (1): distributivity over set union (holds by construction;
+// verified against an independent fold order).
+TEST_P(CertifierProperties, Distributive) {
+  for (int i = 0; i < 300; ++i) {
+    std::vector<Payload> l1, l2;
+    for (std::uint64_t j = 0; j < rng_->below(4); ++j) l1.push_back(random_payload());
+    for (std::uint64_t j = 0; j < rng_->below(4); ++j) l2.push_back(random_payload());
+    Payload l = random_payload();
+    std::vector<Payload> joined = l1;
+    joined.insert(joined.end(), l2.begin(), l2.end());
+    EXPECT_EQ(cert_->committed_set(joined, l),
+              meet(cert_->committed_set(l1, l), cert_->committed_set(l2, l)));
+    EXPECT_EQ(cert_->prepared_set(joined, l),
+              meet(cert_->prepared_set(l1, l), cert_->prepared_set(l2, l)));
+  }
+}
+
+// Requirement (3): f(L, l) = commit ⟺ ∀s. f_s(L|s, l|s) = commit.
+// With pairwise-defined certifiers this reduces to the projection identity,
+// which we verify explicitly over random shard counts.
+TEST_P(CertifierProperties, GlobalLocalMatching) {
+  for (int i = 0; i < 1000; ++i) {
+    std::uint32_t nshards = 1 + static_cast<std::uint32_t>(rng_->below(4));
+    ShardMap sm(nshards);
+    Payload committed = random_payload();
+    Payload l = random_payload();
+    Decision global = cert_->against_committed(committed, l);
+    Decision local = Decision::kCommit;
+    for (ShardId s = 0; s < nshards; ++s) {
+      local = meet(local, cert_->against_committed(sm.project(committed, s),
+                                                   sm.project(l, s)));
+    }
+    EXPECT_EQ(global, local) << "committed=" << committed.to_string()
+                             << " l=" << l.to_string() << " shards=" << nshards;
+  }
+}
+
+// ε commits against anything (paper requires f_s(L, ε) = commit).
+TEST_P(CertifierProperties, EmptyPayloadCommits) {
+  for (int i = 0; i < 500; ++i) {
+    Payload other = random_payload();
+    EXPECT_EQ(cert_->against_committed(other, empty_payload()), Decision::kCommit);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCertifiers, CertifierProperties,
+    ::testing::Combine(::testing::Values("serializability", "snapshot-isolation"),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u)),
+    [](const auto& info) {
+      return std::get<0>(info.param) == "serializability"
+                 ? "ser_seed" + std::to_string(std::get<1>(info.param))
+                 : "si_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace ratc::tcs

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "tcs/history.h"
+#include "tcs/payload.h"
+#include "tcs/shard_map.h"
+
+namespace ratc::tcs {
+namespace {
+
+Payload make_payload(std::vector<ReadEntry> reads, std::vector<WriteEntry> writes,
+                     Version vc) {
+  Payload p;
+  p.reads = std::move(reads);
+  p.writes = std::move(writes);
+  p.commit_version = vc;
+  return p;
+}
+
+TEST(Payload, EmptyPayloadIsEpsilon) {
+  Payload p = empty_payload();
+  EXPECT_TRUE(p.is_empty());
+  EXPECT_TRUE(p.well_formed());
+}
+
+TEST(Payload, ReadWriteAccessors) {
+  Payload p = make_payload({{1, 5}, {2, 3}}, {{1, 42}}, 6);
+  EXPECT_TRUE(p.reads_object(1));
+  EXPECT_TRUE(p.reads_object(2));
+  EXPECT_FALSE(p.reads_object(3));
+  EXPECT_TRUE(p.writes_object(1));
+  EXPECT_FALSE(p.writes_object(2));
+  EXPECT_EQ(p.read_version(1), 5u);
+  EXPECT_EQ(p.read_version(2), 3u);
+  EXPECT_FALSE(p.read_version(9).has_value());
+}
+
+TEST(Payload, WellFormedAcceptsReadOnly) {
+  Payload p = make_payload({{1, 5}}, {}, 0);
+  EXPECT_TRUE(p.well_formed());
+}
+
+TEST(Payload, WellFormedRejectsWriteWithoutRead) {
+  Payload p = make_payload({{1, 5}}, {{2, 9}}, 6);
+  EXPECT_FALSE(p.well_formed());
+}
+
+TEST(Payload, WellFormedRejectsDuplicateReads) {
+  Payload p = make_payload({{1, 5}, {1, 6}}, {}, 7);
+  EXPECT_FALSE(p.well_formed());
+}
+
+TEST(Payload, WellFormedRejectsDuplicateWrites) {
+  Payload p = make_payload({{1, 5}}, {{1, 9}, {1, 10}}, 6);
+  EXPECT_FALSE(p.well_formed());
+}
+
+TEST(Payload, WellFormedRequiresCommitVersionAboveReads) {
+  Payload p = make_payload({{1, 5}}, {{1, 9}}, 5);
+  EXPECT_FALSE(p.well_formed());
+  p.commit_version = 6;
+  EXPECT_TRUE(p.well_formed());
+}
+
+TEST(Payload, WireSizeGrowsWithSets) {
+  Payload small = make_payload({{1, 5}}, {}, 0);
+  Payload big = make_payload({{1, 5}, {2, 5}, {3, 5}}, {{1, 1}, {2, 2}}, 6);
+  EXPECT_GT(big.wire_size(), small.wire_size());
+}
+
+TEST(ShardMap, ProjectionSplitsByShard) {
+  ShardMap sm(2);
+  // Objects 2,4 -> shard 0; objects 1,3 -> shard 1.
+  Payload p = make_payload({{1, 5}, {2, 7}, {3, 1}}, {{1, 10}, {2, 20}}, 8);
+  Payload p0 = sm.project(p, 0);
+  Payload p1 = sm.project(p, 1);
+  EXPECT_EQ(p0.reads.size(), 1u);
+  EXPECT_EQ(p0.reads[0].object, 2u);
+  EXPECT_EQ(p0.writes.size(), 1u);
+  EXPECT_EQ(p0.writes[0].object, 2u);
+  EXPECT_EQ(p1.reads.size(), 2u);
+  EXPECT_EQ(p1.writes.size(), 1u);
+  EXPECT_EQ(p0.commit_version, 8u);
+  EXPECT_EQ(p1.commit_version, 8u);
+}
+
+TEST(ShardMap, ProjectionToUninvolvedShardIsEmpty) {
+  ShardMap sm(4);
+  Payload p = make_payload({{0, 1}, {4, 2}}, {{0, 9}}, 3);  // both objects on shard 0
+  EXPECT_TRUE(sm.project(p, 1).is_empty());
+  EXPECT_TRUE(sm.project(p, 2).is_empty());
+  EXPECT_FALSE(sm.project(p, 0).is_empty());
+}
+
+TEST(ShardMap, ShardsOfCollectsInvolvedShards) {
+  ShardMap sm(3);
+  Payload p = make_payload({{0, 1}, {1, 1}, {3, 1}}, {{1, 5}}, 2);
+  // objects 0,3 -> shard 0; object 1 -> shard 1.
+  auto shards = sm.shards_of(p);
+  EXPECT_EQ(shards, (std::vector<ShardId>{0, 1}));
+}
+
+TEST(ShardMap, EmptyPayloadTouchesNoShards) {
+  ShardMap sm(3);
+  EXPECT_TRUE(sm.shards_of(empty_payload()).empty());
+}
+
+TEST(History, RecordsAndQueries) {
+  History h;
+  Payload p = make_payload({{1, 0}}, {{1, 7}}, 1);
+  h.record_certify(10, 1, p);
+  EXPECT_TRUE(h.certified(1));
+  EXPECT_FALSE(h.complete());
+  h.record_decide(15, 1, Decision::kCommit);
+  EXPECT_TRUE(h.complete());
+  EXPECT_EQ(h.decision_of(1), Decision::kCommit);
+  EXPECT_EQ(h.committed_txns(), (std::vector<TxnId>{1}));
+  EXPECT_EQ(h.aborted_count(), 0u);
+  ASSERT_NE(h.payload_of(1), nullptr);
+  EXPECT_EQ(*h.payload_of(1), p);
+}
+
+TEST(History, FirstDecisionWinsAndConflictsDetected) {
+  History h;
+  h.record_certify(1, 1, empty_payload());
+  h.record_decide(2, 1, Decision::kCommit);
+  h.record_decide(3, 1, Decision::kAbort);  // contradictory externalization
+  EXPECT_EQ(h.decision_of(1), Decision::kCommit);
+  EXPECT_EQ(h.conflicting_decisions(), (std::vector<TxnId>{1}));
+}
+
+TEST(History, DuplicateConsistentDecisionsAreFine) {
+  History h;
+  h.record_certify(1, 1, empty_payload());
+  h.record_decide(2, 1, Decision::kAbort);
+  h.record_decide(3, 1, Decision::kAbort);
+  EXPECT_TRUE(h.conflicting_decisions().empty());
+  EXPECT_EQ(h.aborted_count(), 1u);
+}
+
+TEST(History, ToStringMentionsActions) {
+  History h;
+  h.record_certify(1, 42, empty_payload());
+  h.record_decide(2, 42, Decision::kCommit);
+  auto s = h.to_string();
+  EXPECT_NE(s.find("certify(txn42"), std::string::npos);
+  EXPECT_NE(s.find("decide(txn42, commit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ratc::tcs
