@@ -1,0 +1,21 @@
+# ratc_add_test(<name> SOURCES <src>... [LABELS <label>...] [LIBS <lib>...]
+#                [TIMEOUT <seconds>])
+#
+# Builds one GTest binary and registers it with CTest.  Labels become CTest
+# labels so subsets can be run with `ctest -L unit`, `ctest -L integration`,
+# or `ctest -L random`.  Every test additionally carries the `ratc` label.
+function(ratc_add_test name)
+  cmake_parse_arguments(RT "" "TIMEOUT" "SOURCES;LABELS;LIBS" ${ARGN})
+  if(NOT RT_SOURCES)
+    message(FATAL_ERROR "ratc_add_test(${name}): SOURCES is required")
+  endif()
+  add_executable(${name} ${RT_SOURCES})
+  target_link_libraries(${name} PRIVATE ratc GTest::gtest GTest::gtest_main
+                        ${RT_LIBS})
+  add_test(NAME ${name} COMMAND ${name})
+  set(labels ratc ${RT_LABELS})
+  set_tests_properties(${name} PROPERTIES LABELS "${labels}")
+  if(RT_TIMEOUT)
+    set_tests_properties(${name} PROPERTIES TIMEOUT ${RT_TIMEOUT})
+  endif()
+endfunction()

@@ -105,6 +105,12 @@ TcsLLResult check_tcsll(const TcsLLInput& input) {
       const ShardCertRecord* rp = record_of(tp, s);
       if (rp == nullptr) continue;  // lost transaction
       if (rp->pos >= rec.pos) {
+        // A witness whose only complete acceptance happened in a LATER
+        // epoch than this record was lost across a reconfiguration (the
+        // voter saw its earlier, lost incarnation) and then re-certified
+        // at a new position.  Lemma A.1 excludes lost transactions from
+        // the witness sets; exclude the re-certified incarnation too.
+        if (rp->epoch > rec.epoch) continue;
         fail("(11) prepared witness " + key_str(tp, s) + " at pos " +
              std::to_string(rp->pos) + " not before " + key_str(t, s) + " at pos " +
              std::to_string(rec.pos));

@@ -54,7 +54,14 @@ std::uint64_t Fabric::send_rdma(ProcessId from, ProcessId to, sim::AnyMessage ms
   for (auto* obs : observers_) obs->on_write(now, from, to, msg);
   // The write targets the queue pair the sender currently holds.
   std::uint64_t gen = endpoints_[to].generation[from];
-  Duration d = std::max<Duration>(options_.delay(sim_.rng(), from, to), 1);
+  sim::MessageFate fate;
+  if (fault_ != nullptr) fate = fault_->on_message(now, from, to, msg);
+  if (fate.drop) {
+    ++writes_rejected_;
+    for (auto* obs : observers_) obs->on_rejected(now, from, to, msg);
+    return token;
+  }
+  Duration d = std::max<Duration>(options_.delay(sim_.rng(), from, to), 1) + fate.extra_delay;
   Time arrive = now + d;
   std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) | to;
   Time& clock = channel_clock_[key];

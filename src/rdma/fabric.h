@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "sim/fault.h"
 #include "sim/message.h"
 #include "sim/simulator.h"
 
@@ -87,6 +88,11 @@ class Fabric {
 
   void add_observer(FabricObserver* obs) { observers_.push_back(obs); }
 
+  /// Installs (or with nullptr removes) a fault-injection hook consulted on
+  /// every one-sided write.  A dropped write is rejected: the sender never
+  /// receives a NIC completion, as if the switch lost the packet.
+  void set_fault_injector(sim::FaultInjector* fi) { fault_ = fi; }
+
   std::uint64_t writes_sent() const { return writes_sent_; }
   std::uint64_t writes_rejected() const { return writes_rejected_; }
 
@@ -112,6 +118,7 @@ class Fabric {
   Options options_;
   std::map<ProcessId, Endpoint> endpoints_;
   std::vector<FabricObserver*> observers_;
+  sim::FaultInjector* fault_ = nullptr;
   std::uint64_t next_token_ = 1;
   std::uint64_t writes_sent_ = 0;
   std::uint64_t writes_rejected_ = 0;

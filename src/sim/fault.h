@@ -1,0 +1,37 @@
+// Message-level fault injection hook shared by the two transport layers
+// (the message-passing Network and the one-sided RDMA Fabric).
+//
+// A FaultInjector is consulted once per message at send time and decides its
+// fate: deliver normally, deliver with extra delay (on top of the sampled
+// propagation delay; per-channel FIFO is still enforced by the transports),
+// or drop.  On the Network a drop means the message silently disappears; on
+// the Fabric it means the one-sided write is rejected and the sender never
+// receives a NIC completion.
+//
+// No injector is installed by default, so production paths pay a single
+// null-pointer check.  The fault-injection harness in tests/harness/ is the
+// canonical implementation (harness::Nemesis).
+#pragma once
+
+#include "common/types.h"
+#include "sim/message.h"
+
+namespace ratc::sim {
+
+struct MessageFate {
+  bool drop = false;         ///< discard instead of scheduling delivery
+  Duration extra_delay = 0;  ///< added to the sampled propagation delay
+};
+
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// Decides the fate of one message.  Must be deterministic given the
+  /// injector's own seeded state; it must not touch the simulator's Rng, so
+  /// installing an injector never perturbs the fault-free random stream.
+  virtual MessageFate on_message(Time now, ProcessId from, ProcessId to,
+                                 const AnyMessage& msg) = 0;
+};
+
+}  // namespace ratc::sim

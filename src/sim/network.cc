@@ -47,7 +47,13 @@ void Network::send(ProcessId from, ProcessId to, AnyMessage msg) {
     ++total_messages_;
     total_bytes_ += msg.wire_size();
   }
-  Duration d = options_.delay(sim_.rng(), from, to);
+  MessageFate fate;
+  if (fault_ != nullptr) fate = fault_->on_message(now, from, to, msg);
+  if (fate.drop) {
+    for (auto* obs : observers_) obs->on_drop(now, from, to, msg);
+    return;
+  }
+  Duration d = options_.delay(sim_.rng(), from, to) + fate.extra_delay;
   Time deliver_at = now + std::max<Duration>(d, 1);
   // FIFO per channel: never deliver before an earlier message on the same
   // channel.  Equal times preserve order via the event queue's sequence

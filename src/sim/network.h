@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "sim/fault.h"
 #include "sim/message.h"
 #include "sim/simulator.h"
 
@@ -76,6 +77,10 @@ class Network {
 
   void add_observer(NetworkObserver* obs) { observers_.push_back(obs); }
 
+  /// Installs (or with nullptr removes) a fault-injection hook consulted on
+  /// every send.  Dropped messages are reported to observers via on_drop.
+  void set_fault_injector(FaultInjector* fi) { fault_ = fi; }
+
   const ProcessTraffic& traffic(ProcessId p) const;
   std::uint64_t total_messages() const { return total_messages_; }
   std::uint64_t total_bytes() const { return total_bytes_; }
@@ -88,6 +93,7 @@ class Network {
   Simulator& sim_;
   Options options_;
   std::vector<NetworkObserver*> observers_;
+  FaultInjector* fault_ = nullptr;
   /// Last scheduled delivery time per (from,to) channel; enforces FIFO.
   std::unordered_map<std::uint64_t, Time> channel_clock_;
   std::unordered_map<ProcessId, ProcessTraffic> traffic_;

@@ -1,0 +1,94 @@
+#include "harness/nemesis.h"
+
+#include <algorithm>
+
+namespace ratc::harness {
+
+Nemesis::Nemesis(sim::Simulator& sim, std::uint64_t seed)
+    : sim_(sim), rng_(seed ^ 0x4e454d4553495355ULL) {}
+
+void Nemesis::isolate(const std::vector<ProcessId>& minority, Duration len,
+                      bool lossy) {
+  split({minority}, len, lossy);
+}
+
+void Nemesis::split(const std::vector<std::vector<ProcessId>>& groups,
+                    Duration len, bool lossy) {
+  groups_.clear();
+  int g = 1;  // group 0 is the implicit "everyone else" side
+  for (const auto& group : groups) {
+    for (ProcessId p : group) groups_[p] = g;
+    ++g;
+  }
+  partition_until_ = sim_.now() + len;
+  partition_lossy_ = lossy;
+}
+
+void Nemesis::heal() {
+  partition_until_ = 0;
+  groups_.clear();
+}
+
+bool Nemesis::partition_active() const {
+  return partition_until_ > sim_.now();
+}
+
+void Nemesis::drop_messages(double probability, Duration len) {
+  drop_probability_ = probability;
+  drop_until_ = sim_.now() + len;
+}
+
+void Nemesis::delay_messages(Duration delay_hi, Duration len) {
+  delay_hi_ = delay_hi;
+  delay_until_ = sim_.now() + len;
+}
+
+void Nemesis::clear() {
+  heal();
+  drop_until_ = 0;
+  delay_until_ = 0;
+}
+
+int Nemesis::group_of(ProcessId p) const {
+  auto it = groups_.find(p);
+  return it == groups_.end() ? 0 : it->second;
+}
+
+sim::MessageFate Nemesis::on_message(Time now, ProcessId from, ProcessId to,
+                                     const sim::AnyMessage& msg) {
+  (void)msg;
+  sim::MessageFate fate;
+  // A process always reaches itself: partitions cannot sever a process from
+  // its own memory, and a local write is never "in flight" long enough to
+  // drop or delay.  Faulting self-messages would fabricate executions no
+  // physical system can produce (e.g. a one-sided self-write landing after
+  // a reconfiguration's flush).
+  if (from == to) return fate;
+  if (now < partition_until_ && group_of(from) != group_of(to)) {
+    if (partition_lossy_) {
+      ++dropped_;
+      fate.drop = true;
+      return fate;
+    }
+    // Hold the message back so it lands shortly after the partition heals.
+    // The transports' per-channel FIFO clamp keeps ordering intact.  Held
+    // messages are exempt from the probabilistic windows below: the
+    // partition already decided their fate, and dropping one would silently
+    // break the eventual-delivery guarantee of non-lossy partitions.
+    ++held_;
+    fate.extra_delay = (partition_until_ - now) + rng_.range(1, 8);
+    return fate;
+  }
+  if (now < drop_until_ && rng_.chance(drop_probability_)) {
+    ++dropped_;
+    fate.drop = true;
+    return fate;
+  }
+  if (now < delay_until_ && delay_hi_ > 0) {
+    ++delayed_;
+    fate.extra_delay += rng_.range(1, delay_hi_);
+  }
+  return fate;
+}
+
+}  // namespace ratc::harness

@@ -1,0 +1,95 @@
+// Nemesis: the runtime fault authority of the fault-injection harness.
+//
+// One Nemesis instance is installed on a cluster's transports
+// (sim::Network, and rdma::Fabric where present) via set_fault_injector and
+// consulted on every message.  It holds the currently active fault windows:
+//
+//   * partition  — processes are split into groups for a bounded window;
+//     messages crossing a group boundary are either held back (delayed so
+//     they arrive after the window closes — eventual delivery, matching the
+//     paper's asynchronous reliable-link model) or, in lossy mode, dropped
+//     outright (modelling a switch that discards traffic).
+//   * drop window — each message is dropped with probability p.
+//   * delay window — each message gets a uniform extra delay, widening the
+//     space of explored interleavings beyond the FIFO lockstep.
+//
+// All stochastic choices come from the Nemesis's own seeded Rng, never from
+// the simulator's, so installing a Nemesis does not perturb the fault-free
+// random stream and every run stays a pure function of its seeds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "sim/fault.h"
+#include "sim/simulator.h"
+
+namespace ratc::harness {
+
+class Nemesis : public sim::FaultInjector {
+ public:
+  Nemesis(sim::Simulator& sim, std::uint64_t seed);
+
+  // --- partitions -------------------------------------------------------------
+
+  /// Cuts `minority` off from every other process until now()+len.  In lossy
+  /// mode crossing messages are dropped; otherwise they are held back and
+  /// arrive shortly after the partition heals.
+  void isolate(const std::vector<ProcessId>& minority, Duration len, bool lossy = false);
+
+  /// General form: processes in different groups cannot talk until
+  /// now()+len.  Processes not mentioned in any group all share one
+  /// implicit extra group.
+  void split(const std::vector<std::vector<ProcessId>>& groups, Duration len,
+             bool lossy = false);
+
+  /// Ends any active partition immediately.
+  void heal();
+  bool partition_active() const;
+
+  // --- probabilistic windows --------------------------------------------------
+
+  /// Drops each message with probability p until now()+len.
+  void drop_messages(double probability, Duration len);
+
+  /// Adds a uniform extra delay in [1, delay_hi] per message until now()+len.
+  void delay_messages(Duration delay_hi, Duration len);
+
+  /// Cancels all active fault windows (partitions included).
+  void clear();
+
+  // --- accounting -------------------------------------------------------------
+
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t delayed() const { return delayed_; }
+  std::uint64_t held_at_partition() const { return held_; }
+
+  sim::MessageFate on_message(Time now, ProcessId from, ProcessId to,
+                              const sim::AnyMessage& msg) override;
+
+ private:
+  int group_of(ProcessId p) const;
+
+  sim::Simulator& sim_;
+  Rng rng_;
+
+  // Partition window (one at a time; a new partition replaces the old).
+  Time partition_until_ = 0;
+  bool partition_lossy_ = false;
+  std::unordered_map<ProcessId, int> groups_;
+
+  Time drop_until_ = 0;
+  double drop_probability_ = 0;
+
+  Time delay_until_ = 0;
+  Duration delay_hi_ = 0;
+
+  std::uint64_t dropped_ = 0;
+  std::uint64_t delayed_ = 0;
+  std::uint64_t held_ = 0;
+};
+
+}  // namespace ratc::harness

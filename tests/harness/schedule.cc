@@ -1,0 +1,65 @@
+#include "harness/schedule.h"
+
+#include <algorithm>
+
+namespace ratc::harness {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kReconfigure: return "reconfigure";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kDropWindow: return "drop";
+    case FaultKind::kDelayWindow: return "delay";
+  }
+  return "?";
+}
+
+std::string Schedule::describe() const {
+  std::string out;
+  for (const auto& e : events) {
+    out += "at=" + std::to_string(e.at) + "\t" + fault_kind_name(e.kind);
+    if (e.len > 0) out += "\tlen=" + std::to_string(e.len);
+    if (e.intensity > 0) out += "\tp=" + std::to_string(e.intensity);
+    if (e.delay_hi > 0) out += "\tdelay_hi=" + std::to_string(e.delay_hi);
+    if (e.lossy) out += "\tlossy";
+    out += "\n";
+  }
+  return out;
+}
+
+Schedule generate_schedule(Rng& rng, const ScheduleOptions& opt) {
+  Schedule s;
+  auto window = [&rng, &opt]() -> Duration {
+    return rng.range(opt.window_lo, opt.window_hi);
+  };
+  // Positions stay below 0.95 so every fault lands while transactions are
+  // still in flight (the point of the harness is faults *mid-transaction*).
+  auto position = [&rng]() -> double { return rng.next_double() * 0.95; };
+
+  for (int i = 0; i < opt.crashes; ++i) {
+    s.events.push_back({position(), FaultKind::kCrash, 0, 0, 0, false});
+  }
+  for (int i = 0; i < opt.reconfigures; ++i) {
+    s.events.push_back({position(), FaultKind::kReconfigure, 0, 0, 0, false});
+  }
+  for (int i = 0; i < opt.partitions; ++i) {
+    s.events.push_back({position(), FaultKind::kPartition, window(), 0, 0,
+                        opt.lossy_partitions});
+  }
+  for (int i = 0; i < opt.drop_windows; ++i) {
+    s.events.push_back({position(), FaultKind::kDropWindow, window(),
+                        opt.drop_probability, 0, false});
+  }
+  for (int i = 0; i < opt.delay_windows; ++i) {
+    s.events.push_back({position(), FaultKind::kDelayWindow, window(), 0,
+                        opt.delay_hi, false});
+  }
+  std::stable_sort(s.events.begin(), s.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return s;
+}
+
+}  // namespace ratc::harness

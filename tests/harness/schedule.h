@@ -1,0 +1,66 @@
+// Nemesis schedules: declarative, cluster-agnostic fault plans.
+//
+// A Schedule is a time-sorted list of fault events generated from a seeded
+// Rng.  Event positions are fractions of the workload (0 = before the first
+// transaction, 1 = after the last) so the same schedule shape applies to
+// any stack regardless of how long its run takes in virtual time; window
+// lengths are in simulator ticks.  The drivers in sweep.h interpret each
+// event against their cluster's live topology (which replica to crash,
+// which members to partition), again using only seeded randomness, so a
+// (workload seed, schedule) pair pins down the entire execution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace ratc::harness {
+
+enum class FaultKind {
+  kCrash,        ///< crash one replica (driver picks a victim that keeps the shard alive), then reconfigure around it
+  kReconfigure,  ///< reconfigure a healthy shard mid-stream, no crash
+  kPartition,    ///< isolate a member set for `len` ticks (lossy or held-back)
+  kDropWindow,   ///< drop each message with probability `intensity` for `len` ticks
+  kDelayWindow,  ///< add uniform extra delay in [1, delay_hi] for `len` ticks
+};
+
+const char* fault_kind_name(FaultKind k);
+
+struct FaultEvent {
+  double at = 0;          ///< workload fraction in [0, 1) at which to fire
+  FaultKind kind = FaultKind::kCrash;
+  Duration len = 0;       ///< window length (partition/drop/delay)
+  double intensity = 0;   ///< drop probability (kDropWindow)
+  Duration delay_hi = 0;  ///< max extra delay (kDelayWindow)
+  bool lossy = false;     ///< kPartition: drop instead of hold back
+};
+
+struct ScheduleOptions {
+  int crashes = 2;
+  int reconfigures = 1;
+  int partitions = 1;
+  int drop_windows = 0;
+  int delay_windows = 1;
+  Duration window_lo = 60;   ///< min window length (ticks)
+  Duration window_hi = 350;  ///< max window length (ticks)
+  double drop_probability = 0.05;
+  Duration delay_hi = 30;
+  bool lossy_partitions = false;
+};
+
+struct Schedule {
+  std::vector<FaultEvent> events;
+
+  /// Human-readable one-line-per-event rendering, for failure reports and
+  /// the determinism tests.
+  std::string describe() const;
+};
+
+/// Deterministically generates a schedule: all randomness flows from `rng`,
+/// so equal seeds yield equal schedules.  Events are sorted by position.
+Schedule generate_schedule(Rng& rng, const ScheduleOptions& opt);
+
+}  // namespace ratc::harness

@@ -1,0 +1,120 @@
+// Seed-sweep drivers: run one (seed, workload, schedule) triple against a
+// protocol stack, inject the schedule's faults through a Nemesis plus the
+// cluster's crash/reconfigure helpers, and validate the execution with the
+// existing checkers (online monitor, TCS-LL, and — when the committed
+// projection is small enough for the exact DFS — the linearization checker).
+//
+// Every run is a pure function of its seed: the workload Rng, the schedule
+// interpretation Rng, and the Nemesis Rng are all derived from it.  A
+// failing seed therefore reproduces with the same options (see
+// tests/README.md for the recipe).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "harness/schedule.h"
+
+namespace ratc::harness {
+
+/// Outcome of one run.  `problems` is empty iff every enabled check passed;
+/// otherwise it carries one diagnostic per line, prefixed with the seed.
+struct RunResult {
+  std::uint64_t seed = 0;
+  std::size_t submitted = 0;
+  std::size_t decided = 0;
+  std::size_t committed = 0;
+  std::uint64_t dropped = 0;  ///< messages the nemesis dropped
+  std::uint64_t held = 0;     ///< messages held back by partitions
+  bool linearization_checked = false;
+  std::string problems;
+  /// FNV-1a fingerprint of the full message trace plus outcome counters;
+  /// equal seeds must produce equal fingerprints (determinism tests).
+  std::uint64_t fingerprint = 0;
+
+  std::string summary() const;
+};
+
+struct CommitWorkloadOptions {
+  std::uint32_t num_shards = 3;
+  std::size_t shard_size = 2;
+  std::size_t spares_per_shard = 6;
+  int total_txns = 200;
+  ObjectId object_universe = 24;
+  std::string isolation = "serializability";
+  bool exponential_delays = false;
+  Duration retry_timeout = 120;
+  Duration drain = 8000;  ///< post-workload settle time (ticks)
+  /// Run the exact linearization DFS when |committed| <= this bound.
+  std::size_t linearize_up_to = 25;
+  /// Minimum fraction of submitted transactions that must decide; lossy
+  /// schedules legitimately lose decisions, so tests tune this down.
+  double min_decided_fraction = 0.9;
+  bool capture_trace = true;
+};
+
+struct RdmaWorkloadOptions {
+  std::uint32_t num_shards = 3;
+  std::size_t shard_size = 2;
+  std::size_t spares_per_shard = 6;
+  int total_txns = 160;
+  ObjectId object_universe = 24;
+  Duration retry_timeout = 100;
+  Duration drain = 8000;
+  std::size_t linearize_up_to = 25;
+  double min_decided_fraction = 0.9;
+  bool capture_trace = true;
+  /// Also install the nemesis on the RDMA fabric (one-sided writes), not
+  /// just the two-sided network.
+  bool faults_on_fabric = true;
+};
+
+struct PaxosWorkloadOptions {
+  std::size_t replicas = 5;
+  int commands = 60;
+  bool exponential_delays = false;
+  /// Minimum fraction of submitted commands the surviving log must contain.
+  double min_applied_fraction = 0.5;
+};
+
+RunResult run_commit_workload(std::uint64_t seed, const CommitWorkloadOptions& w,
+                              const Schedule& schedule);
+RunResult run_rdma_workload(std::uint64_t seed, const RdmaWorkloadOptions& w,
+                            const Schedule& schedule);
+RunResult run_paxos_workload(std::uint64_t seed, const PaxosWorkloadOptions& w,
+                             const Schedule& schedule);
+
+/// Aggregate of a multi-seed sweep.
+struct SweepResult {
+  int runs = 0;
+  std::size_t total_submitted = 0;
+  std::size_t total_decided = 0;
+  std::size_t linearization_checks = 0;
+  std::vector<RunResult> failures;
+
+  bool ok() const { return failures.empty(); }
+  /// Failure report with per-seed diagnostics and a reproduction hint.
+  std::string report() const;
+};
+
+/// Runs `run(seed)` for seeds first_seed .. first_seed+count-1.
+template <typename Fn>
+SweepResult sweep_seeds(std::uint64_t first_seed, int count, Fn run) {
+  SweepResult sweep;
+  for (int i = 0; i < count; ++i) {
+    RunResult r = run(first_seed + static_cast<std::uint64_t>(i));
+    ++sweep.runs;
+    sweep.total_submitted += r.submitted;
+    sweep.total_decided += r.decided;
+    sweep.linearization_checks += r.linearization_checked ? 1 : 0;
+    if (!r.problems.empty()) sweep.failures.push_back(std::move(r));
+  }
+  return sweep;
+}
+
+/// FNV-1a over a byte string; the fingerprint primitive used by RunResult.
+std::uint64_t fnv1a(const std::string& bytes, std::uint64_t h = 0xcbf29ce484222325ULL);
+
+}  // namespace ratc::harness

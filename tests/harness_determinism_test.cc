@@ -1,0 +1,202 @@
+// Determinism guarantees of the fault-injection harness: a run is a pure
+// function of its seed.  Same seed => identical schedule, identical message
+// trace (sim::Tracer fingerprint), identical outcome counters, across all
+// three protocol stacks; different seeds explore different executions.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/nemesis.h"
+#include "harness/schedule.h"
+#include "harness/sweep.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace ratc::harness {
+namespace {
+
+struct Pulse {
+  static constexpr const char* kName = "PULSE";
+  int n = 0;
+};
+
+ScheduleOptions small_schedule() {
+  ScheduleOptions s;
+  s.crashes = 1;
+  s.reconfigures = 1;
+  s.partitions = 1;
+  s.delay_windows = 1;
+  s.window_hi = 150;
+  return s;
+}
+
+TEST(ScheduleDeterminism, SameSeedSameSchedule) {
+  ScheduleOptions opt = small_schedule();
+  opt.drop_windows = 2;
+  Rng a(42), b(42);
+  EXPECT_EQ(generate_schedule(a, opt).describe(),
+            generate_schedule(b, opt).describe());
+}
+
+TEST(ScheduleDeterminism, DifferentSeedsDifferentSchedules) {
+  ScheduleOptions opt = small_schedule();
+  Rng a(1), b(2);
+  EXPECT_NE(generate_schedule(a, opt).describe(),
+            generate_schedule(b, opt).describe());
+}
+
+TEST(ScheduleDeterminism, EventsSortedAndMidWorkload) {
+  Rng rng(7);
+  ScheduleOptions opt = small_schedule();
+  opt.crashes = 3;
+  opt.partitions = 2;
+  Schedule s = generate_schedule(rng, opt);
+  ASSERT_FALSE(s.events.empty());
+  for (std::size_t i = 1; i < s.events.size(); ++i) {
+    EXPECT_LE(s.events[i - 1].at, s.events[i].at);
+  }
+  for (const auto& e : s.events) {
+    EXPECT_GE(e.at, 0.0);
+    EXPECT_LT(e.at, 1.0);
+  }
+}
+
+CommitWorkloadOptions small_commit_workload() {
+  CommitWorkloadOptions w;
+  w.total_txns = 60;
+  w.drain = 4000;
+  return w;
+}
+
+TEST(CommitDeterminism, SameSeedIdenticalTrace) {
+  CommitWorkloadOptions w = small_commit_workload();
+  for (std::uint64_t seed : {3ULL, 11ULL}) {
+    Rng r1(seed), r2(seed);
+    ScheduleOptions opt = small_schedule();
+    Schedule s1 = generate_schedule(r1, opt);
+    Schedule s2 = generate_schedule(r2, opt);
+    RunResult a = run_commit_workload(seed, w, s1);
+    RunResult b = run_commit_workload(seed, w, s2);
+    EXPECT_EQ(a.fingerprint, b.fingerprint) << "seed " << seed;
+    EXPECT_EQ(a.submitted, b.submitted);
+    EXPECT_EQ(a.decided, b.decided);
+    EXPECT_EQ(a.committed, b.committed);
+    EXPECT_EQ(a.dropped, b.dropped);
+    EXPECT_EQ(a.problems, b.problems);
+  }
+}
+
+TEST(CommitDeterminism, DifferentSeedsDifferentTraces) {
+  CommitWorkloadOptions w = small_commit_workload();
+  std::set<std::uint64_t> fingerprints;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng r(seed);
+    Schedule s = generate_schedule(r, small_schedule());
+    fingerprints.insert(run_commit_workload(seed, w, s).fingerprint);
+  }
+  // All four seeds must explore distinct executions.
+  EXPECT_EQ(fingerprints.size(), 4u);
+}
+
+TEST(RdmaDeterminism, SameSeedIdenticalTrace) {
+  RdmaWorkloadOptions w;
+  w.total_txns = 50;
+  w.drain = 4000;
+  Rng r1(5), r2(5);
+  Schedule s1 = generate_schedule(r1, small_schedule());
+  Schedule s2 = generate_schedule(r2, small_schedule());
+  RunResult a = run_rdma_workload(5, w, s1);
+  RunResult b = run_rdma_workload(5, w, s2);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.decided, b.decided);
+  EXPECT_EQ(a.problems, b.problems);
+}
+
+TEST(PaxosDeterminism, SameSeedIdenticalTrace) {
+  PaxosWorkloadOptions w;
+  w.commands = 30;
+  Rng r1(9), r2(9);
+  Schedule s1 = generate_schedule(r1, small_schedule());
+  Schedule s2 = generate_schedule(r2, small_schedule());
+  RunResult a = run_paxos_workload(9, w, s1);
+  RunResult b = run_paxos_workload(9, w, s2);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.decided, b.decided);
+  EXPECT_EQ(a.problems, b.problems);
+}
+
+TEST(NemesisDeterminism, IdleInjectorDoesNotPerturbExecution) {
+  // Run identical traffic with and without an installed (idle) nemesis.
+  // Every message flows through Nemesis::on_message in the second run, yet
+  // the fault-free execution — delay samples from the simulator's Rng and
+  // the resulting trace — must be bit-identical to the first.
+  auto run = [](bool with_nemesis) {
+    sim::Simulator sim(123);
+    sim::Network net(sim, sim::Network::exponential_delay_options(3.0));
+    sim::Tracer tracer;
+    net.add_observer(&tracer);
+    Nemesis nemesis(sim, 99);
+    if (with_nemesis) net.set_fault_injector(&nemesis);
+    for (int i = 0; i < 50; ++i) {
+      net.send_msg(1, 2, Pulse{i});
+      net.send_msg(2, 1, Pulse{i});
+      sim.run();
+    }
+    return std::make_pair(tracer.render(), sim.rng().next());
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(NemesisDeterminism, ActiveWindowsDrawOnlyFromOwnRng) {
+  // An active drop window consults the nemesis's own Rng per message; two
+  // nemeses with the same seed over the same traffic must drop the exact
+  // same messages.
+  auto run = [] {
+    sim::Simulator sim(7);
+    sim::Network net(sim, sim::Network::unit_delay_options());
+    sim::Tracer tracer;
+    net.add_observer(&tracer);
+    Nemesis nemesis(sim, 7);
+    net.set_fault_injector(&nemesis);
+    nemesis.drop_messages(0.3, 1'000'000);
+    for (int i = 0; i < 200; ++i) net.send_msg(1, 2, Pulse{i});
+    sim.run();
+    return std::make_pair(tracer.render(), nemesis.dropped());
+  };
+  auto a = run();
+  auto b = run();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.second, 0u);
+  EXPECT_LT(a.second, 200u);
+}
+
+TEST(NemesisWindows, HeldMessagesAreExemptFromDropWindows) {
+  // A non-lossy partition guarantees eventual delivery; an overlapping drop
+  // window must not eat the held-back messages.
+  sim::Simulator sim(3);
+  sim::Network net(sim, sim::Network::unit_delay_options());
+  sim::Tracer tracer;
+  net.add_observer(&tracer);
+  Nemesis nemesis(sim, 3);
+  net.set_fault_injector(&nemesis);
+  nemesis.isolate({2}, 100, /*lossy=*/false);
+  nemesis.drop_messages(1.0, 100);  // would drop everything if consulted
+  for (int i = 0; i < 20; ++i) net.send_msg(1, 2, Pulse{i});
+  sim.run();
+  EXPECT_EQ(nemesis.dropped(), 0u);
+  EXPECT_EQ(nemesis.held_at_partition(), 20u);
+}
+
+TEST(NemesisWindows, PartitionExpiresOnItsOwn) {
+  sim::Simulator sim(1);
+  Nemesis nemesis(sim, 1);
+  nemesis.isolate({7}, 50);
+  EXPECT_TRUE(nemesis.partition_active());
+  sim.schedule(60, [] {});
+  sim.run();
+  EXPECT_FALSE(nemesis.partition_active());
+}
+
+}  // namespace
+}  // namespace ratc::harness
