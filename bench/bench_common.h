@@ -7,9 +7,47 @@
 #include <vector>
 
 #include "common/types.h"
+#include "store/frontends.h"
+#include "store/runner.h"
+#include "store/workload.h"
 #include "tcs/payload.h"
 
 namespace ratc::bench {
+
+/// One fully wired closed-loop experiment: cluster + TcsFrontend + store +
+/// workload generator + WorkloadRunner.  Every closed-loop bench used to
+/// repeat this five-object dance per stack; instantiate a Rig instead.
+/// FrontendT must be constructible from ClusterT& (see store/frontends.h).
+/// Not movable: the runner's payload callback captures `this`.
+template <typename ClusterT, typename FrontendT>
+class Rig {
+ public:
+  Rig(typename ClusterT::Options cluster_options,
+      store::WorkloadOptions workload_options, std::uint64_t workload_seed,
+      std::size_t window = 8)
+      : cluster(std::move(cluster_options)),
+        frontend(cluster),
+        gen(workload_options, workload_seed),
+        runner(
+            cluster.sim(), frontend, db,
+            [this](const store::VersionedStore& d) { return gen.next(d); },
+            window) {}
+
+  Rig(const Rig&) = delete;
+  Rig& operator=(const Rig&) = delete;
+
+  store::RunnerStats run(std::size_t txns) { return runner.run(txns); }
+
+  ClusterT cluster;
+  FrontendT frontend;
+  store::VersionedStore db;
+  store::WorkloadGenerator gen;
+  store::WorkloadRunner runner;
+};
+
+using CommitRig = Rig<commit::Cluster, store::CommitFrontend>;
+using RdmaRig = Rig<rdma::Cluster, store::RdmaFrontend>;
+using BaselineRig = Rig<baseline::BaselineCluster, store::BaselineFrontend>;
 
 /// Payload reading (and optionally writing) one object per listed id.
 inline tcs::Payload payload_on(std::vector<ObjectId> reads, std::vector<ObjectId> writes,

@@ -5,29 +5,20 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "commit/cluster.h"
-#include "store/frontends.h"
-#include "store/runner.h"
-#include "store/workload.h"
 
 using namespace ratc;
 
 namespace {
 
 double abort_rate(const std::string& isolation, double theta, double write_fraction) {
-  commit::Cluster cluster({.seed = 23, .num_shards = 2, .shard_size = 2,
-                           .isolation = isolation, .enable_monitor = false});
-  store::CommitFrontend frontend(cluster);
-  store::VersionedStore db;
-  store::WorkloadGenerator gen({.objects = 64,
-                                .zipf_theta = theta,
-                                .ops_per_txn = 4,
-                                .write_fraction = write_fraction},
-                               9);
-  store::WorkloadRunner runner(
-      cluster.sim(), frontend, db,
-      [&](const store::VersionedStore& d) { return gen.next(d); });
-  return runner.run(500).abort_rate();
+  bench::CommitRig rig({.seed = 23, .num_shards = 2, .shard_size = 2,
+                        .isolation = isolation, .enable_monitor = false},
+                       {.objects = 64,
+                        .zipf_theta = theta,
+                        .ops_per_txn = 4,
+                        .write_fraction = write_fraction},
+                       9);
+  return rig.run(500).abort_rate();
 }
 
 }  // namespace

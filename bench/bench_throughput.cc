@@ -7,12 +7,7 @@
 // leaders saturate earlier at equal offered load.
 #include <cstdio>
 
-#include "baseline/cluster.h"
 #include "bench/bench_common.h"
-#include "commit/cluster.h"
-#include "store/frontends.h"
-#include "store/runner.h"
-#include "store/workload.h"
 
 using namespace ratc;
 
@@ -20,29 +15,21 @@ namespace {
 
 constexpr std::size_t kTxns = 800;
 
+store::WorkloadOptions workload_for(std::uint32_t shards) {
+  return {.objects = 400 * shards, .ops_per_txn = 3, .write_fraction = 0.5};
+}
+
 store::RunnerStats run_ours(std::uint32_t shards, std::size_t window) {
-  commit::Cluster cluster({.seed = 17, .num_shards = shards, .shard_size = 2,
-                           .enable_monitor = false});
-  store::CommitFrontend frontend(cluster);
-  store::VersionedStore db;
-  store::WorkloadGenerator gen(
-      {.objects = 400 * shards, .ops_per_txn = 3, .write_fraction = 0.5}, 3);
-  store::WorkloadRunner runner(
-      cluster.sim(), frontend, db,
-      [&](const store::VersionedStore& d) { return gen.next(d); }, window);
-  return runner.run(kTxns);
+  bench::CommitRig rig({.seed = 17, .num_shards = shards, .shard_size = 2,
+                        .enable_monitor = false},
+                       workload_for(shards), 3, window);
+  return rig.run(kTxns);
 }
 
 store::RunnerStats run_baseline(std::uint32_t shards, std::size_t window) {
-  baseline::BaselineCluster cluster({.seed = 18, .num_shards = shards, .shard_size = 3});
-  store::BaselineFrontend frontend(cluster);
-  store::VersionedStore db;
-  store::WorkloadGenerator gen(
-      {.objects = 400 * shards, .ops_per_txn = 3, .write_fraction = 0.5}, 3);
-  store::WorkloadRunner runner(
-      cluster.sim(), frontend, db,
-      [&](const store::VersionedStore& d) { return gen.next(d); }, window);
-  return runner.run(kTxns);
+  bench::BaselineRig rig({.seed = 18, .num_shards = shards, .shard_size = 3},
+                         workload_for(shards), 3, window);
+  return rig.run(kTxns);
 }
 
 }  // namespace

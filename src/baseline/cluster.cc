@@ -20,6 +20,10 @@ BaselineCluster::BaselineCluster(Options options)
                                    : sim::Network::unit_delay_options();
   net_ = std::make_unique<sim::Network>(sim_, nopt);
   certifier_ = tcs::make_certifier(options_.isolation);
+  if (options_.enable_tracer) {
+    tracer_ = std::make_unique<sim::Tracer>();
+    net_->add_observer(tracer_.get());
+  }
 
   for (ShardId s = 0; s < options_.num_shards; ++s) {
     std::vector<ProcessId> group;
@@ -46,6 +50,7 @@ BaselineCluster::BaselineCluster(Options options)
       paxoses_.push_back(std::move(paxos));
     }
     leader_[s] = server_pid(s, 0);
+    epoch_[s] = 1;
   }
   // Install the full routing table at every server.
   for (auto& server : servers_) {
@@ -62,10 +67,32 @@ ProcessId BaselineCluster::paxos_pid(ShardId s, std::size_t idx) const {
 }
 
 ShardServer& BaselineCluster::server(ShardId s, std::size_t idx) {
+  return server_by_pid(server_pid(s, idx));
+}
+
+ShardServer& BaselineCluster::server_by_pid(ProcessId pid) {
   for (auto& sv : servers_) {
-    if (sv->id() == server_pid(s, idx)) return *sv;
+    if (sv->id() == pid) return *sv;
   }
-  throw std::out_of_range("no baseline server");
+  throw std::out_of_range("no baseline server with pid " + std::to_string(pid));
+}
+
+std::vector<ProcessId> BaselineCluster::shard_servers(ShardId s) const {
+  std::vector<ProcessId> out;
+  for (std::size_t i = 0; i < options_.shard_size; ++i) out.push_back(server_pid(s, i));
+  return out;
+}
+
+ProcessId BaselineCluster::paxos_twin(ProcessId server) const {
+  return server + kPaxosOffset;
+}
+
+configsvc::ShardConfig BaselineCluster::current_config(ShardId s) const {
+  configsvc::ShardConfig cfg;
+  cfg.epoch = epoch_.at(s);
+  cfg.members = shard_servers(s);
+  cfg.leader = leader_.at(s);
+  return cfg;
 }
 
 ProcessId BaselineCluster::leader_server(ShardId s) const { return leader_.at(s); }
@@ -84,17 +111,56 @@ BaselineClient& BaselineCluster::add_client() {
   return *clients_.back();
 }
 
+void BaselineCluster::crash_server(ProcessId server) {
+  sim_.crash(server);
+  sim_.crash(paxos_twin(server));
+}
+
+void BaselineCluster::elect_leader(ShardId s, ProcessId new_leader) {
+  server_by_pid(new_leader).paxos().start_election();
+  leader_[s] = new_leader;
+  ++epoch_[s];
+  // Repoint the routing tables (in a real deployment clients discover this
+  // via the Paxos leader hint; the harness shortcuts that).
+  for (auto& sv : servers_) sv->set_shard_leader(s, new_leader);
+}
+
 void BaselineCluster::fail_over(ShardId s, std::size_t new_leader_idx) {
-  // Crash the current leader pair, elect the chosen replica and repoint the
-  // routing tables (in a real deployment clients discover this via the
-  // Paxos leader hint; the harness shortcuts that).
-  ProcessId old_leader = leader_.at(s);
-  std::size_t old_idx = old_leader - server_pid(s, 0);
-  sim_.crash(old_leader);
-  sim_.crash(paxos_pid(s, old_idx));
-  server(s, new_leader_idx).paxos().start_election();
-  leader_[s] = server_pid(s, new_leader_idx);
-  for (auto& sv : servers_) sv->set_shard_leader(s, leader_[s]);
+  // Crash the current leader pair, then elect the chosen replica.
+  crash_server(leader_.at(s));
+  elect_leader(s, server_pid(s, new_leader_idx));
+}
+
+std::string BaselineCluster::verify() const {
+  std::string problems;
+  auto conflicting = history_.conflicting_decisions();
+  if (!conflicting.empty()) {
+    problems += "conflicting client decisions for " +
+                std::to_string(conflicting.size()) + " transaction(s)\n";
+  }
+  // Replicated-state-machine + 2PC atomicity: every server that applied a
+  // decision for t (same shard or not) applied the same one, and it matches
+  // what clients observed.
+  std::map<TxnId, tcs::Decision> global;
+  for (const auto& sv : servers_) {
+    for (const auto& [t, d] : sv->decided_txns()) {
+      auto [it, inserted] = global.emplace(t, d);
+      if (!inserted && it->second != d) {
+        problems += "txn" + std::to_string(t) + " decided both " +
+                    std::string(tcs::to_string(it->second)) + " and " +
+                    std::string(tcs::to_string(d)) + " across servers\n";
+      }
+    }
+  }
+  for (const auto& [t, d] : global) {
+    auto observed = history_.decision_of(t);
+    if (observed.has_value() && *observed != d) {
+      problems += "txn" + std::to_string(t) + " externalized as " +
+                  std::string(tcs::to_string(*observed)) + " but applied as " +
+                  std::string(tcs::to_string(d)) + "\n";
+    }
+  }
+  return problems;
 }
 
 }  // namespace ratc::baseline

@@ -9,8 +9,10 @@
 #include <vector>
 
 #include "baseline/shard_server.h"
+#include "configsvc/config.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "sim/trace.h"
 #include "tcs/certifier.h"
 #include "tcs/history.h"
 #include "tcs/shard_map.h"
@@ -74,18 +76,46 @@ class BaselineCluster {
     std::string isolation = "serializability";
     bool exponential_delays = false;
     double delay_mean = 5.0;
+    bool enable_tracer = false;
   };
 
   explicit BaselineCluster(Options options);
 
   ShardServer& server(ShardId s, std::size_t idx);
+  ShardServer& server_by_pid(ProcessId pid);
   ProcessId leader_server(ShardId s) const;
   /// The server a client should submit to: the leader of the transaction's
   /// first participant shard.
   ProcessId coordinator_for(const tcs::Payload& payload) const;
 
+  // --- topology (the baseline's membership is static: no spares) --------------
+
+  std::uint32_t num_shards() const { return options_.num_shards; }
+  /// All server pids of shard s (including crashed ones).
+  std::vector<ProcessId> shard_servers(ShardId s) const;
+  /// The Paxos replica co-located with a shard server (they share a
+  /// machine: a crash or partition takes both).
+  ProcessId paxos_twin(ProcessId server) const;
+  /// Synthesized configuration view, mirroring the reconfigurable stacks:
+  /// static members, current leader, and a leadership epoch bumped by every
+  /// (fail-over or healthy) leader change.
+  configsvc::ShardConfig current_config(ShardId s) const;
+
   BaselineClient& add_client();
   TxnId next_txn_id() { return next_txn_++; }
+
+  // --- failure & leadership-change hooks ---------------------------------------
+
+  /// Crashes one server and its Paxos twin.  Does NOT repoint leadership:
+  /// callers crashing the leader must follow up with elect_leader (the
+  /// coordinator state it held is lost regardless — classical 2PC's
+  /// blocking weakness).
+  void crash_server(ProcessId server);
+
+  /// Leadership change without a crash (the baseline's only analogue of
+  /// reconfiguration): `new_leader` starts a Paxos election and the routing
+  /// tables are repointed.
+  void elect_leader(ShardId s, ProcessId new_leader);
 
   /// Crashes server idx of shard s (and its Paxos replica), then has
   /// another replica take over leadership and updates the routing tables.
@@ -93,9 +123,16 @@ class BaselineCluster {
 
   sim::Simulator& sim() { return sim_; }
   sim::Network& net() { return *net_; }
+  sim::Tracer& tracer() { return *tracer_; }
   tcs::History& history() { return history_; }
   const tcs::ShardMap& shard_map() const { return shard_map_; }
   const tcs::Certifier& certifier() const { return *certifier_; }
+
+  /// End-of-run verdict: no conflicting client decisions, and every server
+  /// (of any shard, crashed or not) that decided a transaction agrees on
+  /// its decision — the state-machine-replication and 2PC-atomicity
+  /// obligations of the baseline.  Returns a diagnostic on failure.
+  std::string verify() const;
 
  private:
   ProcessId server_pid(ShardId s, std::size_t idx) const;
@@ -106,10 +143,13 @@ class BaselineCluster {
   std::unique_ptr<sim::Network> net_;
   tcs::ShardMap shard_map_;
   std::unique_ptr<tcs::Certifier> certifier_;
+  std::unique_ptr<sim::Tracer> tracer_;
   std::vector<std::unique_ptr<ShardServer>> servers_;
   std::vector<std::unique_ptr<paxos::PaxosReplica>> paxoses_;
   std::vector<std::unique_ptr<BaselineClient>> clients_;
   std::map<ShardId, ProcessId> leader_;
+  /// Leadership epoch per shard (starts at 1, bumped by leader changes).
+  std::map<ShardId, Epoch> epoch_;
   tcs::History history_;
   TxnId next_txn_ = 1;
 };

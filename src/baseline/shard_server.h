@@ -43,10 +43,18 @@ class ShardServer : public sim::Process {
   /// Paxos apply upcall.
   void apply(Slot slot, const sim::AnyMessage& cmd);
 
-  // Introspection for tests.
+  // Introspection for tests and the cluster-level verifier.
   bool has_decided(TxnId t) const;
   tcs::Decision decision_of(TxnId t) const { return txns_.at(t).decision; }
   std::size_t committed_count() const { return committed_.size(); }
+  /// Every transaction this replica applied a decision for.
+  std::map<TxnId, tcs::Decision> decided_txns() const {
+    std::map<TxnId, tcs::Decision> out;
+    for (const auto& [t, st] : txns_) {
+      if (st.decided) out.emplace(t, st.decision);
+    }
+    return out;
+  }
 
  private:
   struct TxnState {

@@ -41,6 +41,21 @@ TcsLLResult check_tcsll(const TcsLLInput& input) {
     return it == input.records.end() ? nullptr : &it->second;
   };
 
+  // The incarnation of (t, s) visible at epoch `at`: the latest complete
+  // acceptance with epoch <= at.  nullptr means the transaction had no
+  // acceptance by then — lost across a reconfiguration (Lemma A.1 excludes
+  // it from the witness sets) or never accepted at all.
+  auto incarnation_of = [&](TxnId t, ShardId s, Epoch at) -> const ShardCertRecord* {
+    const ShardCertRecord* best = nullptr;
+    for (auto it = input.incarnations.lower_bound({t, s, 0});
+         it != input.incarnations.end(); ++it) {
+      const auto& [kt, ks, ke] = it->first;
+      if (kt != t || ks != s || ke > at) break;
+      best = &it->second;
+    }
+    return best;
+  };
+
   auto global_decision = [&](TxnId t) -> std::optional<Decision> {
     auto it = input.decided.find(t);
     if (it != input.decided.end()) return it->second;
@@ -99,18 +114,24 @@ TcsLLResult check_tcsll(const TcsLLInput& input) {
     // (11): every prepared witness with a defined position precedes t and
     // carried a commit vote.  Witnesses without a record were lost across a
     // reconfiguration (paper Sec. 3, "losing undecided transactions") and
-    // are excluded, as in the proof of Lemma A.1.
+    // are excluded, as in the proof of Lemma A.1.  With per-incarnation
+    // records each witness is resolved to the incarnation its voter could
+    // actually have seen — the latest acceptance at an epoch <= rec.epoch —
+    // so a witness lost and later re-certified in a newer epoch is excluded
+    // precisely, not by a blanket epoch guard.
     std::vector<const ShardCertRecord*> p_eff;
     for (TxnId tp : rec.prepared_against) {
-      const ShardCertRecord* rp = record_of(tp, s);
-      if (rp == nullptr) continue;  // lost transaction
+      const ShardCertRecord* rp;
+      if (!input.incarnations.empty()) {
+        rp = incarnation_of(tp, s, rec.epoch);
+        if (rp == nullptr) continue;  // lost (or only re-certified later)
+      } else {
+        // Hand-built input: only first-acceptance records are available.
+        rp = record_of(tp, s);
+        if (rp == nullptr) continue;  // lost transaction
+        if (rp->pos >= rec.pos && rp->epoch > rec.epoch) continue;
+      }
       if (rp->pos >= rec.pos) {
-        // A witness whose only complete acceptance happened in a LATER
-        // epoch than this record was lost across a reconfiguration (the
-        // voter saw its earlier, lost incarnation) and then re-certified
-        // at a new position.  Lemma A.1 excludes lost transactions from
-        // the witness sets; exclude the re-certified incarnation too.
-        if (rp->epoch > rec.epoch) continue;
         fail("(11) prepared witness " + key_str(tp, s) + " at pos " +
              std::to_string(rp->pos) + " not before " + key_str(t, s) + " at pos " +
              std::to_string(rec.pos));

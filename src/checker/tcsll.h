@@ -18,6 +18,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -46,6 +47,14 @@ struct TcsLLInput {
   const tcs::Certifier* certifier = nullptr;
   /// Accepted certification records, keyed by (txn, shard).
   std::map<std::pair<TxnId, ShardId>, ShardCertRecord> records;
+  /// Every complete acceptance incarnation, keyed by (txn, shard, epoch).
+  /// A transaction lost across a reconfiguration and later re-certified has
+  /// one incarnation per epoch it was accepted in; constraint (11) resolves
+  /// each prepared witness against the incarnation its voter could actually
+  /// have seen (the latest one at an epoch <= the referring record's).
+  /// Populated by the protocol monitors; when empty (hand-built inputs) the
+  /// checker falls back to `records` with a coarser epoch guard.
+  std::map<std::tuple<TxnId, ShardId, Epoch>, ShardCertRecord> incarnations;
   /// Global decisions the protocol sent in DECISION messages (a superset of
   /// what clients observed; used for constraint (10) when a client never
   /// learned a decision that was nevertheless reached).

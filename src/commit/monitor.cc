@@ -329,12 +329,9 @@ checker::TcsLLInput Monitor::tcsll_input(const tcs::History& history,
   input.certifier = &certifier;
   input.decided = decided_;
 
-  // One record per (txn, shard): the first complete acceptance, joined with
-  // the vote computation that produced it (the latest computation at an
-  // epoch ≤ the acceptance epoch).
-  for (const auto& [key, acc_key] : accepted_txn_) {
-    (void)key;
-    const Acceptance& acc = acceptances_.at(acc_key);
+  // Joins an acceptance with the vote computation that produced it (the
+  // latest computation at an epoch ≤ the acceptance epoch).
+  auto to_record = [this](const Acceptance& acc) {
     checker::ShardCertRecord rec;
     rec.txn = acc.txn;
     rec.shard = acc.shard;
@@ -352,7 +349,23 @@ checker::TcsLLInput Monitor::tcsll_input(const tcs::History& history,
       rec.committed_against = best->committed_against;
       rec.prepared_against = best->prepared_against;
     }
-    input.records.emplace(std::make_pair(acc.txn, acc.shard), std::move(rec));
+    return rec;
+  };
+
+  // One record per (txn, shard): the first complete acceptance.
+  for (const auto& [key, acc_key] : accepted_txn_) {
+    (void)key;
+    const Acceptance& acc = acceptances_.at(acc_key);
+    input.records.emplace(std::make_pair(acc.txn, acc.shard), to_record(acc));
+  }
+  // Plus every complete acceptance as its own (txn, shard, epoch)
+  // incarnation, for the checker's per-incarnation witness resolution in
+  // constraint (11).
+  for (const auto& [key, acc] : acceptances_) {
+    (void)key;
+    if (!acc.complete) continue;
+    input.incarnations.emplace(std::make_tuple(acc.txn, acc.shard, acc.epoch),
+                               to_record(acc));
   }
   return input;
 }

@@ -52,6 +52,25 @@ std::uint64_t Fabric::send_rdma(ProcessId from, ProcessId to, sim::AnyMessage ms
   ++writes_sent_;
   Time now = sim_.now();
   for (auto* obs : observers_) obs->on_write(now, from, to, msg);
+  if (from == to) {
+    // A process's write to its own memory is a synchronous local store: no
+    // connection, no switch, no DMA in flight.  It lands and is visible
+    // immediately — it can never straddle an epoch transition, so the
+    // monitor's property (*) check applies to it unconditionally.  Only the
+    // NIC completion remains an event (delivered after the current handler,
+    // still at the same tick).
+    for (auto* obs : observers_) obs->on_landed(now, from, to, msg);
+    auto it = endpoints_.find(to);
+    if (it != endpoints_.end() && it->second.deliver) {
+      it->second.deliver(from, msg);
+    }
+    sim_.schedule(0, [this, from, to, token] {
+      auto sit = endpoints_.find(from);
+      if (sit == endpoints_.end() || sim_.crashed(from) || !sit->second.ack) return;
+      sit->second.ack(RdmaAck{to, token});
+    });
+    return token;
+  }
   // The write targets the queue pair the sender currently holds.
   std::uint64_t gen = endpoints_[to].generation[from];
   sim::MessageFate fate;
@@ -77,11 +96,10 @@ void Fabric::land(ProcessId from, ProcessId to, sim::AnyMessage msg,
                   std::uint64_t token, std::uint64_t gen_at_send) {
   Time now = sim_.now();
   auto it = endpoints_.find(to);
-  // A process writing to its own memory always succeeds (no connection).
-  bool self_write = from == to;
+  // Self-writes never get here: send_rdma completes them synchronously.
   if (it == endpoints_.end() || sim_.crashed(to) ||
-      (!self_write && (it->second.open_from.count(from) == 0 ||
-                       it->second.generation[from] != gen_at_send))) {
+      it->second.open_from.count(from) == 0 ||
+      it->second.generation[from] != gen_at_send) {
     ++writes_rejected_;
     for (auto* obs : observers_) obs->on_rejected(now, from, to, msg);
     return;  // write fails; sender gets no completion

@@ -15,6 +15,13 @@
 // counter-example possible: a write that lands is acknowledged even if the
 // receiver's protocol state would have rejected it — the receiver CPU is
 // not consulted.
+//
+// A process's write to its OWN memory is different: physically it is a
+// synchronous CPU store, not a DMA.  send_rdma therefore lands and
+// delivers it immediately (no connection check, no fault injection, no
+// in-flight window), with only the completion notification deferred to the
+// next event at the same tick.  This is what lets the RdmaMonitor check
+// property (*) on every landing without a self-write exemption.
 #pragma once
 
 #include <cstdint>

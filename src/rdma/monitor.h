@@ -72,9 +72,7 @@ class RdmaMonitor : public sim::NetworkObserver, public FabricObserver {
     input.shard_map = &shard_map;
     input.certifier = &certifier;
     input.decided = decided_;
-    for (const auto& [key, acc_key] : accepted_txn_) {
-      (void)key;
-      const Acceptance& acc = acceptances_.at(acc_key);
+    auto to_record = [this](const Acceptance& acc) {
       checker::ShardCertRecord rec;
       rec.txn = acc.txn;
       rec.shard = acc.shard;
@@ -92,7 +90,20 @@ class RdmaMonitor : public sim::NetworkObserver, public FabricObserver {
         rec.committed_against = best->committed_against;
         rec.prepared_against = best->prepared_against;
       }
-      input.records.emplace(std::make_pair(acc.txn, acc.shard), std::move(rec));
+      return rec;
+    };
+    for (const auto& [key, acc_key] : accepted_txn_) {
+      (void)key;
+      const Acceptance& acc = acceptances_.at(acc_key);
+      input.records.emplace(std::make_pair(acc.txn, acc.shard), to_record(acc));
+    }
+    // Every complete acceptance as a (txn, shard, epoch) incarnation, for
+    // the per-incarnation witness resolution of constraint (11).
+    for (const auto& [key, acc] : acceptances_) {
+      (void)key;
+      if (!acc.complete) continue;
+      input.incarnations.emplace(std::make_tuple(acc.txn, acc.shard, acc.epoch),
+                                 to_record(acc));
     }
     return input;
   }
@@ -152,17 +163,17 @@ class RdmaMonitor : public sim::NetworkObserver, public FabricObserver {
   void on_landed(Time now, ProcessId from, ProcessId to,
                  const sim::AnyMessage& msg) override {
     (void)now;
+    (void)from;
     const auto* a = msg.as<RAccept>();
     if (a == nullptr) return;
     auto it = replicas_.find(to);
     if (it == replicas_.end()) return;
     Epoch receiver_epoch = it->second->epoch();
-    // Property (*) is enforced by connection closure, which cannot (and
-    // need not) apply to a process's writes into its own memory: physically
-    // those are synchronous local stores, and the simulated 1-2 tick
-    // self-write can straddle an epoch transition.  Only remote landings
-    // are stale-ACCEPT violations (the Fig. 4a race is coordinator->other).
-    if (from != to && receiver_epoch != a->epoch) {
+    // Property (*): the landing epoch equals the epoch the leader prepared
+    // the transaction at.  Self-writes are synchronous local stores (the
+    // fabric lands them immediately), so the check applies to every
+    // landing — remote or local — without exemption.
+    if (receiver_epoch != a->epoch) {
       report("Invariant13",
              "ACCEPT for txn" + std::to_string(a->txn) + " prepared at epoch " +
                  std::to_string(a->epoch) + " landed at " + process_name(to) +

@@ -71,10 +71,9 @@ class RdmaFrontend : public TcsFrontend {
 
  private:
   rdma::Replica* pick_coordinator() {
-    auto& opts = cluster_;
-    for (std::uint32_t attempts = 0; attempts < 16; ++attempts) {
+    for (std::uint32_t attempts = 0; attempts < 4 * shard_count(); ++attempts) {
       ShardId s = next_shard_++ % shard_count();
-      configsvc::ShardConfig cfg = opts.current_config(s);
+      configsvc::ShardConfig cfg = cluster_.current_config(s);
       if (cfg.members.empty()) continue;
       ProcessId pid = cfg.members[next_member_++ % cfg.members.size()];
       if (cluster_.sim().crashed(pid)) continue;

@@ -1,0 +1,250 @@
+// StackHarness: one uniform driving surface over the three transaction
+// stacks (the paper's message-passing protocol, its RDMA variant, and the
+// 2PC-over-Paxos baseline), promoted out of the test harness so sweeps,
+// benches and examples all build, fault and check a stack the same way.
+//
+// Each harness owns a fully assembled cluster plus a history-recording
+// client and exposes:
+//   * construction from a shared StackWorkload (per-stack knobs that do not
+//     apply are ignored);
+//   * submission through a live coordinator (seeded-random pick, so a run
+//     stays a pure function of its seed);
+//   * the crash / reconfigure / leadership-change levers of the stack,
+//     guarded by the stack's own liveness assumptions (the paper's
+//     Assumption 1 for the reconfigurable stacks, Paxos majorities for the
+//     baseline);
+//   * the machine topology for partition-shaped faults (fault_units); and
+//   * the checkers that apply to the stack, enumerated by kCheckers:
+//     verify() folds in the online monitor and TCS-LL where they exist,
+//     check_linearization() runs the exact DFS.
+//
+// The compile-time surface shared by every harness (and by the Paxos
+// substrate adapter in tests/harness/sweep.cc):
+//
+//   using Workload;                        // StackWorkload-shaped knobs
+//   static constexpr const char* kName;
+//   static constexpr std::uint64_t kWorkloadSalt;  // workload rng derivation
+//   static constexpr Duration kPaceHi;             // inter-txn think time
+//   static constexpr CheckerSet kCheckers;
+//   Harness(std::uint64_t seed, const Workload& w);
+//   sim::Simulator& sim();
+//   void install_fault_injector(sim::FaultInjector*);
+//   void set_on_decision(std::function<void(TxnId, tcs::Decision)>);
+//   TxnId next_txn_id();
+//   bool submit(Rng&, TxnId, const tcs::Payload&);
+//   std::size_t decided_count() / committed_count();
+//   std::uint32_t num_shards();
+//   std::vector<std::vector<ProcessId>> fault_units(ShardId) / all_units();
+//   bool crash_and_reconfigure(Rng&, ShardId) / reconfigure_healthy(Rng&, ShardId);
+//   void drain(Duration, Rng&);
+//   std::string verify() / check_linearization() / trace();
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baseline/cluster.h"
+#include "commit/client.h"
+#include "commit/cluster.h"
+#include "rdma/cluster.h"
+#include "sim/fault.h"
+#include "tcs/payload.h"
+
+namespace ratc::store {
+
+/// Construction and workload knobs shared by the stack harnesses.  Knobs
+/// that do not apply to a stack are ignored by its harness (the baseline
+/// has no spares or retry timeout; only the RDMA stack has a fabric).
+struct StackWorkload {
+  std::uint32_t num_shards = 3;
+  std::size_t shard_size = 2;
+  std::size_t spares_per_shard = 6;
+  int total_txns = 200;
+  ObjectId object_universe = 24;
+  std::string isolation = "serializability";
+  bool exponential_delays = false;
+  Duration retry_timeout = 120;
+  Duration drain = 8000;  ///< post-workload settle time (ticks)
+  /// Run the exact linearization DFS when |committed| <= this bound.
+  std::size_t linearize_up_to = 25;
+  /// Minimum fraction of submitted transactions that must decide; lossy
+  /// schedules legitimately lose decisions, so sweeps tune this down.
+  double min_decided_fraction = 0.9;
+  bool capture_trace = true;
+  /// RDMA only: also install the fault injector on the one-sided fabric.
+  bool faults_on_fabric = true;
+};
+
+/// Which end-of-run checkers apply to a stack.  monitor and tcsll are
+/// folded into verify(); linearization gates check_linearization().
+struct CheckerSet {
+  bool monitor = false;
+  bool tcsll = false;
+  bool linearization = false;
+};
+
+/// Shared payload generator: contended read-write transactions in the style
+/// of commit_random_test (the versions map feeds realistic read versions).
+class ContendedPayloadGen {
+ public:
+  ContendedPayloadGen(Rng& rng, ObjectId universe) : rng_(rng), universe_(universe) {}
+
+  tcs::Payload next() {
+    tcs::Payload p;
+    std::uint64_t nobjs = 1 + rng_.below(3);
+    Version maxv = 0;
+    for (std::uint64_t j = 0; j < nobjs; ++j) {
+      ObjectId obj = rng_.below(universe_);
+      if (p.reads_object(obj)) continue;
+      Version v = versions_.count(obj) ? versions_[obj] : 0;
+      p.reads.push_back({obj, v});
+      maxv = std::max(maxv, v);
+    }
+    for (const auto& r : p.reads) {
+      if (rng_.chance(0.6)) {
+        p.writes.push_back({r.object, static_cast<Value>(rng_.below(1000))});
+      }
+    }
+    p.commit_version = maxv + 1;
+    return p;
+  }
+
+  void observe_commit(const tcs::Payload& p) {
+    for (const auto& w : p.writes) {
+      versions_[w.object] = std::max(versions_[w.object], p.commit_version);
+    }
+  }
+
+ private:
+  Rng& rng_;
+  ObjectId universe_;
+  std::map<ObjectId, Version> versions_;
+};
+
+/// Paper protocol (Fig. 1): shards of f+1 replicas plus spares, per-shard
+/// reconfiguration through the configuration service.
+class CommitHarness {
+ public:
+  using Workload = StackWorkload;
+  static constexpr const char* kName = "commit";
+  static constexpr std::uint64_t kWorkloadSalt = 0xabcdefULL;
+  static constexpr Duration kPaceHi = 6;  // matches commit_random_test pacing
+  static constexpr CheckerSet kCheckers{true, true, true};
+
+  CommitHarness(std::uint64_t seed, const StackWorkload& w);
+
+  sim::Simulator& sim() { return cluster_.sim(); }
+  commit::Cluster& cluster() { return cluster_; }
+  void install_fault_injector(sim::FaultInjector* fi);
+  void set_on_decision(std::function<void(TxnId, tcs::Decision)> fn);
+  TxnId next_txn_id() { return cluster_.next_txn_id(); }
+  bool submit(Rng& rng, TxnId txn, const tcs::Payload& payload);
+  std::size_t decided_count() const { return client_->decided_count(); }
+  std::size_t committed_count() { return cluster_.history().committed_count(); }
+
+  std::uint32_t num_shards() const { return cluster_.num_shards(); }
+  std::vector<std::vector<ProcessId>> fault_units(ShardId s) const;
+  std::vector<std::vector<ProcessId>> all_units() const;
+  bool crash_and_reconfigure(Rng& rng, ShardId s);
+  bool reconfigure_healthy(Rng& rng, ShardId s);
+  void drain(Duration d, Rng& rng);
+
+  std::string verify() { return cluster_.verify(); }
+  std::string check_linearization();
+  std::string trace();
+
+ private:
+  std::vector<ProcessId> alive_members(ShardId s);
+
+  StackWorkload w_;
+  commit::Cluster cluster_;
+  commit::Client* client_;
+};
+
+/// RDMA protocol (Figs. 7-8) in safe global-reconfiguration mode.
+class RdmaHarness {
+ public:
+  using Workload = StackWorkload;
+  static constexpr const char* kName = "rdma";
+  static constexpr std::uint64_t kWorkloadSalt = 0x5eedULL;
+  static constexpr Duration kPaceHi = 5;  // matches rdma_random_test pacing
+  static constexpr CheckerSet kCheckers{true, true, true};
+
+  RdmaHarness(std::uint64_t seed, const StackWorkload& w);
+
+  sim::Simulator& sim() { return cluster_.sim(); }
+  rdma::Cluster& cluster() { return cluster_; }
+  void install_fault_injector(sim::FaultInjector* fi);
+  void set_on_decision(std::function<void(TxnId, tcs::Decision)> fn);
+  TxnId next_txn_id() { return cluster_.next_txn_id(); }
+  bool submit(Rng& rng, TxnId txn, const tcs::Payload& payload);
+  std::size_t decided_count() const { return client_->decided_count(); }
+  std::size_t committed_count() { return cluster_.history().committed_count(); }
+
+  std::uint32_t num_shards() const { return cluster_.shard_map().num_shards(); }
+  std::vector<std::vector<ProcessId>> fault_units(ShardId s) const;
+  std::vector<std::vector<ProcessId>> all_units() const;
+  bool crash_and_reconfigure(Rng& rng, ShardId s);
+  bool reconfigure_healthy(Rng& rng, ShardId s);
+  void drain(Duration d, Rng& rng);
+
+  std::string verify() { return cluster_.verify(); }
+  std::string check_linearization();
+  std::string trace();
+
+ private:
+  std::vector<ProcessId> alive_members(ShardId s);
+
+  StackWorkload w_;
+  rdma::Cluster cluster_;
+  rdma::Client* client_;
+};
+
+/// Vanilla 2PC-over-Paxos baseline: shards of 2f+1 servers, each paired
+/// with a Paxos replica on the same machine.  Coordinator state is not
+/// replicated, so a coordinator crash blocks its in-flight transactions —
+/// the weakness the paper's protocols remove; sweeps document it by tuning
+/// min_decided_fraction down.  No online monitor or TCS-LL oracle exists
+/// for this stack: verify() checks decision agreement across replicas and
+/// shards, and the black-box linearization DFS still applies.
+class BaselineHarness {
+ public:
+  using Workload = StackWorkload;
+  static constexpr const char* kName = "baseline";
+  static constexpr std::uint64_t kWorkloadSalt = 0xba5e11eULL;
+  static constexpr Duration kPaceHi = 6;
+  static constexpr CheckerSet kCheckers{false, false, true};
+
+  BaselineHarness(std::uint64_t seed, const StackWorkload& w);
+
+  sim::Simulator& sim() { return cluster_.sim(); }
+  baseline::BaselineCluster& cluster() { return cluster_; }
+  void install_fault_injector(sim::FaultInjector* fi);
+  void set_on_decision(std::function<void(TxnId, tcs::Decision)> fn);
+  TxnId next_txn_id() { return cluster_.next_txn_id(); }
+  bool submit(Rng& rng, TxnId txn, const tcs::Payload& payload);
+  std::size_t decided_count() const { return client_->decided_count(); }
+  std::size_t committed_count() { return cluster_.history().committed_count(); }
+
+  std::uint32_t num_shards() const { return cluster_.num_shards(); }
+  std::vector<std::vector<ProcessId>> fault_units(ShardId s) const;
+  std::vector<std::vector<ProcessId>> all_units() const;
+  bool crash_and_reconfigure(Rng& rng, ShardId s);
+  bool reconfigure_healthy(Rng& rng, ShardId s);
+  void drain(Duration d, Rng& rng);
+
+  std::string verify() { return cluster_.verify(); }
+  std::string check_linearization();
+  std::string trace();
+
+ private:
+  std::vector<ProcessId> alive_servers(ShardId s);
+
+  StackWorkload w_;
+  baseline::BaselineCluster cluster_;
+  baseline::BaselineClient* client_;
+};
+
+}  // namespace ratc::store

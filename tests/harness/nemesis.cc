@@ -22,10 +22,19 @@ void Nemesis::split(const std::vector<std::vector<ProcessId>>& groups,
   }
   partition_until_ = sim_.now() + len;
   partition_lossy_ = lossy;
+  partition_mode_ = PartitionMode::kSymmetric;
+}
+
+void Nemesis::isolate_one_way(const std::vector<ProcessId>& victims, Duration len,
+                              bool inbound_blocked, bool lossy) {
+  split({victims}, len, lossy);
+  partition_mode_ = inbound_blocked ? PartitionMode::kInboundBlocked
+                                    : PartitionMode::kOutboundBlocked;
 }
 
 void Nemesis::heal() {
   partition_until_ = 0;
+  partition_mode_ = PartitionMode::kSymmetric;
   groups_.clear();
 }
 
@@ -43,15 +52,36 @@ void Nemesis::delay_messages(Duration delay_hi, Duration len) {
   delay_until_ = sim_.now() + len;
 }
 
+void Nemesis::skew_clocks(const std::vector<ProcessId>& victims, Duration skew,
+                          Duration len) {
+  skewed_procs_.clear();
+  skewed_procs_.insert(victims.begin(), victims.end());
+  skew_ = skew;
+  skew_until_ = sim_.now() + len;
+}
+
 void Nemesis::clear() {
   heal();
   drop_until_ = 0;
   delay_until_ = 0;
+  skew_until_ = 0;
+  skewed_procs_.clear();
 }
 
 int Nemesis::group_of(ProcessId p) const {
   auto it = groups_.find(p);
   return it == groups_.end() ? 0 : it->second;
+}
+
+bool Nemesis::partition_affects(ProcessId from, ProcessId to) const {
+  int gf = group_of(from), gt = group_of(to);
+  if (gf == gt) return false;
+  switch (partition_mode_) {
+    case PartitionMode::kSymmetric: return true;
+    case PartitionMode::kInboundBlocked: return gt != 0;   // into a victim group
+    case PartitionMode::kOutboundBlocked: return gf != 0;  // out of a victim group
+  }
+  return false;
 }
 
 sim::MessageFate Nemesis::on_message(Time now, ProcessId from, ProcessId to,
@@ -64,7 +94,7 @@ sim::MessageFate Nemesis::on_message(Time now, ProcessId from, ProcessId to,
   // physical system can produce (e.g. a one-sided self-write landing after
   // a reconfiguration's flush).
   if (from == to) return fate;
-  if (now < partition_until_ && group_of(from) != group_of(to)) {
+  if (now < partition_until_ && partition_affects(from, to)) {
     if (partition_lossy_) {
       ++dropped_;
       fate.drop = true;
@@ -87,6 +117,10 @@ sim::MessageFate Nemesis::on_message(Time now, ProcessId from, ProcessId to,
   if (now < delay_until_ && delay_hi_ > 0) {
     ++delayed_;
     fate.extra_delay += rng_.range(1, delay_hi_);
+  }
+  if (now < skew_until_ && skew_ > 0 && skewed_procs_.count(from) > 0) {
+    ++skewed_;
+    fate.extra_delay += skew_;
   }
   return fate;
 }

@@ -8,10 +8,16 @@
 //     messages crossing a group boundary are either held back (delayed so
 //     they arrive after the window closes — eventual delivery, matching the
 //     paper's asynchronous reliable-link model) or, in lossy mode, dropped
-//     outright (modelling a switch that discards traffic).
+//     outright (modelling a switch that discards traffic).  Partitions may
+//     be symmetric or one-way (asymmetric: only one direction across the
+//     boundary is affected, modelling e.g. a broken inbound NIC queue).
 //   * drop window — each message is dropped with probability p.
 //   * delay window — each message gets a uniform extra delay, widening the
 //     space of explored interleavings beyond the FIFO lockstep.
+//   * clock skew — everything a skewed process sends arrives a fixed extra
+//     delay late.  Timer faults are modelled at the message layer: a
+//     process whose scheduling clock lags fires its timeouts late and its
+//     responses land late, which is exactly what its peers observe.
 //
 // All stochastic choices come from the Nemesis's own seeded Rng, never from
 // the simulator's, so installing a Nemesis does not perturb the fault-free
@@ -21,6 +27,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/random.h"
@@ -46,9 +53,24 @@ class Nemesis : public sim::FaultInjector {
   void split(const std::vector<std::vector<ProcessId>>& groups, Duration len,
              bool lossy = false);
 
+  /// Asymmetric (one-way) partition: until now()+len, messages crossing the
+  /// boundary in ONE direction are held back (or dropped when lossy) while
+  /// the other direction flows normally.  With inbound_blocked the victims
+  /// stop hearing from the rest of the cluster but are still heard; with
+  /// !inbound_blocked the victims can hear but not be heard.
+  void isolate_one_way(const std::vector<ProcessId>& victims, Duration len,
+                       bool inbound_blocked, bool lossy = false);
+
   /// Ends any active partition immediately.
   void heal();
   bool partition_active() const;
+
+  // --- clock skew -------------------------------------------------------------
+
+  /// Until now()+len, every message sent by a victim arrives `skew` ticks
+  /// late — the message-layer shadow of a lagging scheduling clock (late
+  /// timer fires, late responses).
+  void skew_clocks(const std::vector<ProcessId>& victims, Duration skew, Duration len);
 
   // --- probabilistic windows --------------------------------------------------
 
@@ -66,12 +88,17 @@ class Nemesis : public sim::FaultInjector {
   std::uint64_t dropped() const { return dropped_; }
   std::uint64_t delayed() const { return delayed_; }
   std::uint64_t held_at_partition() const { return held_; }
+  std::uint64_t skewed() const { return skewed_; }
 
   sim::MessageFate on_message(Time now, ProcessId from, ProcessId to,
                               const sim::AnyMessage& msg) override;
 
  private:
+  /// Which direction(s) across the group boundary a partition severs.
+  enum class PartitionMode { kSymmetric, kInboundBlocked, kOutboundBlocked };
+
   int group_of(ProcessId p) const;
+  bool partition_affects(ProcessId from, ProcessId to) const;
 
   sim::Simulator& sim_;
   Rng rng_;
@@ -79,6 +106,7 @@ class Nemesis : public sim::FaultInjector {
   // Partition window (one at a time; a new partition replaces the old).
   Time partition_until_ = 0;
   bool partition_lossy_ = false;
+  PartitionMode partition_mode_ = PartitionMode::kSymmetric;
   std::unordered_map<ProcessId, int> groups_;
 
   Time drop_until_ = 0;
@@ -87,9 +115,15 @@ class Nemesis : public sim::FaultInjector {
   Time delay_until_ = 0;
   Duration delay_hi_ = 0;
 
+  // Clock-skew window: messages sent by these processes arrive late.
+  Time skew_until_ = 0;
+  Duration skew_ = 0;
+  std::unordered_set<ProcessId> skewed_procs_;
+
   std::uint64_t dropped_ = 0;
   std::uint64_t delayed_ = 0;
   std::uint64_t held_ = 0;
+  std::uint64_t skewed_ = 0;
 };
 
 }  // namespace ratc::harness

@@ -9,6 +9,9 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kCrash: return "crash";
     case FaultKind::kReconfigure: return "reconfigure";
     case FaultKind::kPartition: return "partition";
+    case FaultKind::kMajoritySplit: return "majority-split";
+    case FaultKind::kOneWayPartition: return "one-way-partition";
+    case FaultKind::kClockSkew: return "clock-skew";
     case FaultKind::kDropWindow: return "drop";
     case FaultKind::kDelayWindow: return "delay";
   }
@@ -23,6 +26,9 @@ std::string Schedule::describe() const {
     if (e.intensity > 0) out += "\tp=" + std::to_string(e.intensity);
     if (e.delay_hi > 0) out += "\tdelay_hi=" + std::to_string(e.delay_hi);
     if (e.lossy) out += "\tlossy";
+    if (e.kind == FaultKind::kOneWayPartition) {
+      out += e.inbound ? "\tinbound-blocked" : "\toutbound-blocked";
+    }
     out += "\n";
   }
   return out;
@@ -54,6 +60,22 @@ Schedule generate_schedule(Rng& rng, const ScheduleOptions& opt) {
   for (int i = 0; i < opt.delay_windows; ++i) {
     s.events.push_back({position(), FaultKind::kDelayWindow, window(), 0,
                         opt.delay_hi, false});
+  }
+  // New shapes are drawn after the originals so option sets that do not use
+  // them generate bit-identical schedules to earlier revisions.
+  for (int i = 0; i < opt.majority_splits; ++i) {
+    s.events.push_back({position(), FaultKind::kMajoritySplit, window(), 0, 0,
+                        opt.lossy_partitions});
+  }
+  for (int i = 0; i < opt.one_way_partitions; ++i) {
+    FaultEvent e{position(), FaultKind::kOneWayPartition, window(), 0, 0,
+                 opt.lossy_partitions};
+    e.inbound = rng.chance(0.5);
+    s.events.push_back(e);
+  }
+  for (int i = 0; i < opt.clock_skews; ++i) {
+    s.events.push_back({position(), FaultKind::kClockSkew, window(), 0,
+                        rng.range(1, opt.skew_hi), false});
   }
   std::stable_sort(s.events.begin(), s.events.end(),
                    [](const FaultEvent& a, const FaultEvent& b) {

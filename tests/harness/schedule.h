@@ -20,11 +20,14 @@
 namespace ratc::harness {
 
 enum class FaultKind {
-  kCrash,        ///< crash one replica (driver picks a victim that keeps the shard alive), then reconfigure around it
-  kReconfigure,  ///< reconfigure a healthy shard mid-stream, no crash
-  kPartition,    ///< isolate a member set for `len` ticks (lossy or held-back)
-  kDropWindow,   ///< drop each message with probability `intensity` for `len` ticks
-  kDelayWindow,  ///< add uniform extra delay in [1, delay_hi] for `len` ticks
+  kCrash,          ///< crash one replica (driver picks a victim that keeps the shard alive), then reconfigure around it
+  kReconfigure,    ///< reconfigure a healthy shard mid-stream, no crash
+  kPartition,      ///< isolate a member set for `len` ticks (lossy or held-back)
+  kMajoritySplit,  ///< split the whole cluster into two sides for `len` ticks
+  kOneWayPartition,  ///< asymmetric partition: one direction blocked only
+  kClockSkew,      ///< one machine's sends arrive `delay_hi` ticks late for `len` ticks
+  kDropWindow,     ///< drop each message with probability `intensity` for `len` ticks
+  kDelayWindow,    ///< add uniform extra delay in [1, delay_hi] for `len` ticks
 };
 
 const char* fault_kind_name(FaultKind k);
@@ -32,10 +35,11 @@ const char* fault_kind_name(FaultKind k);
 struct FaultEvent {
   double at = 0;          ///< workload fraction in [0, 1) at which to fire
   FaultKind kind = FaultKind::kCrash;
-  Duration len = 0;       ///< window length (partition/drop/delay)
+  Duration len = 0;       ///< window length (partition/drop/delay/skew)
   double intensity = 0;   ///< drop probability (kDropWindow)
-  Duration delay_hi = 0;  ///< max extra delay (kDelayWindow)
-  bool lossy = false;     ///< kPartition: drop instead of hold back
+  Duration delay_hi = 0;  ///< max extra delay (kDelayWindow); skew (kClockSkew)
+  bool lossy = false;     ///< partitions: drop instead of hold back
+  bool inbound = true;    ///< kOneWayPartition: block inbound (else outbound)
 };
 
 struct ScheduleOptions {
@@ -44,10 +48,14 @@ struct ScheduleOptions {
   int partitions = 1;
   int drop_windows = 0;
   int delay_windows = 1;
+  int majority_splits = 0;
+  int one_way_partitions = 0;
+  int clock_skews = 0;
   Duration window_lo = 60;   ///< min window length (ticks)
   Duration window_hi = 350;  ///< max window length (ticks)
   double drop_probability = 0.05;
   Duration delay_hi = 30;
+  Duration skew_hi = 25;     ///< max clock skew (kClockSkew draws in [1, skew_hi])
   bool lossy_partitions = false;
 };
 

@@ -5,12 +5,8 @@
 #include <memory>
 #include <set>
 
-#include "checker/linearization.h"
-#include "commit/cluster.h"
-#include "common/random.h"
 #include "harness/nemesis.h"
 #include "paxos/replica.h"
-#include "rdma/cluster.h"
 #include "sim/trace.h"
 
 namespace ratc::harness {
@@ -49,341 +45,41 @@ namespace {
 using tcs::Decision;
 using tcs::Payload;
 
-/// Shared payload generator: contended read-write transactions in the style
-/// of commit_random_test (the versions map feeds realistic read versions).
-class PayloadGen {
- public:
-  PayloadGen(Rng& rng, ObjectId universe) : rng_(rng), universe_(universe) {}
-
-  Payload next() {
-    Payload p;
-    std::uint64_t nobjs = 1 + rng_.below(3);
-    Version maxv = 0;
-    for (std::uint64_t j = 0; j < nobjs; ++j) {
-      ObjectId obj = rng_.below(universe_);
-      if (p.reads_object(obj)) continue;
-      Version v = versions_.count(obj) ? versions_[obj] : 0;
-      p.reads.push_back({obj, v});
-      maxv = std::max(maxv, v);
-    }
-    for (const auto& r : p.reads) {
-      if (rng_.chance(0.6)) {
-        p.writes.push_back({r.object, static_cast<Value>(rng_.below(1000))});
-      }
-    }
-    p.commit_version = maxv + 1;
-    return p;
-  }
-
-  void observe_commit(const Payload& p) {
-    for (const auto& w : p.writes) {
-      versions_[w.object] = std::max(versions_[w.object], p.commit_version);
-    }
-  }
-
- private:
-  Rng& rng_;
-  ObjectId universe_;
-  std::map<ObjectId, Version> versions_;
-};
-
 void append_problem(std::string& problems, std::uint64_t seed,
                     const std::string& what) {
   if (!problems.empty()) problems += "\n";
   problems += "seed " + std::to_string(seed) + ": " + what;
 }
 
-/// Alive members of shard s's current configuration.
-template <typename ClusterT>
-std::vector<ProcessId> alive_members(ClusterT& cluster, ShardId s) {
-  std::vector<ProcessId> alive;
-  for (ProcessId m : cluster.current_config(s).members) {
-    if (!cluster.sim().crashed(m)) alive.push_back(m);
-  }
-  return alive;
-}
-
-// --- the shared transaction-stack driver ----------------------------------------
+// --- the paxos substrate as a stack harness --------------------------------------
 //
-// The commit and RDMA stacks expose the same cluster surface (current_config,
-// replica_by_pid, add_client, verify, ...); they differ only in construction
-// and in how crash recovery / reconfiguration is triggered.  A Stack traits
-// struct captures exactly those differences:
-//
-//   using Cluster / Replica / Workload;
-//   static constexpr std::uint64_t kWorkloadSalt;  // match the seed suites
-//   static constexpr Duration kPaceHi;             // inter-txn think time
-//   static Cluster::Options cluster_options(seed, w);
-//   static void install_extra(cluster, nemesis, w); // e.g. the RDMA fabric
-//   static void crash_and_reconfigure(cluster, rng, alive, shard, config);
-//   static void reconfigure_healthy(cluster, rng, alive, shard, config);
-
-template <typename Stack>
-class FaultDriver {
- public:
-  using ClusterT = typename Stack::Cluster;
-  using ReplicaT = typename Stack::Replica;
-  using WorkloadT = typename Stack::Workload;
-
-  FaultDriver(std::uint64_t seed, const WorkloadT& w, const Schedule& schedule)
-      : w_(w),
-        schedule_(schedule),
-        cluster_(Stack::cluster_options(seed, w)),
-        nemesis_(cluster_.sim(), seed),
-        workload_rng_(seed ^ Stack::kWorkloadSalt),
-        fault_rng_(seed ^ 0xfa011755ULL),
-        gen_(workload_rng_, w.object_universe) {
-    result_.seed = seed;
-    cluster_.net().set_fault_injector(&nemesis_);
-    Stack::install_extra(cluster_, nemesis_, w);
-    client_ = &cluster_.add_client();
-    client_->on_decision = [this](TxnId t, Decision d) {
-      if (d != Decision::kCommit) return;
-      auto it = payloads_.find(t);
-      if (it != payloads_.end()) gen_.observe_commit(it->second);
-    };
-  }
-
-  RunResult run() {
-    std::size_t next_fault = 0;
-    for (int i = 0; i < w_.total_txns; ++i) {
-      double frac = static_cast<double>(i) / w_.total_txns;
-      while (next_fault < schedule_.events.size() &&
-             schedule_.events[next_fault].at <= frac) {
-        apply_fault(schedule_.events[next_fault++]);
-      }
-      submit_one();
-      cluster_.sim().run_until(cluster_.sim().now() +
-                               workload_rng_.range(0, Stack::kPaceHi));
-    }
-    while (next_fault < schedule_.events.size()) {
-      apply_fault(schedule_.events[next_fault++]);
-    }
-    // Let remaining fault windows expire, then drain with a clean network.
-    cluster_.sim().run_until(cluster_.sim().now() + w_.drain / 2);
-    nemesis_.clear();
-    cluster_.sim().run_until(cluster_.sim().now() + w_.drain);
-    return finish();
-  }
-
- private:
-  void submit_one() {
-    ReplicaT* coord = pick_alive_coordinator();
-    if (coord == nullptr) return;
-    Payload p = gen_.next();
-    TxnId t = cluster_.next_txn_id();
-    payloads_[t] = p;
-    client_->certify_colocated(*coord, t, p);
-  }
-
-  ReplicaT* pick_alive_coordinator() {
-    for (int attempts = 0; attempts < 20; ++attempts) {
-      ShardId s = static_cast<ShardId>(workload_rng_.below(w_.num_shards));
-      configsvc::ShardConfig cfg = cluster_.current_config(s);
-      if (cfg.members.empty()) continue;
-      ProcessId pid = cfg.members[workload_rng_.below(cfg.members.size())];
-      if (cluster_.sim().crashed(pid)) continue;
-      ReplicaT& r = cluster_.replica_by_pid(pid);
-      if (r.epoch() != cfg.epoch) continue;
-      return &r;
-    }
-    return nullptr;
-  }
-
-  void apply_fault(const FaultEvent& e) {
-    ShardId s = static_cast<ShardId>(fault_rng_.below(w_.num_shards));
-    configsvc::ShardConfig cfg = cluster_.current_config(s);
-    std::vector<ProcessId> alive = alive_members(cluster_, s);
-    switch (e.kind) {
-      case FaultKind::kCrash:
-        // Keep Assumption 1: only crash when the whole configuration is
-        // still up and a survivor remains to drive reconfiguration.
-        if (alive.size() < cfg.members.size() || alive.size() <= 1) return;
-        Stack::crash_and_reconfigure(cluster_, fault_rng_, alive, s, cfg);
-        break;
-      case FaultKind::kReconfigure:
-        // Mid-transaction reconfiguration of a healthy shard, no crash.
-        if (alive.empty()) return;
-        Stack::reconfigure_healthy(cluster_, fault_rng_, alive, s, cfg);
-        break;
-      case FaultKind::kPartition:
-        if (cfg.members.empty()) return;
-        nemesis_.isolate({cfg.members[fault_rng_.below(cfg.members.size())]},
-                         e.len, e.lossy);
-        break;
-      case FaultKind::kDropWindow:
-        nemesis_.drop_messages(e.intensity, e.len);
-        break;
-      case FaultKind::kDelayWindow:
-        nemesis_.delay_messages(e.delay_hi, e.len);
-        break;
-    }
-  }
-
-  RunResult finish() {
-    result_.submitted = payloads_.size();
-    result_.decided = client_->decided_count();
-    result_.committed = cluster_.history().committed_txns().size();
-    result_.dropped = nemesis_.dropped();
-    result_.held = nemesis_.held_at_partition();
-
-    std::string verdict = cluster_.verify();
-    if (!verdict.empty()) append_problem(result_.problems, result_.seed, verdict);
-    if (result_.committed <= w_.linearize_up_to) {
-      auto lin =
-          checker::check_linearization(cluster_.history(), cluster_.certifier());
-      result_.linearization_checked = true;
-      if (!lin.ok) {
-        append_problem(result_.problems, result_.seed,
-                       "linearization: " + lin.error);
-      }
-    }
-    if (static_cast<double>(result_.decided) <
-        w_.min_decided_fraction * static_cast<double>(result_.submitted)) {
-      append_problem(result_.problems, result_.seed,
-                     "liveness: only " + std::to_string(result_.decided) +
-                         " of " + std::to_string(result_.submitted) +
-                         " transactions decided (required fraction " +
-                         std::to_string(w_.min_decided_fraction) + ")");
-    }
-
-    if (w_.capture_trace) {
-      result_.fingerprint = fnv1a(cluster_.tracer().render());
-    }
-    result_.fingerprint =
-        fnv1a(std::to_string(result_.submitted) + "," +
-                  std::to_string(result_.decided) + "," +
-                  std::to_string(result_.committed),
-              result_.fingerprint ? result_.fingerprint : 0xcbf29ce484222325ULL);
-    return result_;
-  }
-
-  WorkloadT w_;
-  Schedule schedule_;
-  ClusterT cluster_;
-  Nemesis nemesis_;
-  Rng workload_rng_;
-  Rng fault_rng_;
-  PayloadGen gen_;
-  typename Stack::Client* client_ = nullptr;
-  std::map<TxnId, Payload> payloads_;
-  RunResult result_;
-};
-
-struct CommitStack {
-  using Cluster = commit::Cluster;
-  using Replica = commit::Replica;
-  using Client = commit::Client;
-  using Workload = CommitWorkloadOptions;
-  static constexpr std::uint64_t kWorkloadSalt = 0xabcdefULL;
-  static constexpr Duration kPaceHi = 6;  // matches commit_random_test pacing
-
-  static commit::Cluster::Options cluster_options(std::uint64_t seed,
-                                                  const Workload& w) {
-    return {.seed = seed,
-            .num_shards = w.num_shards,
-            .shard_size = w.shard_size,
-            .spares_per_shard = w.spares_per_shard,
-            .isolation = w.isolation,
-            .retry_timeout = w.retry_timeout,
-            .exponential_delays = w.exponential_delays,
-            .enable_tracer = w.capture_trace};
-  }
-
-  static void install_extra(commit::Cluster&, Nemesis&, const Workload&) {}
-
-  static void crash_and_reconfigure(commit::Cluster& cluster, Rng& rng,
-                                    const std::vector<ProcessId>& alive,
-                                    ShardId s,
-                                    const configsvc::ShardConfig& cfg) {
-    ProcessId victim = alive[rng.below(alive.size())];
-    cluster.crash(victim);
-    ProcessId survivor = kNoProcess;
-    for (ProcessId m : alive) {
-      if (m != victim) survivor = m;
-    }
-    cluster.reconfigure(s, survivor);
-    cluster.await_active_epoch(s, cfg.epoch + 1, 200'000);
-  }
-
-  static void reconfigure_healthy(commit::Cluster& cluster, Rng& rng,
-                                  const std::vector<ProcessId>& alive,
-                                  ShardId s,
-                                  const configsvc::ShardConfig& cfg) {
-    // Any current member may trigger it (Fig. 1 line 33).
-    cluster.reconfigure(s, alive[rng.below(alive.size())]);
-    cluster.await_active_epoch(s, cfg.epoch + 1, 200'000);
-  }
-};
-
-struct RdmaStack {
-  using Cluster = rdma::Cluster;
-  using Replica = rdma::Replica;
-  using Client = rdma::Client;
-  using Workload = RdmaWorkloadOptions;
-  static constexpr std::uint64_t kWorkloadSalt = 0x5eedULL;
-  static constexpr Duration kPaceHi = 5;  // matches rdma_random_test pacing
-
-  static rdma::Cluster::Options cluster_options(std::uint64_t seed,
-                                                const Workload& w) {
-    return {.seed = seed,
-            .num_shards = w.num_shards,
-            .shard_size = w.shard_size,
-            .spares_per_shard = w.spares_per_shard,
-            .retry_timeout = w.retry_timeout,
-            .enable_tracer = w.capture_trace};
-  }
-
-  static void install_extra(rdma::Cluster& cluster, Nemesis& nemesis,
-                            const Workload& w) {
-    if (w.faults_on_fabric) cluster.fabric().set_fault_injector(&nemesis);
-  }
-
-  static void crash_and_reconfigure(rdma::Cluster& cluster, Rng& rng,
-                                    const std::vector<ProcessId>& alive,
-                                    ShardId, const configsvc::ShardConfig&) {
-    ProcessId victim = alive[rng.below(alive.size())];
-    cluster.crash(victim);
-    ProcessId survivor = victim == alive[0] ? alive[1] : alive[0];
-    Epoch before = cluster.current_epoch();
-    cluster.replica_by_pid(survivor).reconfigure();
-    cluster.await_active_epoch(before + 1, 200'000);
-  }
-
-  static void reconfigure_healthy(rdma::Cluster& cluster, Rng& rng,
-                                  const std::vector<ProcessId>& alive, ShardId,
-                                  const configsvc::ShardConfig&) {
-    // Global reconfiguration with no failure: the safe protocol's only
-    // (and most expensive) reconfiguration lever.
-    Epoch before = cluster.current_epoch();
-    cluster.replica_by_pid(alive[rng.below(alive.size())]).reconfigure();
-    cluster.await_active_epoch(before + 1, 200'000);
-  }
-};
-
-// --- paxos substrate ----------------------------------------------------------
+// Adapts the bare Multi-Paxos group to the StackHarness surface (see
+// src/store/stack_harness.h) so the same FaultDriver below covers it:
+// "transactions" are commands carrying their TxnId, "decided" is the length
+// of the longest surviving applied log, a leadership change stands in for
+// reconfiguration, and verify() checks prefix agreement and exactly-once
+// application across survivors.
 
 struct PaxosCmd {
   static constexpr const char* kName = "HARNESS_CMD";
   int value = 0;
 };
 
-class PaxosFaultDriver {
+class PaxosHarness {
  public:
-  PaxosFaultDriver(std::uint64_t seed, const PaxosWorkloadOptions& w,
-                   const Schedule& schedule)
+  using Workload = PaxosWorkloadOptions;
+  static constexpr const char* kName = "paxos";
+  static constexpr std::uint64_t kWorkloadSalt = 0xc0ffeeULL;
+  static constexpr Duration kPaceHi = 13;
+  static constexpr store::CheckerSet kCheckers{false, false, false};
+
+  PaxosHarness(std::uint64_t seed, const Workload& w)
       : w_(w),
-        schedule_(schedule),
         sim_(seed),
         net_(sim_, w.exponential_delays
                        ? sim::Network::exponential_delay_options(4.0)
-                       : sim::Network::unit_delay_options()),
-        nemesis_(sim_, seed),
-        rng_(seed ^ 0xc0ffeeULL),
-        fault_rng_(seed ^ 0xfa011755ULL) {
-    result_.seed = seed;
+                       : sim::Network::unit_delay_options()) {
     net_.add_observer(&tracer_);
-    net_.set_fault_injector(&nemesis_);
     std::vector<ProcessId> ids;
     for (std::size_t i = 0; i < w.replicas; ++i) {
       ids.push_back(static_cast<ProcessId>(100 + i));
@@ -403,34 +99,91 @@ class PaxosFaultDriver {
     }
   }
 
-  RunResult run() {
-    std::size_t next_fault = 0;
-    int next_value = 0;
-    while (next_value < w_.commands) {
-      double frac = static_cast<double>(next_value) / w_.commands;
-      while (next_fault < schedule_.events.size() &&
-             schedule_.events[next_fault].at <= frac) {
-        apply_fault(schedule_.events[next_fault++]);
-      }
-      std::size_t idx = pick_alive();
-      for (int j = 0; j < 3 && next_value < w_.commands; ++j) {
-        replicas_[idx]->submit(sim::AnyMessage(PaxosCmd{next_value++}));
-      }
-      sim_.run_until(sim_.now() + rng_.range(5, 40));
-    }
-    while (next_fault < schedule_.events.size()) {
-      apply_fault(schedule_.events[next_fault++]);
-    }
-    // Outlive the longest possible fault window, then drain with election
-    // nudges (commands buffered at a dead leader need a new one).
-    sim_.run_until(sim_.now() + 1000);
-    nemesis_.clear();
+  sim::Simulator& sim() { return sim_; }
+  void install_fault_injector(sim::FaultInjector* fi) { net_.set_fault_injector(fi); }
+  void set_on_decision(std::function<void(TxnId, Decision)>) {
+    // Commands have no per-txn decisions; progress is read off the logs.
+  }
+  TxnId next_txn_id() { return next_txn_++; }
+
+  bool submit(Rng& rng, TxnId txn, const Payload&) {
+    replicas_[pick_alive(rng)]->submit(
+        sim::AnyMessage(PaxosCmd{static_cast<int>(txn)}));
+    return true;
+  }
+
+  std::size_t decided_count() const {
+    const std::vector<int>* longest = longest_alive_log();
+    return longest == nullptr ? 0 : longest->size();
+  }
+  std::size_t committed_count() const { return decided_count(); }
+
+  std::uint32_t num_shards() const { return 1; }
+  std::vector<std::vector<ProcessId>> all_units() const {
+    std::vector<std::vector<ProcessId>> units;
+    for (const auto& r : replicas_) units.push_back({r->id()});
+    return units;
+  }
+  std::vector<std::vector<ProcessId>> fault_units(ShardId) const { return all_units(); }
+
+  bool crash_and_reconfigure(Rng& rng, ShardId) {
+    if (alive_count() <= majority()) return false;
+    std::vector<std::size_t> alive = alive_indices();
+    std::size_t victim = alive[rng.below(alive.size())];
+    sim_.crash(replicas_[victim]->id());
+    replicas_[pick_alive(rng)]->start_election();
+    sim_.run_until(sim_.now() + 200);
+    return true;
+  }
+
+  bool reconfigure_healthy(Rng& rng, ShardId) {
+    // Leadership change is the Paxos analogue of reconfiguration.
+    replicas_[pick_alive(rng)]->start_election();
+    sim_.run_until(sim_.now() + 100);
+    return true;
+  }
+
+  void drain(Duration, Rng& rng) {
+    // Commands buffered at a dead leader need a new one: election nudges.
     for (int rounds = 0; rounds < 5; ++rounds) {
       sim_.run();
-      replicas_[pick_alive()]->start_election();
+      replicas_[pick_alive(rng)]->start_election();
       sim_.run();
     }
-    return finish();
+  }
+
+  std::string verify() {
+    const std::vector<int>* longest = longest_alive_log();
+    if (longest == nullptr) return "no replica survived";
+    std::string problems;
+    // Agreement: every alive replica's applied log is a prefix of the
+    // longest one (commands are applied in slot order, so under message
+    // loss a replica may lag but never diverge).
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      if (sim_.crashed(replicas_[i]->id())) continue;
+      const auto& log = applied_[i];
+      if (!std::equal(log.begin(), log.end(), longest->begin())) {
+        problems += "agreement: replica " + std::to_string(i) +
+                    " diverged from the longest applied log\n";
+      }
+    }
+    std::set<int> unique(longest->begin(), longest->end());
+    if (unique.size() != longest->size()) {
+      problems += "duplicate command application\n";
+    }
+    return problems;
+  }
+
+  std::string check_linearization() { return ""; }  // not applicable
+
+  std::string trace() {
+    std::string out = tracer_.render();
+    for (std::size_t i = 0; i < applied_.size(); ++i) {
+      out += "log" + std::to_string(i) + ":";
+      for (int v : applied_[i]) out += std::to_string(v) + ",";
+      out += ";";
+    }
+    return out;
   }
 
  private:
@@ -440,12 +193,6 @@ class PaxosFaultDriver {
     return n;
   }
   std::size_t majority() const { return replicas_.size() / 2 + 1; }
-  std::size_t pick_alive() {
-    while (true) {
-      std::size_t i = rng_.below(replicas_.size());
-      if (!sim_.crashed(replicas_[i]->id())) return i;
-    }
-  }
   std::vector<std::size_t> alive_indices() const {
     std::vector<std::size_t> alive;
     for (std::size_t i = 0; i < replicas_.size(); ++i) {
@@ -453,37 +200,137 @@ class PaxosFaultDriver {
     }
     return alive;
   }
+  std::size_t pick_alive(Rng& rng) {
+    for (int attempts = 0; attempts < 64; ++attempts) {
+      std::size_t i = rng.below(replicas_.size());
+      if (!sim_.crashed(replicas_[i]->id())) return i;
+    }
+    std::vector<std::size_t> alive = alive_indices();
+    return alive.empty() ? 0 : alive.front();
+  }
+  const std::vector<int>* longest_alive_log() const {
+    const std::vector<int>* longest = nullptr;
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      if (sim_.crashed(replicas_[i]->id())) continue;
+      if (longest == nullptr || applied_[i].size() > longest->size()) {
+        longest = &applied_[i];
+      }
+    }
+    return longest;
+  }
+
+  Workload w_;
+  sim::Simulator sim_;
+  sim::Network net_;
+  sim::Tracer tracer_;
+  std::vector<std::unique_ptr<paxos::PaxosReplica>> replicas_;
+  std::vector<std::vector<int>> applied_;
+  TxnId next_txn_ = 1;
+};
+
+// --- the one driver ----------------------------------------------------------------
+//
+// Parameterized by a StackHarness (src/store/stack_harness.h; PaxosHarness
+// above implements the same surface).  The driver owns only what is common
+// to every stack: the workload loop, the schedule interpretation against
+// the harness's fault hooks and machine topology, the drain, and the
+// end-of-run checks the harness enumerates.
+
+template <typename Harness>
+class FaultDriver {
+ public:
+  using WorkloadT = typename Harness::Workload;
+
+  FaultDriver(std::uint64_t seed, const WorkloadT& w, const Schedule& schedule)
+      : w_(w),
+        schedule_(schedule),
+        harness_(seed, w),
+        nemesis_(harness_.sim(), seed),
+        workload_rng_(seed ^ Harness::kWorkloadSalt),
+        fault_rng_(seed ^ 0xfa011755ULL),
+        gen_(workload_rng_, w.object_universe) {
+    result_.seed = seed;
+    harness_.install_fault_injector(&nemesis_);
+    harness_.set_on_decision([this](TxnId t, Decision d) {
+      if (d != Decision::kCommit) return;
+      auto it = payloads_.find(t);
+      if (it != payloads_.end()) gen_.observe_commit(it->second);
+    });
+  }
+
+  RunResult run() {
+    std::size_t next_fault = 0;
+    for (int i = 0; i < w_.total_txns; ++i) {
+      double frac = static_cast<double>(i) / w_.total_txns;
+      while (next_fault < schedule_.events.size() &&
+             schedule_.events[next_fault].at <= frac) {
+        apply_fault(schedule_.events[next_fault++]);
+      }
+      submit_one();
+      harness_.sim().run_until(harness_.sim().now() +
+                               workload_rng_.range(0, Harness::kPaceHi));
+    }
+    while (next_fault < schedule_.events.size()) {
+      apply_fault(schedule_.events[next_fault++]);
+    }
+    // Let remaining fault windows expire, then drain with a clean network.
+    harness_.sim().run_until(harness_.sim().now() + w_.drain / 2);
+    nemesis_.clear();
+    harness_.drain(w_.drain, workload_rng_);
+    return finish();
+  }
+
+ private:
+  void submit_one() {
+    Payload p = gen_.next();
+    TxnId t = harness_.next_txn_id();
+    payloads_[t] = p;
+    if (!harness_.submit(workload_rng_, t, p)) {
+      payloads_.erase(t);  // no live coordinator: never submitted
+    }
+  }
 
   void apply_fault(const FaultEvent& e) {
+    ShardId s = static_cast<ShardId>(fault_rng_.below(harness_.num_shards()));
     switch (e.kind) {
-      case FaultKind::kCrash: {
-        if (alive_count() <= majority()) return;
-        std::vector<std::size_t> alive = alive_indices();
-        std::size_t victim = alive[fault_rng_.below(alive.size())];
-        sim_.crash(replicas_[victim]->id());
-        replicas_[pick_alive()]->start_election();
-        sim_.run_until(sim_.now() + 200);
+      case FaultKind::kCrash:
+        harness_.crash_and_reconfigure(fault_rng_, s);
         break;
-      }
-      case FaultKind::kReconfigure: {
-        // Leadership change is the Paxos analogue of reconfiguration.
-        replicas_[pick_alive()]->start_election();
-        sim_.run_until(sim_.now() + 100);
+      case FaultKind::kReconfigure:
+        harness_.reconfigure_healthy(fault_rng_, s);
         break;
-      }
       case FaultKind::kPartition: {
-        // Isolate a minority: safety must hold, and after healing the
-        // group must reconverge.
-        std::size_t cut = std::min<std::size_t>(replicas_.size() - majority(),
-                                                1 + fault_rng_.below(2));
-        std::vector<ProcessId> minority;
-        std::vector<std::size_t> alive = alive_indices();
-        for (std::size_t k = 0; k < cut && !alive.empty(); ++k) {
-          std::size_t j = fault_rng_.below(alive.size());
-          minority.push_back(replicas_[alive[j]]->id());
-          alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(j));
+        auto units = harness_.fault_units(s);
+        if (units.empty()) return;
+        nemesis_.isolate(units[fault_rng_.below(units.size())], e.len, e.lossy);
+        break;
+      }
+      case FaultKind::kMajoritySplit: {
+        // Split every machine in the cluster into two sides; the larger
+        // side retains a majority of each shard only by luck, so both
+        // replication and reconfiguration must cope (or stall safely).
+        auto units = harness_.all_units();
+        if (units.size() < 2) return;
+        fault_rng_.shuffle(units);
+        std::vector<ProcessId> side;
+        for (std::size_t k = 0; k < units.size() / 2; ++k) {
+          side.insert(side.end(), units[k].begin(), units[k].end());
         }
-        nemesis_.isolate(minority, e.len, e.lossy);
+        nemesis_.split({side}, e.len, e.lossy);
+        break;
+      }
+      case FaultKind::kOneWayPartition: {
+        auto units = harness_.fault_units(s);
+        if (units.empty()) return;
+        nemesis_.isolate_one_way(units[fault_rng_.below(units.size())], e.len,
+                                 e.inbound, e.lossy);
+        break;
+      }
+      case FaultKind::kClockSkew: {
+        auto units = harness_.fault_units(s);
+        if (units.empty()) return;
+        nemesis_.skew_clocks(units[fault_rng_.below(units.size())], e.delay_hi,
+                             e.len);
         break;
       }
       case FaultKind::kDropWindow:
@@ -496,69 +343,49 @@ class PaxosFaultDriver {
   }
 
   RunResult finish() {
-    result_.submitted = static_cast<std::size_t>(w_.commands);
+    result_.submitted = payloads_.size();
+    result_.decided = harness_.decided_count();
+    result_.committed = harness_.committed_count();
     result_.dropped = nemesis_.dropped();
     result_.held = nemesis_.held_at_partition();
 
-    // Agreement: every alive replica's applied log is a prefix of the
-    // longest one (commands are applied in slot order, so under message
-    // loss a replica may lag but never diverge).
-    const std::vector<int>* longest = nullptr;
-    for (std::size_t i = 0; i < replicas_.size(); ++i) {
-      if (sim_.crashed(replicas_[i]->id())) continue;
-      if (longest == nullptr || applied_[i].size() > longest->size()) {
-        longest = &applied_[i];
+    std::string verdict = harness_.verify();
+    if (!verdict.empty()) append_problem(result_.problems, result_.seed, verdict);
+    if constexpr (Harness::kCheckers.linearization) {
+      if (result_.committed <= w_.linearize_up_to) {
+        result_.linearization_checked = true;
+        std::string lin = harness_.check_linearization();
+        if (!lin.empty()) append_problem(result_.problems, result_.seed, lin);
       }
     }
-    if (longest == nullptr) {
-      append_problem(result_.problems, result_.seed, "no replica survived");
-      return result_;
-    }
-    for (std::size_t i = 0; i < replicas_.size(); ++i) {
-      if (sim_.crashed(replicas_[i]->id())) continue;
-      const auto& log = applied_[i];
-      if (!std::equal(log.begin(), log.end(), longest->begin())) {
-        append_problem(result_.problems, result_.seed,
-                       "agreement: replica " + std::to_string(i) +
-                           " diverged from the longest applied log");
-      }
-    }
-    std::set<int> unique(longest->begin(), longest->end());
-    if (unique.size() != longest->size()) {
+    if (static_cast<double>(result_.decided) <
+        w_.min_decided_fraction * static_cast<double>(result_.submitted)) {
       append_problem(result_.problems, result_.seed,
-                     "duplicate command application");
-    }
-    result_.decided = longest->size();
-    result_.committed = longest->size();
-    if (static_cast<double>(longest->size()) <
-        w_.min_applied_fraction * static_cast<double>(w_.commands)) {
-      append_problem(result_.problems, result_.seed,
-                     "liveness: only " + std::to_string(longest->size()) +
-                         " of " + std::to_string(w_.commands) +
-                         " commands applied");
+                     "liveness: only " + std::to_string(result_.decided) +
+                         " of " + std::to_string(result_.submitted) +
+                         " transactions decided (required fraction " +
+                         std::to_string(w_.min_decided_fraction) + ")");
     }
 
-    std::string log_bytes;
-    for (std::size_t i = 0; i < applied_.size(); ++i) {
-      log_bytes += "log" + std::to_string(i) + ":";
-      for (int v : applied_[i]) log_bytes += std::to_string(v) + ",";
-      log_bytes += ";";
+    if (w_.capture_trace) {
+      result_.fingerprint = fnv1a(harness_.trace());
     }
-    result_.fingerprint = fnv1a(tracer_.render());
-    result_.fingerprint = fnv1a(log_bytes, result_.fingerprint);
+    result_.fingerprint =
+        fnv1a(std::to_string(result_.submitted) + "," +
+                  std::to_string(result_.decided) + "," +
+                  std::to_string(result_.committed),
+              result_.fingerprint ? result_.fingerprint : 0xcbf29ce484222325ULL);
     return result_;
   }
 
-  PaxosWorkloadOptions w_;
+  WorkloadT w_;
   Schedule schedule_;
-  sim::Simulator sim_;
-  sim::Network net_;
-  sim::Tracer tracer_;
+  Harness harness_;
   Nemesis nemesis_;
-  Rng rng_;
+  Rng workload_rng_;
   Rng fault_rng_;
-  std::vector<std::unique_ptr<paxos::PaxosReplica>> replicas_;
-  std::vector<std::vector<int>> applied_;
+  store::ContendedPayloadGen gen_;
+  std::map<TxnId, Payload> payloads_;
   RunResult result_;
 };
 
@@ -566,20 +393,22 @@ class PaxosFaultDriver {
 
 RunResult run_commit_workload(std::uint64_t seed, const CommitWorkloadOptions& w,
                               const Schedule& schedule) {
-  FaultDriver<CommitStack> driver(seed, w, schedule);
-  return driver.run();
+  return FaultDriver<store::CommitHarness>(seed, w, schedule).run();
 }
 
 RunResult run_rdma_workload(std::uint64_t seed, const RdmaWorkloadOptions& w,
                             const Schedule& schedule) {
-  FaultDriver<RdmaStack> driver(seed, w, schedule);
-  return driver.run();
+  return FaultDriver<store::RdmaHarness>(seed, w, schedule).run();
+}
+
+RunResult run_baseline_workload(std::uint64_t seed, const BaselineWorkloadOptions& w,
+                                const Schedule& schedule) {
+  return FaultDriver<store::BaselineHarness>(seed, w, schedule).run();
 }
 
 RunResult run_paxos_workload(std::uint64_t seed, const PaxosWorkloadOptions& w,
                              const Schedule& schedule) {
-  PaxosFaultDriver driver(seed, w, schedule);
-  return driver.run();
+  return FaultDriver<PaxosHarness>(seed, w, schedule).run();
 }
 
 }  // namespace ratc::harness

@@ -1,21 +1,27 @@
 // Seed-sweep drivers: run one (seed, workload, schedule) triple against a
 // protocol stack, inject the schedule's faults through a Nemesis plus the
-// cluster's crash/reconfigure helpers, and validate the execution with the
-// existing checkers (online monitor, TCS-LL, and — when the committed
-// projection is small enough for the exact DFS — the linearization checker).
+// stack harness's crash/reconfigure hooks (src/store/stack_harness.h), and
+// validate the execution with the checkers the stack enumerates (online
+// monitor, TCS-LL, and — when the committed projection is small enough for
+// the exact DFS — the linearization checker).
 //
-// Every run is a pure function of its seed: the workload Rng, the schedule
-// interpretation Rng, and the Nemesis Rng are all derived from it.  A
-// failing seed therefore reproduces with the same options (see
-// tests/README.md for the recipe).
+// One templated FaultDriver covers every stack: the commit and RDMA
+// protocols, the 2PC-over-Paxos baseline, and (via a local adapter) the
+// bare Paxos substrate.  Every run is a pure function of its seed: the
+// workload Rng, the schedule interpretation Rng, and the Nemesis Rng are
+// all derived from it.  A failing seed therefore reproduces with the same
+// options (see tests/README.md for the recipe).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/types.h"
 #include "harness/schedule.h"
+#include "store/stack_harness.h"
 
 namespace ratc::harness {
 
@@ -37,52 +43,47 @@ struct RunResult {
   std::string summary() const;
 };
 
-struct CommitWorkloadOptions {
-  std::uint32_t num_shards = 3;
-  std::size_t shard_size = 2;
-  std::size_t spares_per_shard = 6;
-  int total_txns = 200;
-  ObjectId object_universe = 24;
-  std::string isolation = "serializability";
-  bool exponential_delays = false;
-  Duration retry_timeout = 120;
-  Duration drain = 8000;  ///< post-workload settle time (ticks)
-  /// Run the exact linearization DFS when |committed| <= this bound.
-  std::size_t linearize_up_to = 25;
-  /// Minimum fraction of submitted transactions that must decide; lossy
-  /// schedules legitimately lose decisions, so tests tune this down.
-  double min_decided_fraction = 0.9;
-  bool capture_trace = true;
+/// Per-stack workload aliases over the shared store::StackWorkload.  Tests
+/// mutate fields; the derived types only adjust defaults to match each
+/// stack's seed suites.
+using CommitWorkloadOptions = store::StackWorkload;
+
+struct RdmaWorkloadOptions : store::StackWorkload {
+  RdmaWorkloadOptions() {
+    total_txns = 160;
+    retry_timeout = 100;
+  }
 };
 
-struct RdmaWorkloadOptions {
-  std::uint32_t num_shards = 3;
-  std::size_t shard_size = 2;
-  std::size_t spares_per_shard = 6;
-  int total_txns = 160;
-  ObjectId object_universe = 24;
-  Duration retry_timeout = 100;
-  Duration drain = 8000;
-  std::size_t linearize_up_to = 25;
-  double min_decided_fraction = 0.9;
-  bool capture_trace = true;
-  /// Also install the nemesis on the RDMA fabric (one-sided writes), not
-  /// just the two-sided network.
-  bool faults_on_fabric = true;
+struct BaselineWorkloadOptions : store::StackWorkload {
+  BaselineWorkloadOptions() {
+    shard_size = 3;  // 2f+1 Paxos groups
+    spares_per_shard = 0;
+    // A crashed coordinator blocks its in-flight transactions forever
+    // (classical 2PC); sweeps therefore accept a lower decided fraction
+    // than the recoverable stacks.
+    min_decided_fraction = 0.5;
+  }
 };
 
 struct PaxosWorkloadOptions {
   std::size_t replicas = 5;
-  int commands = 60;
+  int total_txns = 60;  ///< commands
+  ObjectId object_universe = 8;  ///< unused (commands carry no payload)
   bool exponential_delays = false;
+  Duration drain = 2000;
+  std::size_t linearize_up_to = 0;
   /// Minimum fraction of submitted commands the surviving log must contain.
-  double min_applied_fraction = 0.5;
+  double min_decided_fraction = 0.5;
+  bool capture_trace = true;
 };
 
 RunResult run_commit_workload(std::uint64_t seed, const CommitWorkloadOptions& w,
                               const Schedule& schedule);
 RunResult run_rdma_workload(std::uint64_t seed, const RdmaWorkloadOptions& w,
                             const Schedule& schedule);
+RunResult run_baseline_workload(std::uint64_t seed, const BaselineWorkloadOptions& w,
+                                const Schedule& schedule);
 RunResult run_paxos_workload(std::uint64_t seed, const PaxosWorkloadOptions& w,
                              const Schedule& schedule);
 
@@ -91,26 +92,64 @@ struct SweepResult {
   int runs = 0;
   std::size_t total_submitted = 0;
   std::size_t total_decided = 0;
+  std::size_t total_committed = 0;
   std::size_t linearization_checks = 0;
   std::vector<RunResult> failures;
 
   bool ok() const { return failures.empty(); }
   /// Failure report with per-seed diagnostics and a reproduction hint.
   std::string report() const;
+
+  void absorb(RunResult r) {
+    ++runs;
+    total_submitted += r.submitted;
+    total_decided += r.decided;
+    total_committed += r.committed;
+    linearization_checks += r.linearization_checked ? 1 : 0;
+    if (!r.problems.empty()) failures.push_back(std::move(r));
+  }
 };
 
-/// Runs `run(seed)` for seeds first_seed .. first_seed+count-1.
+/// Runs `run(seed)` for seeds first_seed .. first_seed+count-1, sequentially.
 template <typename Fn>
 SweepResult sweep_seeds(std::uint64_t first_seed, int count, Fn run) {
   SweepResult sweep;
   for (int i = 0; i < count; ++i) {
-    RunResult r = run(first_seed + static_cast<std::uint64_t>(i));
-    ++sweep.runs;
-    sweep.total_submitted += r.submitted;
-    sweep.total_decided += r.decided;
-    sweep.linearization_checks += r.linearization_checked ? 1 : 0;
-    if (!r.problems.empty()) sweep.failures.push_back(std::move(r));
+    sweep.absorb(run(first_seed + static_cast<std::uint64_t>(i)));
   }
+  return sweep;
+}
+
+/// Thread-pool variant of sweep_seeds.  Each run builds its own simulator,
+/// cluster and nemesis and is a pure function of its seed, so runs are
+/// embarrassingly parallel; results are aggregated in seed order, making
+/// the outcome identical for every thread count (tested).  `threads` = 0
+/// uses the hardware concurrency.  `run` must be callable concurrently —
+/// capture per-seed state by value or index into distinct slots only.
+template <typename Fn>
+SweepResult parallel_sweep_seeds(std::uint64_t first_seed, int count, Fn run,
+                                 unsigned threads = 0) {
+  if (count <= 0) return {};
+  if (threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    threads = hw != 0 ? hw : 4;
+  }
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(count));
+  std::vector<RunResult> results(static_cast<std::size_t>(count));
+  std::atomic<int> next{0};
+  auto worker = [&] {
+    for (int i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+      results[static_cast<std::size_t>(i)] =
+          run(first_seed + static_cast<std::uint64_t>(i));
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (unsigned t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (auto& th : pool) th.join();
+  SweepResult sweep;
+  for (auto& r : results) sweep.absorb(std::move(r));
   return sweep;
 }
 

@@ -99,6 +99,34 @@ TEST(CommitDeterminism, DifferentSeedsDifferentTraces) {
   EXPECT_EQ(fingerprints.size(), 4u);
 }
 
+TEST(CommitDeterminism, NewScheduleShapesAreDeterministicToo) {
+  CommitWorkloadOptions w = small_commit_workload();
+  ScheduleOptions opt = small_schedule();
+  opt.partitions = 0;
+  opt.majority_splits = 1;
+  opt.one_way_partitions = 1;
+  opt.clock_skews = 1;
+  Rng r1(21), r2(21);
+  RunResult a = run_commit_workload(21, w, generate_schedule(r1, opt));
+  RunResult b = run_commit_workload(21, w, generate_schedule(r2, opt));
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.problems, b.problems);
+}
+
+TEST(BaselineDeterminism, SameSeedIdenticalTrace) {
+  BaselineWorkloadOptions w;
+  w.total_txns = 50;
+  w.drain = 4000;
+  Rng r1(5), r2(5);
+  Schedule s1 = generate_schedule(r1, small_schedule());
+  Schedule s2 = generate_schedule(r2, small_schedule());
+  RunResult a = run_baseline_workload(5, w, s1);
+  RunResult b = run_baseline_workload(5, w, s2);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.decided, b.decided);
+  EXPECT_EQ(a.problems, b.problems);
+}
+
 TEST(RdmaDeterminism, SameSeedIdenticalTrace) {
   RdmaWorkloadOptions w;
   w.total_txns = 50;
@@ -115,7 +143,7 @@ TEST(RdmaDeterminism, SameSeedIdenticalTrace) {
 
 TEST(PaxosDeterminism, SameSeedIdenticalTrace) {
   PaxosWorkloadOptions w;
-  w.commands = 30;
+  w.total_txns = 30;
   Rng r1(9), r2(9);
   Schedule s1 = generate_schedule(r1, small_schedule());
   Schedule s2 = generate_schedule(r2, small_schedule());
@@ -124,6 +152,106 @@ TEST(PaxosDeterminism, SameSeedIdenticalTrace) {
   EXPECT_EQ(a.fingerprint, b.fingerprint);
   EXPECT_EQ(a.decided, b.decided);
   EXPECT_EQ(a.problems, b.problems);
+}
+
+TEST(ParallelSweepDeterminism, PerSeedFingerprintsIndependentOfThreadCount) {
+  // Every run is seed-isolated, so the thread pool must be invisible: the
+  // same sweep on 1 thread, 2 threads and hardware concurrency yields the
+  // same per-seed fingerprints and the same aggregate.
+  constexpr int kSeeds = 8;
+  CommitWorkloadOptions w = small_commit_workload();
+  // Liveness is not under test here; a partitioned-then-crashed coordinator
+  // may legitimately strand a chunk of a 60-txn run.
+  w.min_decided_fraction = 0.5;
+  ScheduleOptions opt = small_schedule();
+  auto fingerprints = [&](unsigned threads) {
+    std::vector<std::uint64_t> fp(kSeeds, 0);
+    SweepResult sweep = parallel_sweep_seeds(
+        1, kSeeds,
+        [&](std::uint64_t seed) {
+          Rng r(seed);
+          RunResult res = run_commit_workload(seed, w, generate_schedule(r, opt));
+          fp[seed - 1] = res.fingerprint;  // distinct slot per seed: race-free
+          return res;
+        },
+        threads);
+    EXPECT_TRUE(sweep.ok()) << sweep.report();
+    EXPECT_EQ(sweep.runs, kSeeds);
+    return fp;
+  };
+  std::vector<std::uint64_t> one = fingerprints(1);
+  EXPECT_EQ(one, fingerprints(2));
+  EXPECT_EQ(one, fingerprints(0));  // 0 = hardware concurrency
+  for (std::uint64_t f : one) EXPECT_NE(f, 0u);
+}
+
+TEST(ParallelSweepDeterminism, AggregatesMatchSequentialSweep) {
+  constexpr int kSeeds = 6;
+  BaselineWorkloadOptions w;
+  w.total_txns = 40;
+  w.drain = 4000;
+  ScheduleOptions opt = small_schedule();
+  auto run = [&](std::uint64_t seed) {
+    Rng r(seed);
+    return run_baseline_workload(seed, w, generate_schedule(r, opt));
+  };
+  SweepResult seq = sweep_seeds(1, kSeeds, run);
+  SweepResult par = parallel_sweep_seeds(1, kSeeds, run, 3);
+  EXPECT_EQ(seq.runs, par.runs);
+  EXPECT_EQ(seq.total_submitted, par.total_submitted);
+  EXPECT_EQ(seq.total_decided, par.total_decided);
+  EXPECT_EQ(seq.total_committed, par.total_committed);
+  EXPECT_EQ(seq.failures.size(), par.failures.size());
+}
+
+/// Message sink: records who delivered and when.
+class Sink : public sim::Process {
+ public:
+  Sink(sim::Simulator& sim, ProcessId id)
+      : Process(sim, id, "sink" + std::to_string(id)) {}
+  void on_message(ProcessId from, const sim::AnyMessage&) override {
+    arrivals.emplace_back(from, sim().now());
+  }
+  std::vector<std::pair<ProcessId, Time>> arrivals;
+};
+
+TEST(NemesisWindows, OneWayPartitionBlocksOnlyOneDirection) {
+  sim::Simulator sim(11);
+  sim::Network net(sim, sim::Network::unit_delay_options());
+  Sink a(sim, 1), b(sim, 2);
+  sim.add_process(&a);
+  sim.add_process(&b);
+  Nemesis nemesis(sim, 11);
+  net.set_fault_injector(&nemesis);
+  // Victim 2 is deaf (inbound blocked) but not mute.
+  nemesis.isolate_one_way({2}, 100, /*inbound_blocked=*/true, /*lossy=*/true);
+  for (int i = 0; i < 10; ++i) {
+    net.send_msg(1, 2, Pulse{i});  // blocked
+    net.send_msg(2, 1, Pulse{i});  // flows
+  }
+  sim.run();
+  EXPECT_EQ(nemesis.dropped(), 10u);
+  EXPECT_EQ(b.arrivals.size(), 0u);   // deaf
+  EXPECT_EQ(a.arrivals.size(), 10u);  // but not mute
+}
+
+TEST(NemesisWindows, ClockSkewDelaysOnlyTheSkewedSender) {
+  sim::Simulator sim(13);
+  sim::Network net(sim, sim::Network::unit_delay_options());
+  Sink sink(sim, 3);
+  sim.add_process(&sink);
+  Nemesis nemesis(sim, 13);
+  net.set_fault_injector(&nemesis);
+  nemesis.skew_clocks({2}, /*skew=*/40, /*len=*/100);
+  net.send_msg(1, 3, Pulse{0});
+  net.send_msg(2, 3, Pulse{1});
+  sim.run();
+  EXPECT_EQ(nemesis.skewed(), 1u);
+  ASSERT_EQ(sink.arrivals.size(), 2u);
+  for (const auto& [from, at] : sink.arrivals) {
+    if (from == 1) EXPECT_EQ(at, 1u);   // unit delay, unaffected
+    if (from == 2) EXPECT_EQ(at, 41u);  // unit delay + 40 ticks of skew
+  }
 }
 
 TEST(NemesisDeterminism, IdleInjectorDoesNotPerturbExecution) {
