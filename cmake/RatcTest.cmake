@@ -4,6 +4,14 @@
 # Builds one GTest binary and registers it with CTest.  Labels become CTest
 # labels so subsets can be run with `ctest -L unit`, `ctest -L integration`,
 # or `ctest -L random`.  Every test additionally carries the `ratc` label.
+#
+# TIMEOUT values are multiplied by RATC_TEST_TIMEOUT_SCALE: the nightly
+# deep-sweep CI job raises the scale together with RATC_SWEEP_SEEDS so
+# hundreds-of-seeds sweeps keep a proportionate budget, while a hung seed
+# still fails the job with its repro line instead of stalling the runner.
+set(RATC_TEST_TIMEOUT_SCALE "1" CACHE STRING
+    "Multiplier applied to ratc_add_test TIMEOUT properties")
+
 function(ratc_add_test name)
   cmake_parse_arguments(RT "" "TIMEOUT" "SOURCES;LABELS;LIBS" ${ARGN})
   if(NOT RT_SOURCES)
@@ -16,6 +24,7 @@ function(ratc_add_test name)
   set(labels ratc ${RT_LABELS})
   set_tests_properties(${name} PROPERTIES LABELS "${labels}")
   if(RT_TIMEOUT)
-    set_tests_properties(${name} PROPERTIES TIMEOUT ${RT_TIMEOUT})
+    math(EXPR rt_timeout "${RT_TIMEOUT} * ${RATC_TEST_TIMEOUT_SCALE}")
+    set_tests_properties(${name} PROPERTIES TIMEOUT ${rt_timeout})
   endif()
 endfunction()

@@ -35,6 +35,10 @@ BaselineCluster::BaselineCluster(Options options)
       sopt.shard = s;
       sopt.shard_map = &shard_map_;
       sopt.certifier = certifier_.get();
+      sopt.cooperative_termination = options_.cooperative_termination;
+      sopt.in_doubt_timeout = options_.in_doubt_timeout;
+      sopt.termination_retry_every = options_.termination_retry_every;
+      sopt.termination_max_rounds = options_.termination_max_rounds;
       auto server = std::make_unique<ShardServer>(sim_, *net_, server_pid(s, i), sopt);
       paxos::PaxosReplica::Options popt;
       popt.group = group;
@@ -129,6 +133,12 @@ void BaselineCluster::fail_over(ShardId s, std::size_t new_leader_idx) {
   // Crash the current leader pair, then elect the chosen replica.
   crash_server(leader_.at(s));
   elect_leader(s, server_pid(s, new_leader_idx));
+}
+
+TerminationStats BaselineCluster::termination_stats() const {
+  TerminationStats total;
+  for (const auto& sv : servers_) total += sv->termination_stats();
+  return total;
 }
 
 std::string BaselineCluster::verify() const {

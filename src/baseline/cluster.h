@@ -77,6 +77,14 @@ class BaselineCluster {
     bool exponential_delays = false;
     double delay_mean = 5.0;
     bool enable_tracer = false;
+    /// Classic 2PC fix (baseline/termination.h): participants holding
+    /// in-doubt prepared records query their peer shards to resolve the
+    /// outcome after a coordinator crash.  Off = the paper's strawman.
+    bool cooperative_termination = false;
+    /// Forwarded to ShardServer::Options when cooperative_termination.
+    Duration in_doubt_timeout = 300;
+    Duration termination_retry_every = 160;
+    int termination_max_rounds = 5;
   };
 
   explicit BaselineCluster(Options options);
@@ -127,6 +135,10 @@ class BaselineCluster {
   tcs::History& history() { return history_; }
   const tcs::ShardMap& shard_map() const { return shard_map_; }
   const tcs::Certifier& certifier() const { return *certifier_; }
+
+  /// Aggregate cooperative-termination counters over every shard server
+  /// (all zero when the toggle is off).
+  TerminationStats termination_stats() const;
 
   /// End-of-run verdict: no conflicting client decisions, and every server
   /// (of any shard, crashed or not) that decided a transaction agrees on

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "baseline/termination.h"
 #include "common/types.h"
 #include "tcs/decision.h"
 #include "tcs/payload.h"
@@ -57,6 +58,24 @@ struct BClientDecision {
   tcs::Decision decision = tcs::Decision::kAbort;
 };
 
+// --- cooperative termination (optional; see baseline/termination.h) -----------
+
+/// Participant (shard leader holding an in-doubt prepared record) -> peer
+/// shard leaders: what do you durably know about this transaction?  The
+/// answer is routed back to the sending process.
+struct TerminationQuery {
+  static constexpr const char* kName = "B_TERM_QUERY";
+  TxnId txn = 0;
+};
+
+/// Peer shard leader -> querier: durable state from the applied prefix.
+struct TerminationAnswer {
+  static constexpr const char* kName = "B_TERM_ANSWER";
+  TxnId txn = 0;
+  ShardId shard = 0;  ///< the answering shard
+  PeerTxnState state = PeerTxnState::kPrepared;
+};
+
 // --- Paxos-replicated commands ------------------------------------------------
 
 struct CmdPrepare {
@@ -75,6 +94,18 @@ struct CmdDecide {
   static constexpr const char* kName = "B_CMD_DECIDE";
   TxnId txn = 0;
   tcs::Decision decision = tcs::Decision::kAbort;
+};
+
+/// Replicated arbiter for the never-prepared termination rule: if the
+/// transaction is still unprepared when this command applies, the shard
+/// durably tombstones it as aborted (a later prepare then votes abort); if a
+/// prepare won the race into the log, the shard's actual state stands.  The
+/// current leader answers `querier` either way, so the answer is always a
+/// fact about the applied prefix, never about a transient.
+struct CmdResolveAbort {
+  static constexpr const char* kName = "B_CMD_RESOLVE_ABORT";
+  TxnId txn = 0;
+  ProcessId querier = kNoProcess;
 };
 
 }  // namespace ratc::baseline

@@ -10,11 +10,21 @@ ShardServer::ShardServer(sim::Simulator& sim, sim::Network& net, ProcessId id,
                          Options options)
     : Process(sim, id, "b" + std::to_string(id) + "/s" + std::to_string(options.shard)),
       options_(std::move(options)),
-      net_(net) {
+      net_(net),
+      responder_(net, id) {
   assert(options_.shard_map != nullptr && options_.certifier != nullptr);
+  if (options_.cooperative_termination) {
+    fd_monitor_ = std::make_unique<fd::PingMonitor>(sim, net, id, options_.fd);
+    fd_monitor_->on_suspect = [this](ProcessId coordinator) {
+      on_coordinator_suspected(coordinator);
+    };
+    fd_monitor_->start();  // idle until the first coordinator is watched
+  }
 }
 
 void ShardServer::on_message(ProcessId from, const sim::AnyMessage& msg) {
+  if (responder_.handle(from, msg)) return;
+  if (fd_monitor_ && fd_monitor_->handle(from, msg)) return;
   if (const auto* c = msg.as<BCertify>()) {
     handle_certify(from, *c);
   } else if (const auto* sp = msg.as<SubmitPrepare>()) {
@@ -23,6 +33,10 @@ void ShardServer::on_message(ProcessId from, const sim::AnyMessage& msg) {
     handle_vote(*v);
   } else if (const auto* sd = msg.as<SubmitDecide>()) {
     handle_submit_decide(*sd);
+  } else if (const auto* q = msg.as<TerminationQuery>()) {
+    handle_termination_query(from, *q);
+  } else if (const auto* a = msg.as<TerminationAnswer>()) {
+    handle_termination_answer(*a);
   }
 }
 
@@ -74,6 +88,8 @@ void ShardServer::apply(Slot slot, const sim::AnyMessage& cmd) {
     apply_prepare(*p);
   } else if (const auto* d = cmd.as<CmdDecide>()) {
     apply_decide(*d);
+  } else if (const auto* r = cmd.as<CmdResolveAbort>()) {
+    apply_resolve_abort(*r);
   }
 }
 
@@ -85,18 +101,28 @@ void ShardServer::apply_prepare(const CmdPrepare& c) {
   } else {
     st.payload = c.payload;
     st.prepared = true;
-    // Deterministic vote: certify against the applied prefix.
-    std::vector<const tcs::Payload*> prepared_commit;
-    for (const auto& [t, other] : txns_) {
-      if (t != c.txn && other.prepared && !other.decided &&
-          other.vote == Decision::kCommit) {
-        prepared_commit.push_back(&other.payload);
+    st.participants = c.participants;
+    st.client = c.client;
+    st.coordinator = c.coordinator;
+    if (st.decided) {
+      // A cooperative-termination tombstone beat the prepare into the log:
+      // this shard already promised abort to a querier, so the vote must
+      // honour it.
+      st.vote = Decision::kAbort;
+    } else {
+      // Deterministic vote: certify against the applied prefix.
+      std::vector<const tcs::Payload*> prepared_commit;
+      for (const auto& [t, other] : txns_) {
+        if (t != c.txn && other.prepared && !other.decided &&
+            other.vote == Decision::kCommit) {
+          prepared_commit.push_back(&other.payload);
+        }
       }
+      std::vector<const tcs::Payload*> committed;
+      committed.reserve(committed_.size());
+      for (const auto& pl : committed_) committed.push_back(&pl);
+      st.vote = options_.certifier->vote(committed, prepared_commit, c.payload);
     }
-    std::vector<const tcs::Payload*> committed;
-    committed.reserve(committed_.size());
-    for (const auto& pl : committed_) committed.push_back(&pl);
-    st.vote = options_.certifier->vote(committed, prepared_commit, c.payload);
   }
   // Only the current leader reports the vote to the coordinator.
   if (paxos_->is_leader()) {
@@ -106,26 +132,80 @@ void ShardServer::apply_prepare(const CmdPrepare& c) {
       net_.send_msg(id(), c.coordinator, Vote{c.txn, options_.shard, st.vote});
     }
   }
+  if (options_.cooperative_termination && !st.decided && c.coordinator != id()) {
+    note_in_doubt(c.txn, c.coordinator);
+  }
 }
 
 void ShardServer::apply_decide(const CmdDecide& c) {
   auto it = txns_.find(c.txn);
-  if (it == txns_.end() || it->second.decided) return;
+  if (it == txns_.end()) {
+    // A termination-resolved abort can reach a shard that never prepared
+    // (its prepare was lost with the coordinator): tombstone it so a
+    // late-arriving prepare votes abort.  An unknown COMMIT cannot occur —
+    // commit requires this shard's YES vote, which is emitted at prepare
+    // apply time, after the prepare entered the log.
+    if (c.decision != Decision::kAbort) return;
+    TxnState& st = txns_[c.txn];
+    st.decided = true;
+    st.decision = Decision::kAbort;
+    return;
+  }
+  if (it->second.decided) return;
   TxnState& st = it->second;
   st.decided = true;
   st.decision = c.decision;
   if (c.decision == Decision::kCommit) committed_.push_back(st.payload);
+
+  // The in-doubt window (if any) closes with the decision.
+  if (options_.cooperative_termination) {
+    auto tit = term_.find(c.txn);
+    if (tit != term_.end()) tit->second.concluded = true;
+    clear_in_doubt(c.txn, st.coordinator);
+  }
 
   // Coordinator side: once the decision is durable in the coordinator's own
   // shard, reply to the client and propagate to the other shards.
   auto cit = coord_.find(c.txn);
   if (cit != coord_.end() && !cit->second.replied && paxos_->is_leader()) {
     cit->second.replied = true;
-    net_.send_msg(id(), cit->second.client, BClientDecision{c.txn, c.decision});
-    for (ShardId s : cit->second.participants) {
-      if (s == options_.shard) continue;
-      net_.send_msg(id(), shard_leader(s), SubmitDecide{c.txn, c.decision});
-    }
+    announce_decision(c.txn, c.decision, cit->second.participants,
+                      cit->second.client);
+  } else if (options_.cooperative_termination && paxos_->is_leader() &&
+             cit == coord_.end() && !st.participants.empty() &&
+             st.participants.front() == options_.shard && st.coordinator != id()) {
+    // Orphaned coordination: this shard hosted the transaction's 2PC
+    // coordinator (the leader of its first participant shard), but that
+    // server crashed or was deposed before replying — its volatile
+    // coordinator state died with it, yet everything needed to finish the
+    // round (client, participants, and now the decision) is in the
+    // replicated state.  The current leader adopts the duties; duplicates
+    // are harmless (the client deduplicates, decide application is
+    // idempotent).
+    ++term_stats_.adopted_coordinations;
+    announce_decision(c.txn, c.decision, st.participants, st.client);
+  }
+}
+
+void ShardServer::apply_resolve_abort(const CmdResolveAbort& c) {
+  auto [it, inserted] = txns_.emplace(c.txn, TxnState{});
+  TxnState& st = it->second;
+  bool tombstoned = false;
+  if (!st.prepared && !st.decided) {
+    // The query won the race: durably foreclose commit.  Every replica
+    // applies the same choice (it depends only on the log prefix).
+    st.decided = true;
+    st.decision = Decision::kAbort;
+    tombstoned = true;
+  }
+  if (!paxos_->is_leader()) return;
+  if (tombstoned) {
+    ++term_stats_.tombstones;
+    net_.send_msg(id(), c.querier,
+                  TerminationAnswer{c.txn, options_.shard, PeerTxnState::kNeverPrepared});
+    ++term_stats_.answers_sent;
+  } else {
+    send_termination_answer(c.querier, c.txn);
   }
 }
 
@@ -150,6 +230,179 @@ void ShardServer::maybe_decide(TxnId t) {
   // Make the decision durable in the coordinator's own group first; the
   // reply and propagation happen when it applies (apply_decide).
   paxos_->submit(sim::AnyMessage(CmdDecide{t, d}));
+}
+
+// --- cooperative termination ----------------------------------------------------
+
+void ShardServer::note_in_doubt(TxnId t, ProcessId coordinator) {
+  in_doubt_[coordinator].insert(t);
+  if (!fd_monitor_->watching(coordinator)) {
+    fd_monitor_->watch(coordinator);
+  } else if (fd_monitor_->suspects(coordinator)) {
+    // Already-suspected coordinator: on_suspect will not fire again for it,
+    // so kick this transaction's first round directly.
+    start_termination_round(t);
+  }
+  TermState& ts = term_[t];
+  if (!ts.timer_armed) {
+    // Fallback for a coordinator that stays alive but unhelpful (its
+    // decision message was lost, or it died and the failure detector's
+    // pongs are partitioned): query after a generous in-doubt window.
+    ts.timer_armed = true;
+    sim().schedule_for(id(), options_.in_doubt_timeout,
+                       [this, t] { start_termination_round(t); });
+  }
+}
+
+void ShardServer::clear_in_doubt(TxnId t, ProcessId coordinator) {
+  auto it = in_doubt_.find(coordinator);
+  if (it == in_doubt_.end()) return;
+  it->second.erase(t);
+  if (it->second.empty()) {
+    in_doubt_.erase(it);
+    if (fd_monitor_) fd_monitor_->unwatch(coordinator);
+  }
+}
+
+void ShardServer::on_coordinator_suspected(ProcessId coordinator) {
+  auto it = in_doubt_.find(coordinator);
+  if (it == in_doubt_.end()) return;
+  std::vector<TxnId> txns(it->second.begin(), it->second.end());
+  for (TxnId t : txns) start_termination_round(t);
+}
+
+void ShardServer::start_termination_round(TxnId t) {
+  auto xit = txns_.find(t);
+  if (xit == txns_.end() || xit->second.decided) return;
+  TxnState& st = xit->second;
+  TermState& ts = term_[t];
+  if (ts.concluded) return;
+  // The query budget is consumed only by rounds actually broadcast as
+  // leader, so a replica elected mid-protocol still gets its full budget;
+  // the hard cap on total fires bounds a permanently-leaderless replica's
+  // retry chain so every run quiesces.
+  const int hard_cap = 4 * options_.termination_max_rounds;
+  if (ts.leader_rounds >= options_.termination_max_rounds || ts.rounds >= hard_cap) {
+    // Give up: every reachable participant is in doubt.  The transaction
+    // stays blocked — classical 2PC's irreducible window.
+    ts.concluded = true;
+    if (paxos_->is_leader()) ++term_stats_.blocked;
+    clear_in_doubt(t, st.coordinator);
+    return;
+  }
+  ++ts.rounds;
+  if (paxos_->is_leader()) {
+    ++ts.leader_rounds;
+    ts.answers.clear();
+    // Our own durable state is one answer: a NO vote already forecloses
+    // commit, and a decided record resolves outright.
+    ts.answers[options_.shard] = st.vote == Decision::kAbort
+                                     ? PeerTxnState::kAborted
+                                     : PeerTxnState::kPrepared;
+    for (ShardId s : st.participants) {
+      if (s == options_.shard) continue;
+      net_.send_msg(id(), shard_leader(s), TerminationQuery{t});
+      ++term_stats_.queries_sent;
+    }
+    maybe_conclude_termination(t);
+  }
+  // Re-arm regardless of leadership: answers may be lost to the very fault
+  // that stranded the transaction, and this replica may be elected leader
+  // between rounds.
+  sim().schedule_for(id(), options_.termination_retry_every,
+                     [this, t] { start_termination_round(t); });
+}
+
+void ShardServer::handle_termination_query(ProcessId from, const TerminationQuery& q) {
+  auto it = txns_.find(q.txn);
+  if (it == txns_.end() || (!it->second.prepared && !it->second.decided)) {
+    // Never prepared here: promise abort durably (through our own log)
+    // before answering; the log order arbitrates against an in-flight
+    // prepare.  The leader answers when the command applies.
+    paxos_->submit(sim::AnyMessage(CmdResolveAbort{q.txn, from}));
+    return;
+  }
+  send_termination_answer(from, q.txn);
+}
+
+void ShardServer::send_termination_answer(ProcessId to, TxnId t) {
+  const TxnState& st = txns_.at(t);
+  PeerTxnState state;
+  if (st.decided) {
+    state = st.decision == Decision::kCommit ? PeerTxnState::kCommitted
+                                             : PeerTxnState::kAborted;
+  } else if (st.vote == Decision::kAbort) {
+    // Prepared with a NO vote: the coordinator can only ever decide abort.
+    state = PeerTxnState::kAborted;
+  } else {
+    state = PeerTxnState::kPrepared;  // in doubt
+  }
+  net_.send_msg(id(), to, TerminationAnswer{t, options_.shard, state});
+  ++term_stats_.answers_sent;
+}
+
+void ShardServer::handle_termination_answer(const TerminationAnswer& a) {
+  auto xit = txns_.find(a.txn);
+  if (xit == txns_.end() || xit->second.decided) return;
+  auto tit = term_.find(a.txn);
+  if (tit == term_.end() || tit->second.concluded) return;
+  tit->second.answers[a.shard] = a.state;
+  maybe_conclude_termination(a.txn);
+}
+
+void ShardServer::maybe_conclude_termination(TxnId t) {
+  const TxnState& st = txns_.at(t);
+  TermState& ts = term_.at(t);
+  switch (infer_termination(ts.answers, st.participants.size())) {
+    case TerminationOutcome::kCommit:
+      resolve_in_doubt(t, Decision::kCommit);
+      break;
+    case TerminationOutcome::kAbort:
+      resolve_in_doubt(t, Decision::kAbort);
+      break;
+    case TerminationOutcome::kBlocked:
+      // All participants answered "in doubt".  Do not conclude yet: a peer
+      // may still apply a decision that was in flight through its group
+      // (retry rounds re-query); give up only when the rounds run out.
+      break;
+    case TerminationOutcome::kUnknown:
+      break;
+  }
+}
+
+void ShardServer::resolve_in_doubt(TxnId t, Decision d) {
+  TermState& ts = term_.at(t);
+  if (ts.concluded) return;
+  ts.concluded = true;
+  if (d == Decision::kCommit) {
+    ++term_stats_.resolved_commits;
+  } else {
+    ++term_stats_.resolved_aborts;
+  }
+  TxnState& st = txns_.at(t);
+  clear_in_doubt(t, st.coordinator);
+  // Adopt the outcome: durable in our own group, propagated to the peer
+  // shards (idempotent at apply), and the stranded client is answered (it
+  // deduplicates decisions).
+  paxos_->submit(sim::AnyMessage(CmdDecide{t, d}));
+  announce_decision(t, d, st.participants, st.client);
+}
+
+void ShardServer::announce_decision(TxnId t, Decision d,
+                                    const std::vector<ShardId>& participants,
+                                    ProcessId client) {
+  if (client != kNoProcess) {
+    net_.send_msg(id(), client, BClientDecision{t, d});
+  }
+  for (ShardId s : participants) {
+    if (s == options_.shard) continue;
+    net_.send_msg(id(), shard_leader(s), SubmitDecide{t, d});
+  }
+}
+
+bool ShardServer::has_prepared(TxnId t) const {
+  auto it = txns_.find(t);
+  return it != txns_.end() && it->second.prepared;
 }
 
 bool ShardServer::has_decided(TxnId t) const {

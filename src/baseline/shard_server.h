@@ -5,13 +5,28 @@
 // command prefix, so every replica of a shard computes identical votes —
 // the standard state-machine-replication discipline.  Only the replica
 // that currently leads its Paxos group emits the Vote/decision messages.
+//
+// With Options::cooperative_termination the classic 2PC fix is bolted on
+// (baseline/termination.h): every replica tracks its in-doubt transactions
+// (prepared, undecided, remote coordinator), watches their coordinators
+// through an fd::PingMonitor, and — on suspicion or after an in-doubt
+// timeout — the shard's current leader broadcasts TerminationQuery to the
+// peer shards and resolves from their answers.  Peers answer durable facts
+// only: a never-prepared peer first tombstones the transaction as aborted
+// through its own Paxos log (CmdResolveAbort), letting the log order
+// arbitrate races with an in-flight prepare.  Rounds are bounded, so a run
+// always quiesces; all-prepared transactions remain blocked — the
+// irreducible 2PC window the paper's protocols remove.
 #pragma once
 
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
 #include "baseline/messages.h"
+#include "baseline/termination.h"
+#include "fd/failure_detector.h"
 #include "paxos/replica.h"
 #include "sim/network.h"
 #include "sim/process.h"
@@ -26,6 +41,17 @@ class ShardServer : public sim::Process {
     ShardId shard = 0;
     const tcs::ShardMap* shard_map = nullptr;
     const tcs::Certifier* certifier = nullptr;
+    /// Enables cooperative termination (off = classical blocking 2PC).
+    bool cooperative_termination = false;
+    /// In-doubt fallback: query peers this long after preparing even if the
+    /// failure detector never fires (covers a live coordinator whose
+    /// decision message was lost).
+    Duration in_doubt_timeout = 300;
+    /// Delay between termination query rounds.
+    Duration termination_retry_every = 160;
+    /// Query rounds before giving up (the transaction stays blocked).
+    int termination_max_rounds = 5;
+    fd::PingMonitor::Options fd;
   };
 
   ShardServer(sim::Simulator& sim, sim::Network& net, ProcessId id, Options options);
@@ -44,6 +70,7 @@ class ShardServer : public sim::Process {
   void apply(Slot slot, const sim::AnyMessage& cmd);
 
   // Introspection for tests and the cluster-level verifier.
+  bool has_prepared(TxnId t) const;
   bool has_decided(TxnId t) const;
   tcs::Decision decision_of(TxnId t) const { return txns_.at(t).decision; }
   std::size_t committed_count() const { return committed_.size(); }
@@ -55,6 +82,7 @@ class ShardServer : public sim::Process {
     }
     return out;
   }
+  const TerminationStats& termination_stats() const { return term_stats_; }
 
  private:
   struct TxnState {
@@ -63,6 +91,11 @@ class ShardServer : public sim::Process {
     bool prepared = false;
     bool decided = false;
     tcs::Decision decision = tcs::Decision::kAbort;
+    // 2PC metadata replicated with the prepare; lets any replica of any
+    // participant shard run termination after the coordinator died.
+    std::vector<ShardId> participants;
+    ProcessId client = kNoProcess;
+    ProcessId coordinator = kNoProcess;
   };
   struct CoordState {
     std::vector<ShardId> participants;
@@ -71,6 +104,19 @@ class ShardServer : public sim::Process {
     bool decision_submitted = false;
     bool replied = false;
   };
+  /// Per-transaction cooperative-termination progress (querier side).
+  /// Followers re-arm the retry timer without consuming the query budget —
+  /// a replica elected leader mid-protocol still gets its full
+  /// termination_max_rounds of queries; `rounds` (total fires, leader or
+  /// not) is capped separately so the retry chain always terminates and
+  /// the simulation quiesces.
+  struct TermState {
+    int rounds = 0;         ///< total retry fires (hard-capped)
+    int leader_rounds = 0;  ///< query rounds actually broadcast as leader
+    bool concluded = false;       ///< resolved, or given up (blocked)
+    bool timer_armed = false;     ///< in-doubt fallback timer scheduled
+    std::map<ShardId, PeerTxnState> answers;
+  };
 
   void handle_certify(ProcessId from, const BCertify& m);
   void handle_submit_prepare(const SubmitPrepare& m);
@@ -78,7 +124,32 @@ class ShardServer : public sim::Process {
   void handle_submit_decide(const SubmitDecide& m);
   void apply_prepare(const CmdPrepare& c);
   void apply_decide(const CmdDecide& c);
+  void apply_resolve_abort(const CmdResolveAbort& c);
   void maybe_decide(TxnId t);
+
+  // --- cooperative termination -------------------------------------------------
+  void handle_termination_query(ProcessId from, const TerminationQuery& q);
+  void handle_termination_answer(const TerminationAnswer& a);
+  /// Marks t in doubt (prepared, undecided, coordinator elsewhere): watch
+  /// the coordinator and arm the in-doubt fallback timer.
+  void note_in_doubt(TxnId t, ProcessId coordinator);
+  void clear_in_doubt(TxnId t, ProcessId coordinator);
+  void on_coordinator_suspected(ProcessId coordinator);
+  /// One query round: leaders broadcast, everyone re-arms the retry timer;
+  /// bounded by termination_max_rounds.
+  void start_termination_round(TxnId t);
+  /// Answers `to` with the durable state of t (which must exist).
+  void send_termination_answer(ProcessId to, TxnId t);
+  /// Runs the inference rules over the answers collected so far.
+  void maybe_conclude_termination(TxnId t);
+  /// Externalizes a durable decision: answers the client (if known) and
+  /// sends SubmitDecide to every participant shard but our own.
+  void announce_decision(TxnId t, tcs::Decision d,
+                         const std::vector<ShardId>& participants,
+                         ProcessId client);
+  /// Adopts d for the in-doubt transaction t: replicate locally, propagate
+  /// to the peer shards, and answer the stranded client.
+  void resolve_in_doubt(TxnId t, tcs::Decision d);
 
   Options options_;
   sim::Network& net_;
@@ -92,6 +163,13 @@ class ShardServer : public sim::Process {
   // Coordinator-side state (not replicated; dies with the coordinator, as
   // in classical 2PC — the baseline's blocking weakness).
   std::map<TxnId, CoordState> coord_;
+
+  // Cooperative-termination state (per replica; only leaders speak).
+  fd::Responder responder_;
+  std::unique_ptr<fd::PingMonitor> fd_monitor_;
+  std::map<TxnId, TermState> term_;
+  std::map<ProcessId, std::set<TxnId>> in_doubt_;  ///< by coordinator
+  TerminationStats term_stats_;
 };
 
 }  // namespace ratc::baseline

@@ -8,7 +8,10 @@
 //
 //  * fd::Responder — drop-in pong responder for monitored processes.
 //  * fd::PingMonitor — sends pings on a period, suspects after a silence
-//    threshold, fires a callback once per suspicion.
+//    threshold, fires a callback once per suspicion.  Ticking pauses while
+//    no peer is watched (and resumes on the next watch), so an idle monitor
+//    never keeps the simulator's event queue alive — embedders can run the
+//    simulation to quiescence.
 #pragma once
 
 #include <functional>
@@ -71,6 +74,10 @@ class PingMonitor {
   void watch(ProcessId peer) {
     watched_[peer] = sim_.now();
     suspected_.erase(peer);
+    if (started_ && !ticking_) {
+      ticking_ = true;
+      tick();
+    }
   }
 
   void unwatch(ProcessId peer) {
@@ -84,7 +91,10 @@ class PingMonitor {
   void start() {
     if (started_) return;
     started_ = true;
-    tick();
+    if (!watched_.empty()) {
+      ticking_ = true;
+      tick();
+    }
   }
 
   /// The owner forwards incoming messages; returns true if consumed.
@@ -101,6 +111,10 @@ class PingMonitor {
 
  private:
   void tick() {
+    if (watched_.empty()) {
+      ticking_ = false;  // pause; the next watch() resumes
+      return;
+    }
     // Callbacks may watch/unwatch (mutating watched_), so collect suspects
     // first and fire after the iteration.
     std::vector<ProcessId> newly_suspected;
@@ -125,6 +139,7 @@ class PingMonitor {
   std::set<ProcessId> suspected_;
   std::uint64_t seq_ = 0;
   bool started_ = false;
+  bool ticking_ = false;
 };
 
 }  // namespace ratc::fd

@@ -224,7 +224,8 @@ BaselineHarness::BaselineHarness(std::uint64_t seed, const StackWorkload& w)
                 .shard_size = w.shard_size,
                 .isolation = w.isolation,
                 .exponential_delays = w.exponential_delays,
-                .enable_tracer = w.capture_trace}),
+                .enable_tracer = w.capture_trace,
+                .cooperative_termination = w.cooperative_termination}),
       client_(&cluster_.add_client()) {}
 
 void BaselineHarness::install_fault_injector(sim::FaultInjector* fi) {

@@ -75,6 +75,9 @@ struct StackWorkload {
   bool capture_trace = true;
   /// RDMA only: also install the fault injector on the one-sided fabric.
   bool faults_on_fabric = true;
+  /// Baseline only: enable cooperative termination (the classical 2PC fix;
+  /// see src/baseline/termination.h).  BaselineCoopHarness forces it on.
+  bool cooperative_termination = false;
 };
 
 /// Which end-of-run checkers apply to a stack.  monitor and tcsll are
@@ -245,6 +248,27 @@ class BaselineHarness {
   StackWorkload w_;
   baseline::BaselineCluster cluster_;
   baseline::BaselineClient* client_;
+};
+
+/// The baseline with the strongest non-reconfigurable fix bolted on:
+/// cooperative termination (participants resolve in-doubt transactions by
+/// querying their peers — Gray & Lamport, "Consensus on Transaction
+/// Commit").  Everything else — topology, workload salt, pacing, checkers —
+/// is inherited unchanged, so a (seed, schedule) pair faces the classical
+/// and cooperative variants with the identical workload and fault sequence,
+/// isolating the termination protocol as the only difference.
+class BaselineCoopHarness : public BaselineHarness {
+ public:
+  static constexpr const char* kName = "baseline-coop";
+
+  BaselineCoopHarness(std::uint64_t seed, const StackWorkload& w)
+      : BaselineHarness(seed, enable_coop(w)) {}
+
+ private:
+  static StackWorkload enable_coop(StackWorkload w) {
+    w.cooperative_termination = true;
+    return w;
+  }
 };
 
 }  // namespace ratc::store

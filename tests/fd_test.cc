@@ -105,6 +105,29 @@ TEST(FailureDetector, WatchesMultiplePeers) {
   EXPECT_EQ(w.suspected[0], b.id());
 }
 
+TEST(FailureDetector, IdleMonitorLetsTheSimulationQuiesce) {
+  // Ticking pauses while nothing is watched, so an embedded monitor never
+  // keeps the event queue alive — sim.run() must return — and resumes when
+  // a new peer is watched.
+  sim::Simulator sim(6);
+  sim::Network net(sim);
+  Target t(sim, net, 1);
+  Watcher w(sim, net, 2);
+  sim.add_process(&t);
+  sim.add_process(&w);
+  w.monitor.start();  // nothing watched: no ticking
+  sim.run();
+  EXPECT_TRUE(sim.idle());
+
+  w.monitor.watch(t.id());  // resumes ticking
+  sim.crash(t.id());
+  sim.run_until(sim.now() + 400);
+  ASSERT_EQ(w.suspected.size(), 1u);
+  w.monitor.unwatch(t.id());
+  sim.run();  // the dangling tick self-pauses; the queue drains
+  EXPECT_TRUE(sim.idle());
+}
+
 TEST(FailureDetector, UnwatchStopsSuspicion) {
   sim::Simulator sim(5);
   sim::Network net(sim);

@@ -1,6 +1,7 @@
 #include "harness/sweep.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <set>
@@ -44,12 +45,6 @@ namespace {
 
 using tcs::Decision;
 using tcs::Payload;
-
-void append_problem(std::string& problems, std::uint64_t seed,
-                    const std::string& what) {
-  if (!problems.empty()) problems += "\n";
-  problems += "seed " + std::to_string(seed) + ": " + what;
-}
 
 // --- the paxos substrate as a stack harness --------------------------------------
 //
@@ -344,28 +339,9 @@ class FaultDriver {
 
   RunResult finish() {
     result_.submitted = payloads_.size();
-    result_.decided = harness_.decided_count();
-    result_.committed = harness_.committed_count();
     result_.dropped = nemesis_.dropped();
     result_.held = nemesis_.held_at_partition();
-
-    std::string verdict = harness_.verify();
-    if (!verdict.empty()) append_problem(result_.problems, result_.seed, verdict);
-    if constexpr (Harness::kCheckers.linearization) {
-      if (result_.committed <= w_.linearize_up_to) {
-        result_.linearization_checked = true;
-        std::string lin = harness_.check_linearization();
-        if (!lin.empty()) append_problem(result_.problems, result_.seed, lin);
-      }
-    }
-    if (static_cast<double>(result_.decided) <
-        w_.min_decided_fraction * static_cast<double>(result_.submitted)) {
-      append_problem(result_.problems, result_.seed,
-                     "liveness: only " + std::to_string(result_.decided) +
-                         " of " + std::to_string(result_.submitted) +
-                         " transactions decided (required fraction " +
-                         std::to_string(w_.min_decided_fraction) + ")");
-    }
+    apply_end_of_run_checks(result_, harness_, w_);
 
     if (w_.capture_trace) {
       result_.fingerprint = fnv1a(harness_.trace());
@@ -406,9 +382,22 @@ RunResult run_baseline_workload(std::uint64_t seed, const BaselineWorkloadOption
   return FaultDriver<store::BaselineHarness>(seed, w, schedule).run();
 }
 
+RunResult run_baseline_coop_workload(std::uint64_t seed,
+                                     const BaselineCoopWorkloadOptions& w,
+                                     const Schedule& schedule) {
+  return FaultDriver<store::BaselineCoopHarness>(seed, w, schedule).run();
+}
+
 RunResult run_paxos_workload(std::uint64_t seed, const PaxosWorkloadOptions& w,
                              const Schedule& schedule) {
   return FaultDriver<PaxosHarness>(seed, w, schedule).run();
+}
+
+int sweep_seed_count(int fallback) {
+  const char* env = std::getenv("RATC_SWEEP_SEEDS");
+  if (env == nullptr) return fallback;
+  int n = std::atoi(env);
+  return n > 0 ? n : fallback;
 }
 
 }  // namespace ratc::harness

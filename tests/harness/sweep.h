@@ -43,6 +43,44 @@ struct RunResult {
   std::string summary() const;
 };
 
+/// Appends one seed-prefixed diagnostic line to r.problems.
+inline void append_seed_problem(RunResult& r, const std::string& what) {
+  if (!r.problems.empty()) r.problems += "\n";
+  r.problems += "seed " + std::to_string(r.seed) + ": " + what;
+}
+
+/// Shared end-of-run verdict over a StackHarness: fills the outcome
+/// counters from the harness and appends one diagnostic per failed check —
+/// the stack's verifier, the exact linearization DFS when the committed
+/// projection is within `linearize_up_to` (and the stack enumerates that
+/// checker), and the workload's decided-fraction floor.  `r.submitted`
+/// must already be set.  Used by the generic FaultDriver and by aimed
+/// sweeps that drive a harness directly
+/// (baseline_termination_random_test.cc), so the checker policy cannot
+/// drift between them.
+template <typename Harness>
+void apply_end_of_run_checks(RunResult& r, Harness& harness,
+                             const typename Harness::Workload& w) {
+  r.decided = harness.decided_count();
+  r.committed = harness.committed_count();
+  std::string verdict = harness.verify();
+  if (!verdict.empty()) append_seed_problem(r, verdict);
+  if constexpr (Harness::kCheckers.linearization) {
+    if (r.committed <= w.linearize_up_to) {
+      r.linearization_checked = true;
+      std::string lin = harness.check_linearization();
+      if (!lin.empty()) append_seed_problem(r, lin);
+    }
+  }
+  if (static_cast<double>(r.decided) <
+      w.min_decided_fraction * static_cast<double>(r.submitted)) {
+    append_seed_problem(r, "liveness: only " + std::to_string(r.decided) +
+                               " of " + std::to_string(r.submitted) +
+                               " transactions decided (required fraction " +
+                               std::to_string(w.min_decided_fraction) + ")");
+  }
+}
+
 /// Per-stack workload aliases over the shared store::StackWorkload.  Tests
 /// mutate fields; the derived types only adjust defaults to match each
 /// stack's seed suites.
@@ -66,6 +104,14 @@ struct BaselineWorkloadOptions : store::StackWorkload {
   }
 };
 
+/// The baseline plus cooperative termination (store::BaselineCoopHarness):
+/// same topology and workload stream as BaselineWorkloadOptions, but
+/// in-doubt transactions whose peers know the outcome get resolved, so only
+/// the all-prepared window still blocks.
+struct BaselineCoopWorkloadOptions : BaselineWorkloadOptions {
+  BaselineCoopWorkloadOptions() { cooperative_termination = true; }
+};
+
 struct PaxosWorkloadOptions {
   std::size_t replicas = 5;
   int total_txns = 60;  ///< commands
@@ -84,8 +130,17 @@ RunResult run_rdma_workload(std::uint64_t seed, const RdmaWorkloadOptions& w,
                             const Schedule& schedule);
 RunResult run_baseline_workload(std::uint64_t seed, const BaselineWorkloadOptions& w,
                                 const Schedule& schedule);
+RunResult run_baseline_coop_workload(std::uint64_t seed,
+                                     const BaselineCoopWorkloadOptions& w,
+                                     const Schedule& schedule);
 RunResult run_paxos_workload(std::uint64_t seed, const PaxosWorkloadOptions& w,
                              const Schedule& schedule);
+
+/// Seed count for a sweep: the RATC_SWEEP_SEEDS environment variable when
+/// set to a positive integer (the nightly deep-sweep CI job sets it to run
+/// hundreds of seeds per schedule shape), else `fallback` — the cheap
+/// default the interactive/per-push suites use.
+int sweep_seed_count(int fallback);
 
 /// Aggregate of a multi-seed sweep.
 struct SweepResult {

@@ -127,6 +127,30 @@ TEST(BaselineDeterminism, SameSeedIdenticalTrace) {
   EXPECT_EQ(a.problems, b.problems);
 }
 
+TEST(BaselineDeterminism, CoopTerminationSameSeedIdenticalTrace) {
+  // The termination machinery (failure-detector pings, in-doubt timers,
+  // query rounds) must stay a pure function of the seed too.
+  BaselineCoopWorkloadOptions w;
+  w.total_txns = 50;
+  w.drain = 4000;
+  Rng r1(5), r2(5);
+  Schedule s1 = generate_schedule(r1, small_schedule());
+  Schedule s2 = generate_schedule(r2, small_schedule());
+  RunResult a = run_baseline_coop_workload(5, w, s1);
+  RunResult b = run_baseline_coop_workload(5, w, s2);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.decided, b.decided);
+  EXPECT_EQ(a.problems, b.problems);
+  // The coop variant explores a different execution than the classical
+  // baseline on the same seed and workload (the FD traffic alone separates
+  // the traces).
+  BaselineWorkloadOptions cw;
+  cw.total_txns = w.total_txns;
+  cw.drain = w.drain;
+  RunResult classical = run_baseline_workload(5, cw, s1);
+  EXPECT_NE(a.fingerprint, classical.fingerprint);
+}
+
 TEST(RdmaDeterminism, SameSeedIdenticalTrace) {
   RdmaWorkloadOptions w;
   w.total_txns = 50;

@@ -2,7 +2,8 @@
 // nemesis schedules — crash-stop, mid-transaction reconfiguration, network
 // partitions (single-victim, majority splits, asymmetric one-way), clock
 // skew, message drops and delay spikes — over the commit, RDMA, baseline
-// and Paxos stacks, all through the same templated driver.  Every run is
+// (classical and cooperative-termination) and Paxos stacks, all through
+// the same templated driver.  Every run is
 // validated by the checkers its stack enumerates: the online invariant
 // monitor (Fig. 3/5), the TCS-LL checker (Fig. 6), and, when the committed
 // projection is small enough for the exact DFS, the linearization checker.
@@ -22,7 +23,10 @@ namespace ratc::harness {
 namespace {
 
 constexpr std::uint64_t kFirstSeed = 1;
-constexpr int kSweepSeeds = 24;  // sweep convention: >= 20 seeds
+// Sweep convention: >= 20 seeds.  The nightly deep-sweep CI job raises the
+// count to hundreds per schedule shape via RATC_SWEEP_SEEDS (sweep.h).
+const int kSweepSeeds = sweep_seed_count(24);
+const int kSmallSweepSeeds = sweep_seed_count(20);
 
 Schedule schedule_for(std::uint64_t seed, const ScheduleOptions& opt) {
   Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x5eedULL);
@@ -145,8 +149,10 @@ TEST(CommitFaultSweep, SnapshotIsolationChaos) {
   CommitWorkloadOptions w;
   w.total_txns = 120;
   w.isolation = "snapshot-isolation";
-  w.min_decided_fraction = 0.75;
-  SweepResult sweep = parallel_sweep_seeds(kFirstSeed, 20, [&](std::uint64_t seed) {
+  // Floor calibrated against the nightly 250-seed census (worst seed 0.575:
+  // a partitioned-then-crashed coordinator strands a chunk of the run).
+  w.min_decided_fraction = 0.5;
+  SweepResult sweep = parallel_sweep_seeds(kFirstSeed, kSmallSweepSeeds, [&](std::uint64_t seed) {
     return run_commit_workload(seed, w, schedule_for(seed, opt));
   });
   EXPECT_TRUE(sweep.ok()) << sweep.report();
@@ -164,8 +170,9 @@ TEST(CommitFaultSweep, ExponentialDelayChaos) {
   w.exponential_delays = true;
   w.retry_timeout = 400;
   w.drain = 20000;
-  w.min_decided_fraction = 0.7;
-  SweepResult sweep = parallel_sweep_seeds(kFirstSeed, 20, [&](std::uint64_t seed) {
+  // Nightly 250-seed census worst seed: 0.66.
+  w.min_decided_fraction = 0.6;
+  SweepResult sweep = parallel_sweep_seeds(kFirstSeed, kSmallSweepSeeds, [&](std::uint64_t seed) {
     return run_commit_workload(seed, w, schedule_for(seed, opt));
   });
   EXPECT_TRUE(sweep.ok()) << sweep.report();
@@ -181,7 +188,8 @@ TEST(RdmaFaultSweep, CrashAndGlobalReconfiguration) {
   opt.delay_windows = 1;
   RdmaWorkloadOptions w;
   w.total_txns = 120;
-  w.min_decided_fraction = 0.85;
+  // Nightly 250-seed census worst seed: 0.84.
+  w.min_decided_fraction = 0.8;
   SweepResult sweep =
       parallel_sweep_seeds(kFirstSeed, kSweepSeeds, [&](std::uint64_t seed) {
         return run_rdma_workload(seed, w, schedule_for(seed, opt));
@@ -206,8 +214,9 @@ TEST(RdmaFaultSweep, PartitionAndFabricDelaySchedulesAreSafe) {
   opt.clock_skews = 1;
   RdmaWorkloadOptions w;
   w.total_txns = 100;
-  w.min_decided_fraction = 0.5;
-  SweepResult sweep = parallel_sweep_seeds(kFirstSeed, 20, [&](std::uint64_t seed) {
+  // Nightly 250-seed census worst seed: 0.44.
+  w.min_decided_fraction = 0.35;
+  SweepResult sweep = parallel_sweep_seeds(kFirstSeed, kSmallSweepSeeds, [&](std::uint64_t seed) {
     return run_rdma_workload(seed, w, schedule_for(seed, opt));
   });
   EXPECT_TRUE(sweep.ok()) << sweep.report();
@@ -271,22 +280,89 @@ TEST(BaselineFaultSweep, LossySchedulesAreSafe) {
   BaselineWorkloadOptions w;
   w.total_txns = 100;
   w.min_decided_fraction = 0.0;
-  SweepResult sweep = parallel_sweep_seeds(kFirstSeed, 20, [&](std::uint64_t seed) {
+  SweepResult sweep = parallel_sweep_seeds(kFirstSeed, kSmallSweepSeeds, [&](std::uint64_t seed) {
     return run_baseline_workload(seed, w, schedule_for(seed, opt));
   });
   EXPECT_TRUE(sweep.ok()) << sweep.report();
 }
 
-TEST(BaselineVsCommit, CoordinatorCrashBlocksStrawmanButNotPaperProtocol) {
-  // The paper's motivating comparison, as a sweep: identical crash-only
-  // schedules against both stacks.  The reconfigurable protocol recovers
-  // every coordinator crash (the shard reconfigures and replicas
-  // re-certify through the new epoch); classical 2PC loses the coordinator
-  // state with the crashed leader.  The damage shows twice: the in-flight
-  // transactions it coordinated never decide, and their prepared witnesses
-  // stay in every participant's certification state forever, aborting all
-  // later conflicting transactions — so the committed fraction is where
-  // the strawman's blocking really bites.
+// --- baseline + cooperative termination ----------------------------------------
+//
+// The strawman with the classical fix (baseline/termination.h): in-doubt
+// participants query their peers and adopt any surviving decision.  Same
+// safety obligations as the classical baseline, strictly better liveness —
+// only all-prepared transactions still block.
+
+TEST(BaselineCoopFaultSweep, CrashAndFailoverSchedules) {
+  ScheduleOptions opt;
+  opt.crashes = 2;
+  opt.reconfigures = 1;
+  opt.partitions = 0;
+  opt.delay_windows = 1;
+  BaselineCoopWorkloadOptions w;
+  w.total_txns = 120;
+  w.min_decided_fraction = 0.6;  // above the classical baseline's 0.5
+  SweepResult sweep =
+      parallel_sweep_seeds(kFirstSeed, kSweepSeeds, [&](std::uint64_t seed) {
+        return run_baseline_coop_workload(seed, w, schedule_for(seed, opt));
+      });
+  EXPECT_TRUE(sweep.ok()) << sweep.report();
+}
+
+TEST(BaselineCoopFaultSweep, PartitionSchedulesIncludingNewShapes) {
+  // Partition shapes stress the false-suspicion path: a held-back leader
+  // looks dead to its peers, termination rounds race its live decisions,
+  // and the tombstone/log-order arbitration must keep everyone agreed.
+  ScheduleOptions opt;
+  opt.crashes = 1;
+  opt.reconfigures = 1;
+  opt.partitions = 1;
+  opt.majority_splits = 1;
+  opt.one_way_partitions = 1;
+  opt.clock_skews = 1;
+  BaselineCoopWorkloadOptions w;
+  w.total_txns = 120;
+  w.min_decided_fraction = 0.4;
+  SweepResult sweep =
+      parallel_sweep_seeds(kFirstSeed, kSweepSeeds, [&](std::uint64_t seed) {
+        return run_baseline_coop_workload(seed, w, schedule_for(seed, opt));
+      });
+  EXPECT_TRUE(sweep.ok()) << sweep.report();
+}
+
+TEST(BaselineCoopFaultSweep, LossySchedulesAreSafe) {
+  // Arbitrary loss can eat queries, answers and tombstone answers alike;
+  // the bounded rounds must give up cleanly and every safety check hold.
+  ScheduleOptions opt;
+  opt.crashes = 1;
+  opt.partitions = 1;
+  opt.lossy_partitions = true;
+  opt.drop_windows = 2;
+  opt.drop_probability = 0.08;
+  opt.delay_windows = 1;
+  BaselineCoopWorkloadOptions w;
+  w.total_txns = 100;
+  w.min_decided_fraction = 0.0;
+  SweepResult sweep =
+      parallel_sweep_seeds(kFirstSeed, kSmallSweepSeeds, [&](std::uint64_t seed) {
+        return run_baseline_coop_workload(seed, w, schedule_for(seed, opt));
+      });
+  EXPECT_TRUE(sweep.ok()) << sweep.report();
+}
+
+TEST(BaselineVsCommit, ThreeWayCoordinatorCrashCommittedFractionOrdering) {
+  // The paper's motivating comparison, now three-way: identical crash-only
+  // schedules against classical 2PC, cooperative-termination 2PC, and the
+  // paper protocol.  The reconfigurable protocol recovers every coordinator
+  // crash (the shard reconfigures and replicas re-certify through the new
+  // epoch).  Classical 2PC loses the coordinator state with the crashed
+  // leader, and the damage shows twice: its in-flight transactions never
+  // decide, and their prepared witnesses poison every object they touch,
+  // aborting all later conflicting transactions.  Cooperative termination
+  // resolves the in-doubt transactions whose peers decided (or never
+  // prepared) and releases their objects, landing strictly between the
+  // other two — the regression this test pins, with margins loose enough
+  // that the fixed seed set stays portable.
   ScheduleOptions opt;
   opt.crashes = 2;
   opt.reconfigures = 0;
@@ -310,17 +386,40 @@ TEST(BaselineVsCommit, CoordinatorCrashBlocksStrawmanButNotPaperProtocol) {
       });
   EXPECT_TRUE(baseline.ok()) << baseline.report();  // safety still holds
 
-  // Some baseline transactions blocked outright (never decided)...
+  BaselineCoopWorkloadOptions pw;
+  pw.total_txns = 120;
+  pw.min_decided_fraction = 0.0;  // the all-prepared window still blocks
+  SweepResult coop =
+      parallel_sweep_seeds(kFirstSeed, kSweepSeeds, [&](std::uint64_t seed) {
+        return run_baseline_coop_workload(seed, pw, schedule_for(seed, opt));
+      });
+  EXPECT_TRUE(coop.ok()) << coop.report();
+
+  // Some classical-baseline transactions blocked outright (never decided),
+  // and cooperative termination resolved part of that backlog.
   EXPECT_LT(baseline.total_decided, baseline.total_submitted);
-  // ...and the poisoned objects cost it a clearly lower commit rate than
-  // the recovering protocol under the very same schedules.
-  double commit_fraction = static_cast<double>(commit.total_committed) /
-                           static_cast<double>(commit.total_submitted);
-  double baseline_fraction = static_cast<double>(baseline.total_committed) /
-                             static_cast<double>(baseline.total_submitted);
+  EXPECT_GE(coop.total_decided, baseline.total_decided);
+
+  auto fraction = [](const SweepResult& r) {
+    return static_cast<double>(r.total_committed) /
+           static_cast<double>(r.total_submitted);
+  };
+  double commit_fraction = fraction(commit);
+  double baseline_fraction = fraction(baseline);
+  double coop_fraction = fraction(coop);
+  // The pinned ordering: classical < coop <= paper protocol.  The classical
+  // gap to the paper protocol stays wide; the coop variant must sit
+  // strictly above classical (it unpoisons the resolvable objects) and at
+  // most negligibly above the paper protocol.
   EXPECT_GT(commit_fraction, baseline_fraction + 0.03)
       << "commit committed fraction " << commit_fraction
       << " vs baseline " << baseline_fraction;
+  EXPECT_GT(coop_fraction, baseline_fraction)
+      << "coop committed fraction " << coop_fraction
+      << " vs baseline " << baseline_fraction;
+  EXPECT_LE(coop_fraction, commit_fraction + 0.01)
+      << "coop committed fraction " << coop_fraction
+      << " vs commit " << commit_fraction;
 }
 
 // --- paxos substrate ----------------------------------------------------------
@@ -354,7 +453,9 @@ TEST(PaxosFaultSweep, MinorityPartitionsAndLossyLinks) {
   opt.majority_splits = 1;
   opt.one_way_partitions = 1;
   PaxosWorkloadOptions w;
-  w.min_decided_fraction = 0.25;
+  // Nightly 250-seed census worst seed: 0.15 (lossy links can eat most of
+  // a 60-command run; safety is the real assertion here).
+  w.min_decided_fraction = 0.1;
   SweepResult sweep =
       parallel_sweep_seeds(kFirstSeed, kSweepSeeds, [&](std::uint64_t seed) {
         return run_paxos_workload(seed, w, schedule_for(seed, opt));
