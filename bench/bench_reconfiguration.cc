@@ -59,6 +59,60 @@ Duration availability_gap(Duration probe_patience) {
   return cluster.sim().now() - crash_at;
 }
 
+/// MTTR / unavailability window: time from the crash of shard 0's leader to
+/// the first post-crash commit in the affected shard, comparing
+/// harness-driven recovery (the omniscient test lever: reconfigure fires
+/// the instant the crash happens) against controller-driven recovery
+/// (src/ctrl/: the per-shard ReconController must first *detect* the crash
+/// through its failure detector, then run the same reconfiguration).  The
+/// difference is the price of closing the loop inside the system —
+/// dominated by the FD silence threshold.
+Duration mttr(bool controller_driven, Duration suspect_after) {
+  commit::Cluster::Options o;
+  o.seed = 7;
+  o.num_shards = 2;
+  o.shard_size = 2;
+  o.spares_per_shard = 2;
+  o.retry_timeout = 30;
+  o.enable_controller = controller_driven;
+  o.controller_tuning.fd = {.ping_every = suspect_after / 2,
+                            .suspect_after = suspect_after};
+  commit::Cluster cluster(o);
+  commit::Client& client = cluster.add_client();
+  TxnId warm = cluster.next_txn_id();
+  client.certify_colocated(cluster.replica(1, 1), warm, payload_on({0, 1}, {0}));
+  cluster.sim().run_until_pred([&] { return client.decided(warm); }, 1'000'000);
+
+  Time crash_at = cluster.sim().now();
+  cluster.crash(cluster.leader_of(0));
+  if (!controller_driven) {
+    // Omniscient: the harness knows about the crash with zero latency.
+    cluster.reconfigure(0, cluster.replica(0, 1).id());
+  }
+  cluster.await_active_epoch(0, 2);
+
+  TxnId t = cluster.next_txn_id();
+  client.certify_colocated(cluster.replica_by_pid(cluster.current_config(0).leader),
+                           t, payload_on({2, 3}, {2}));
+  cluster.sim().run_until_pred([&] { return client.decided(t); }, 1'000'000);
+  return cluster.sim().now() - crash_at;
+}
+
+void mttr_comparison() {
+  std::printf("MTTR: leader crash -> first post-crash commit in the affected shard\n");
+  std::printf("%-38s %18s\n", "recovery mode", "MTTR (ticks)");
+  std::printf("%-38s %18llu\n", "harness-driven (omniscient)",
+              (unsigned long long)mttr(false, 50));
+  for (Duration suspect_after : {50u, 30u, 15u}) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "controller-driven (suspect_after=%llu)",
+                  (unsigned long long)suspect_after);
+    std::printf("%-38s %18llu\n", label,
+                (unsigned long long)mttr(true, suspect_after));
+  }
+  std::printf("\n");
+}
+
 /// Other shards keep certifying while shard 0 reconfigures.
 void non_disruption() {
   commit::Cluster cluster({.seed = 3, .num_shards = 4, .shard_size = 2});
@@ -135,6 +189,7 @@ int main() {
                 (unsigned long long)availability_gap(patience));
   }
   std::printf("\n");
+  mttr_comparison();
   non_disruption();
   probing_descent();
   return 0;

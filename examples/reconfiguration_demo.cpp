@@ -1,77 +1,28 @@
-// Self-healing demo (paper Fig. 2b): a heartbeat failure detector watches
-// the replicas; when a shard leader dies mid-workload, a surviving replica
-// reconfigures the shard through the configuration service — probing the
-// old membership, CAS-ing the new epoch, transferring state to a fresh
-// spare — and certification resumes.
+// Self-healing demo (paper Fig. 2b): the autonomous reconfiguration
+// controllers (src/ctrl/) watch every shard's members through a heartbeat
+// failure detector; when a shard leader dies mid-workload, the shard's
+// controller probes the old membership, picks the surviving replica as the
+// new leader, replaces the dead member with a fresh spare (PlacementPolicy)
+// and CAS-es the new epoch into the configuration service — and
+// certification resumes, with no omniscient test-harness lever involved.
 //
 //   $ ./examples/reconfiguration_demo
 #include <cstdio>
 
 #include "commit/cluster.h"
-#include "fd/failure_detector.h"
 #include "store/frontends.h"
 #include "store/runner.h"
 #include "store/workload.h"
 
 using namespace ratc;
 
-namespace {
-
-/// Watches all replicas; on suspicion, asks a surviving member of the
-/// affected shard to reconfigure it (Fig. 1 line 33: "any process can
-/// initiate a reconfiguration of the shard").
-class Watchdog : public sim::Process {
- public:
-  Watchdog(commit::Cluster& cluster, ProcessId id)
-      : Process(cluster.sim(), id, "watchdog"),
-        cluster_(cluster),
-        monitor_(cluster.sim(), cluster.net(), id,
-                 fd::PingMonitor::Options{.ping_every = 10, .suspect_after = 40}) {
-    monitor_.on_suspect = [this](ProcessId pid) { react(pid); };
-    for (ShardId s = 0; s < cluster_.num_shards(); ++s) {
-      for (ProcessId m : cluster_.initial_members(s)) monitor_.watch(m);
-    }
-    monitor_.start();
-  }
-
-  void on_message(ProcessId from, const sim::AnyMessage& msg) override {
-    monitor_.handle(from, msg);
-  }
-
- private:
-  void react(ProcessId suspect) {
-    for (ShardId s = 0; s < cluster_.num_shards(); ++s) {
-      configsvc::ShardConfig cfg = cluster_.current_config(s);
-      if (!cfg.has_member(suspect)) continue;
-      for (ProcessId m : cfg.members) {
-        if (m == suspect || cluster_.sim().crashed(m)) continue;
-        std::printf("  [t=%llu] watchdog: %s suspected; asking %s to reconfigure shard %u\n",
-                    (unsigned long long)sim().now(), process_name(suspect).c_str(),
-                    process_name(m).c_str(), s);
-        cluster_.replica_by_pid(m).reconfigure(s);
-        monitor_.unwatch(suspect);
-        for (ProcessId nm : cfg.members) {
-          if (!monitor_.watching(nm) && nm != suspect) monitor_.watch(nm);
-        }
-        return;
-      }
-    }
-  }
-
-  commit::Cluster& cluster_;
-  fd::PingMonitor monitor_;
-};
-
-}  // namespace
-
 int main() {
   commit::Cluster cluster({.seed = 3,
                            .num_shards = 2,
                            .shard_size = 2,
                            .spares_per_shard = 2,
-                           .retry_timeout = 120});
-  Watchdog watchdog(cluster, 7777);
-  cluster.sim().add_process(&watchdog);
+                           .retry_timeout = 120,
+                           .enable_controller = true});
 
   store::CommitFrontend frontend(cluster);
   store::VersionedStore db;
@@ -87,7 +38,8 @@ int main() {
   ProcessId doomed = cluster.leader_of(0);
   std::printf("phase 2: crashing shard 0's leader %s\n", process_name(doomed).c_str());
   cluster.crash(doomed);
-  // Let the failure detector notice and the reconfiguration complete.
+  // No harness repair: the controller's failure detector must notice and
+  // the autonomous reconfiguration must complete.
   cluster.await_active_epoch(0, 2, 1'000'000);
   configsvc::ShardConfig cfg = cluster.current_config(0);
   std::printf("  [t=%llu] shard 0 now at epoch %llu: leader %s, members",
@@ -95,6 +47,9 @@ int main() {
               process_name(cfg.leader).c_str());
   for (ProcessId m : cfg.members) std::printf(" %s", process_name(m).c_str());
   std::printf("\n");
+  const ctrl::ReconController::Stats& cs = cluster.controller(0).stats();
+  std::printf("  controller/s0: %zu suspicion(s), %zu attempt(s), %zu epoch(s) installed\n",
+              cs.suspicions, cs.attempts, cs.epochs_initiated);
 
   std::printf("phase 3: 200 more transactions on the new configuration\n");
   store::RunnerStats s2 = runner.run(200);
@@ -103,6 +58,7 @@ int main() {
 
   std::string problems = cluster.verify();
   std::printf("verification: %s\n", problems.empty() ? "all invariants hold" : problems.c_str());
-  bool ok = problems.empty() && cfg.epoch >= 2 && s2.committed > s1.committed;
+  bool ok = problems.empty() && cfg.epoch >= 2 && s2.committed > s1.committed &&
+            cs.epochs_initiated >= 1;
   return ok ? 0 : 1;
 }

@@ -15,9 +15,9 @@ ShardServer::ShardServer(sim::Simulator& sim, sim::Network& net, ProcessId id,
   assert(options_.shard_map != nullptr && options_.certifier != nullptr);
   if (options_.cooperative_termination) {
     fd_monitor_ = std::make_unique<fd::PingMonitor>(sim, net, id, options_.fd);
-    fd_monitor_->on_suspect = [this](ProcessId coordinator) {
+    fd_monitor_->subscribe({.on_suspect = [this](ProcessId coordinator) {
       on_coordinator_suspected(coordinator);
-    };
+    }});
     fd_monitor_->start();  // idle until the first coordinator is watched
   }
 }
@@ -236,11 +236,9 @@ void ShardServer::maybe_decide(TxnId t) {
 
 void ShardServer::note_in_doubt(TxnId t, ProcessId coordinator) {
   in_doubt_[coordinator].insert(t);
-  if (!fd_monitor_->watching(coordinator)) {
-    fd_monitor_->watch(coordinator);
-  } else if (fd_monitor_->suspects(coordinator)) {
-    // Already-suspected coordinator: on_suspect will not fire again for it,
-    // so kick this transaction's first round directly.
+  if (fd_monitor_->ensure_watched(coordinator)) {
+    // Already-suspected coordinator: the on_suspect edge will not fire
+    // again for it, so kick this transaction's first round directly.
     start_termination_round(t);
   }
   TermState& ts = term_[t];

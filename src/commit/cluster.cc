@@ -11,6 +11,7 @@ constexpr ProcessId kReplicaBase = 100;
 constexpr ProcessId kShardStride = 100;
 constexpr ProcessId kSpareOffset = 50;
 constexpr ProcessId kClientBase = 5000;
+constexpr ProcessId kCtrlBase = 8000;
 constexpr ProcessId kCsPid = 9000;
 }  // namespace
 
@@ -79,13 +80,11 @@ Cluster::Cluster(Options options)
     ropt.leader_ships_accepts = options_.leader_ships_accepts;
     ropt.monitor = monitor_.get();
     ropt.allocate_spares = [this](ShardId shard, std::size_t n) {
-      std::vector<ProcessId> out;
-      auto& pool = free_spares_[shard];
-      while (!pool.empty() && out.size() < n) {
-        out.push_back(pool.front());
-        pool.erase(pool.begin());
-      }
-      return out;
+      return allocate_spares(shard, n);
+    };
+    ropt.release_spares = [this](ShardId shard,
+                                 const std::vector<ProcessId>& spares) {
+      release_spares(shard, spares);
     };
     for (std::size_t j = 0; j < options_.spares_per_shard; ++j) {
       free_spares_[s].push_back(replica_pid(s, options_.shard_size + j));
@@ -106,6 +105,55 @@ Cluster::Cluster(Options options)
       replicas_.push_back(std::move(r));
     }
   }
+
+  // Autonomous reconfiguration controllers (src/ctrl/): one per shard,
+  // sharing the replicas' fresh-spare pool and subscribed to CONFIG_CHANGE
+  // so their member watch lists track the live configuration.
+  if (options_.enable_controller) {
+    for (ShardId s = 0; s < options_.num_shards; ++s) {
+      ctrl::ReconController::Options copt;
+      copt.shard = s;
+      copt.mode = ctrl::ReconController::Mode::kPerShardCas;
+      copt.cs_endpoints = cs_endpoints;
+      copt.target_shard_size = options_.shard_size;
+      copt.tuning = options_.controller_tuning;
+      copt.allocate_spares = [this](ShardId shard, std::size_t n) {
+        return allocate_spares(shard, n);
+      };
+      copt.release_spares = [this](ShardId shard,
+                                   const std::vector<ProcessId>& spares) {
+        release_spares(shard, spares);
+      };
+      auto c = std::make_unique<ctrl::ReconController>(
+          sim_, *net_, kCtrlBase + s, std::move(copt));
+      sim_.add_process(c.get());
+      if (simple_cs_) simple_cs_->subscribe(c->id());
+      if (replicated_cs_) replicated_cs_->subscribe(c->id());
+      c->bootstrap(initial.at(s));
+      controllers_.push_back(std::move(c));
+    }
+  }
+}
+
+std::vector<ProcessId> Cluster::allocate_spares(ShardId shard, std::size_t n) {
+  std::vector<ProcessId> out;
+  auto& pool = free_spares_[shard];
+  while (!pool.empty() && out.size() < n) {
+    out.push_back(pool.front());
+    pool.erase(pool.begin());
+  }
+  return out;
+}
+
+void Cluster::release_spares(ShardId shard, const std::vector<ProcessId>& spares) {
+  auto& pool = free_spares_[shard];
+  pool.insert(pool.end(), spares.begin(), spares.end());
+}
+
+std::size_t Cluster::controller_attempts() const {
+  std::size_t n = 0;
+  for (const auto& c : controllers_) n += c->stats().attempts;
+  return n;
 }
 
 ProcessId Cluster::replica_pid(ShardId s, std::size_t idx) const {

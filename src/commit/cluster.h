@@ -14,6 +14,7 @@
 #include "commit/replica.h"
 #include "configsvc/replicated_service.h"
 #include "configsvc/simple_service.h"
+#include "ctrl/recon_controller.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
@@ -47,6 +48,10 @@ class Cluster {
     std::function<Duration(ProcessId from, ProcessId to)> link_delay;
     bool enable_monitor = true;
     bool enable_tracer = false;
+    /// Spawn one autonomous reconfiguration controller per shard
+    /// (src/ctrl/): failure-detector-driven healing with no harness levers.
+    bool enable_controller = false;
+    ctrl::ControllerTuning controller_tuning;
   };
 
   explicit Cluster(Options options);
@@ -84,6 +89,13 @@ class Cluster {
   /// configuration's members all report the epoch (activation).
   bool await_active_epoch(ShardId s, Epoch at_least, std::size_t max_events = 2'000'000);
 
+  // --- autonomous reconfiguration (src/ctrl/) ---------------------------------
+
+  bool has_controller() const { return !controllers_.empty(); }
+  ctrl::ReconController& controller(ShardId s) { return *controllers_.at(s); }
+  /// Total reconfiguration attempts started by the controllers.
+  std::size_t controller_attempts() const;
+
   // --- infrastructure access -------------------------------------------------------
 
   sim::Simulator& sim() { return sim_; }
@@ -106,6 +118,12 @@ class Cluster {
 
  private:
   ProcessId replica_pid(ShardId s, std::size_t idx) const;
+  /// Hands out up to n fresh spares for `shard`, permanently consuming them
+  /// (global freshness; see Replica::Options::allocate_spares).  Shared by
+  /// replica reconfigurers and the autonomous controllers.
+  std::vector<ProcessId> allocate_spares(ShardId shard, std::size_t n);
+  /// Returns spares whose proposal never entered a stored configuration.
+  void release_spares(ShardId shard, const std::vector<ProcessId>& spares);
 
   Options options_;
   sim::Simulator sim_;
@@ -117,6 +135,7 @@ class Cluster {
   std::unique_ptr<configsvc::SimpleConfigService> simple_cs_;
   std::unique_ptr<configsvc::ReplicatedConfigService> replicated_cs_;
   std::vector<std::unique_ptr<Replica>> replicas_;
+  std::vector<std::unique_ptr<ctrl::ReconController>> controllers_;
   std::vector<std::unique_ptr<Client>> clients_;
   /// Never-yet-used spare processes per shard (the "fresh process" pool;
   /// allocation permanently consumes).

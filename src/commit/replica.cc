@@ -70,8 +70,11 @@ void Replica::start_certification(TxnMeta meta, const tcs::Payload* full_payload
     return;
   }
   CoordState& c = coord_[txn];
+  if (c.decided) return;  // late retry of an already-decided coordination
+  undecided_coords_.insert(txn);
   c.meta = meta;
   if (local_cb) c.local_cb = std::move(local_cb);
+  c.last_driven = sim().now();
   // Line 2-3: send PREPARE with the shard projection to each leader.
   for (ShardId s : meta.participants) {
     Prepare p;
@@ -79,11 +82,41 @@ void Replica::start_certification(TxnMeta meta, const tcs::Payload* full_payload
     if (full_payload != nullptr) {
       p.has_payload = true;
       p.payload = options_.shard_map->project(*full_payload, s);
+      c.shard_payloads[s] = p.payload;
     } else {
       p.has_payload = false;  // ⊥: retry path (line 73)
     }
     p.meta = meta;
     net_.send_msg(id(), view(s).leader, p);
+  }
+}
+
+void Replica::redrive_coordinations() {
+  // A PREPARE sent to a leader that crashed before certifying leaves no
+  // prepared witness anywhere, so the line-70 retry path can never find it:
+  // without this re-drive the transaction stays undecided forever (the
+  // availability hole the autonomous-reconfiguration sweeps exposed).  The
+  // coordinator still holds the projections, so it re-sends the PREPAREs to
+  // the *current* leaders; leaders that already certified the transaction
+  // just re-send their stored result (lines 6-7), making this idempotent.
+  Time now = sim().now();
+  for (TxnId txn : undecided_coords_) {
+    CoordState& c = coord_.at(txn);
+    if (now - c.last_driven < options_.retry_timeout) continue;
+    c.last_driven = now;
+    for (ShardId s : c.meta.participants) {
+      Prepare p;
+      p.txn = txn;
+      auto it = c.shard_payloads.find(s);
+      if (it != c.shard_payloads.end()) {
+        p.has_payload = true;
+        p.payload = it->second;
+      } else {
+        p.has_payload = false;
+      }
+      p.meta = c.meta;
+      net_.send_msg(id(), view(s).leader, p);
+    }
   }
 }
 
@@ -285,7 +318,7 @@ void Replica::check_coordination(TxnId txn) {
     }
     decision = meet(decision, pr.vote);  // line 27's ⊓ fold
   }
-  c.decided = true;
+  c.decided = true;  // guards re-entrancy from the client callback below
   // Line 27: report the decision to the client.
   if (c.local_cb) {
     if (monitor_) monitor_->on_local_decision(txn, decision);
@@ -301,6 +334,13 @@ void Replica::check_coordination(TxnId txn) {
       net_.send_msg(id(), p, DecisionMsg{v.epoch, s, pr.slot, txn, decision});
     }
   }
+  // The coordination is complete: shed the heavy state but keep the entry
+  // as a decided tombstone — a late retry() of a still-prepared slot would
+  // otherwise recreate the coordination from scratch and re-decide.
+  c.progress.clear();
+  c.shard_payloads.clear();
+  c.local_cb = nullptr;
+  undecided_coords_.erase(txn);
 }
 
 void Replica::handle_decision(ProcessId from, const DecisionMsg& m) {
@@ -361,20 +401,26 @@ void Replica::handle_probe_ack(ProcessId from, const ProbeAck& m) {
     // Line 45: found the new leader.
     probing_ = false;
     ProcessId new_leader = from;
-    std::vector<ProcessId> members = compute_membership(new_leader);  // line 48
+    std::vector<ProcessId> allocated;
+    std::vector<ProcessId> members = compute_membership(new_leader, &allocated);  // line 48
     configsvc::ShardConfig next;
     next.epoch = recon_epoch_;
     next.members = members;
     next.leader = new_leader;
     // Line 49: CAS against the epoch we started probing from.
     cs_.cas(recon_shard_, recon_epoch_ - 1, next,
-            [this, new_leader, next](bool ok) {
+            [this, new_leader, next, allocated, shard = recon_shard_](bool ok) {
               if (ok) {
                 // Line 50.
                 net_.send_msg(id(), new_leader, NewConfig{next.epoch, next.members});
               } else {
                 RATC_DEBUG(name() << " lost reconfiguration CAS for s"
                                   << next.epoch);
+                // The reserved spares never entered a stored configuration;
+                // hand them back so the shard can still backfill later.
+                if (!allocated.empty() && options_.release_spares) {
+                  options_.release_spares(shard, allocated);
+                }
               }
             });
   } else {
@@ -423,7 +469,8 @@ void Replica::descend_probing() {
           });
 }
 
-std::vector<ProcessId> Replica::compute_membership(ProcessId new_leader) {
+std::vector<ProcessId> Replica::compute_membership(ProcessId new_leader,
+                                                   std::vector<ProcessId>* allocated) {
   // Line 48: must contain the new leader; may contain probing responders
   // and fresh processes.  Policy: leader, then other responders (recently
   // alive, and members of probed-but-never-activated epochs are safe to
@@ -437,6 +484,7 @@ std::vector<ProcessId> Replica::compute_membership(ProcessId new_leader) {
     for (ProcessId spare : options_.allocate_spares(
              recon_shard_, options_.target_shard_size - members.size())) {
       members.push_back(spare);
+      if (allocated != nullptr) allocated->push_back(spare);
     }
   }
   return members;
@@ -512,6 +560,7 @@ void Replica::arm_retry_timer() {
       prepared_at_[k] = now;  // rate-limit further retries
       retry(k);
     }
+    redrive_coordinations();
     arm_retry_timer();
   });
 }

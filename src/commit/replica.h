@@ -60,6 +60,12 @@ class Replica : public sim::Process {
     /// consumes from a shared pool — the cluster harness models the resource
     /// manager that real deployments use for this.
     std::function<std::vector<ProcessId>(ShardId, std::size_t)> allocate_spares;
+    /// Returns spares reserved by a proposal whose CAS lost the race: they
+    /// never entered a stored configuration, so they are still fresh.
+    /// Without this, every lost reconfiguration race (routine once the
+    /// autonomous controllers of src/ctrl/ race replica reconfigurers)
+    /// permanently shrinks the pool.
+    std::function<void(ShardId, const std::vector<ProcessId>&)> release_spares;
     /// How long the reconfigurer waits for a PROBE_ACK(true) after the first
     /// PROBE_ACK(false) before descending an epoch (the paper's
     /// non-deterministic rule at line 51, scheduled by timer).
@@ -132,6 +138,10 @@ class Replica : public sim::Process {
     std::map<ShardId, ShardProgress> progress;
     bool decided = false;
     std::function<void(tcs::Decision)> local_cb;  ///< set for co-located clients
+    /// Per-shard payload projections, kept so the coordinator can re-send a
+    /// PREPARE that died with a crashed leader (empty for ⊥ retries).
+    std::map<ShardId, tcs::Payload> shard_payloads;
+    Time last_driven = 0;  ///< when PREPAREs were last (re-)sent
   };
 
   // Fig. 1 handlers.
@@ -168,14 +178,21 @@ class Replica : public sim::Process {
   void check_coordination(TxnId txn);
 
   /// compute_membership() (line 48): the new leader, plus probing
-  /// responders, topped up with fresh spares to the target size.
-  std::vector<ProcessId> compute_membership(ProcessId new_leader);
+  /// responders, topped up with fresh spares to the target size.  The
+  /// spares consumed are reported through `allocated` so a lost CAS can
+  /// return them.
+  std::vector<ProcessId> compute_membership(ProcessId new_leader,
+                                            std::vector<ProcessId>* allocated);
 
   /// Arms the timer realizing the non-deterministic descent rule (line 51).
   void arm_probe_descend_timer();
   void descend_probing();
 
   void arm_retry_timer();
+  /// Re-sends PREPAREs of undecided coordinated transactions to the current
+  /// leaders (see the definition for why the line-70 retry cannot cover
+  /// them).  Runs on the retry timer.
+  void redrive_coordinations();
 
   Options options_;
   sim::Network& net_;
@@ -202,8 +219,11 @@ class Replica : public sim::Process {
   bool descend_timer_armed_ = false;
   std::uint64_t probe_round_ = 0;
 
-  // Coordinator state.
+  // Coordinator state.  Decided entries stay as slim tombstones (so a late
+  // retry cannot re-coordinate); the index below keeps the re-drive scan
+  // bounded by the undecided set.
   std::map<TxnId, CoordState> coord_;
+  std::set<TxnId> undecided_coords_;
 
   // Local bookkeeping for the retry timer.
   std::map<Slot, Time> prepared_at_;

@@ -105,4 +105,13 @@ struct GcsGetReply {
   std::size_t wire_size() const { return 24 + config.members.size() * 16; }
 };
 
+/// Sent by the global CS to subscribers when a new global configuration is
+/// persisted — the Sec. 5 analogue of CONFIG_CHANGE, used by the
+/// reconfiguration controllers (src/ctrl/) to track live membership.
+struct GlobalConfigChange {
+  static constexpr const char* kName = "GCONFIG_CHANGE";
+  GlobalConfig config;
+  std::size_t wire_size() const { return 16 + config.members.size() * 16; }
+};
+
 }  // namespace ratc::configsvc

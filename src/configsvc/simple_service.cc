@@ -79,6 +79,11 @@ void SimpleGlobalConfigService::on_message(ProcessId from, const sim::AnyMessage
       RATC_DEBUG("GCS: stored global epoch " << cas->next.epoch);
     }
     net_.send_msg(id(), from, GcsCasReply{ok, cas->req_id});
+    if (ok) {
+      for (ProcessId p : subscribers_) {
+        net_.send_msg(id(), p, GlobalConfigChange{configs_.at(last_epoch_)});
+      }
+    }
   } else if (const auto* gl = msg.as<GcsGetLast>()) {
     GcsGetLastReply reply;
     if (last_epoch_ != kNoEpoch) reply.config = configs_.at(last_epoch_);

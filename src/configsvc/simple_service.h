@@ -48,6 +48,11 @@ class SimpleGlobalConfigService : public sim::Process {
 
   void bootstrap(GlobalConfig config);
 
+  /// Registers a process to receive GlobalConfigChange notifications
+  /// whenever a CAS persists a new configuration (the Sec. 5 analogue of
+  /// Fig. 1 line 67's CONFIG_CHANGE subscription).
+  void subscribe(ProcessId p) { subscribers_.push_back(p); }
+
   const GlobalConfig& last() const { return configs_.at(last_epoch_); }
 
   void on_message(ProcessId from, const sim::AnyMessage& msg) override;
@@ -56,6 +61,7 @@ class SimpleGlobalConfigService : public sim::Process {
   sim::Network& net_;
   std::map<Epoch, GlobalConfig> configs_;
   Epoch last_epoch_ = kNoEpoch;
+  std::vector<ProcessId> subscribers_;
 };
 
 }  // namespace ratc::configsvc

@@ -1,0 +1,23 @@
+// Control-plane message vocabulary.
+#pragma once
+
+#include "common/types.h"
+
+namespace ratc::ctrl {
+
+/// Controller -> replica (RDMA stack): "I suspect a member of shard
+/// `shard`; run a global reconfiguration."  The RDMA protocol's
+/// reconfigurer role (Fig. 8) is embedded in the replica because activation
+/// needs fabric-side connection management (close on PROBE, flush on
+/// NEW_CONFIG), so the controller delegates execution instead of running
+/// probing + CAS itself as it does for the message-passing stack.
+/// Concurrent nudges from several controllers still race safely: the global
+/// CS CAS inside the replicas arbitrates, exactly as for the commit stack.
+struct NudgeReconfig {
+  static constexpr const char* kName = "CTRL_NUDGE";
+  ShardId shard = 0;
+  /// The epoch the controller observed when nudging (diagnostic only).
+  Epoch observed_epoch = kNoEpoch;
+};
+
+}  // namespace ratc::ctrl

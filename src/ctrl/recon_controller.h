@@ -1,0 +1,186 @@
+// Autonomous reconfiguration controller: the control plane that closes the
+// paper's loop.
+//
+// The paper (Sec. 3) says "reconfiguration is initiated by a replica when
+// it suspects another replica of failing" — but in this repo every
+// reconfiguration used to be triggered by an omniscient harness calling
+// crash_and_reconfigure.  ReconController moves the loop inside the system:
+//
+//     failure detection  ->  candidate-config selection  ->  CS CAS
+//          (fd::PingMonitor)     (ctrl::PlacementPolicy)        |
+//               ^                                               v
+//               +--------------- epoch handover  <--------------+
+//                        (CONFIG_CHANGE subscription)
+//
+// One ReconController runs per shard as an ordinary simulated process (it
+// can crash, be partitioned, or race other controllers).  It watches the
+// shard's current members through a ping/pong failure detector, subscribes
+// to the configuration service's change notifications to track the live
+// membership, and on suspicion — or when an attempt wedges (stuck epoch,
+// lost probes) — initiates a reconfiguration:
+//
+//  * Commit stack (Mode::kPerShardCas): the controller plays the paper's
+//    reconfigurer role itself (Fig. 1 lines 33-55) — get_last, PROBE the
+//    stored membership, descend through never-activated epochs, pick the
+//    first initialized responder as leader, let the PlacementPolicy choose
+//    the rest of the membership (replace suspects with fresh spares), and
+//    compare-and-swap the next epoch into the CS.  Concurrent controllers
+//    and replica-driven reconfigurations race safely: the CAS admits
+//    exactly one winner per epoch and losers re-observe via CONFIG_CHANGE.
+//
+//  * RDMA stack (Mode::kDelegateGlobal): reconfiguration is global (Fig. 8)
+//    and its activation needs fabric-side connection management that only
+//    replicas can perform, so the controller delegates execution — it
+//    nudges a live, non-suspected replica to run the global protocol; the
+//    global CS CAS inside the replicas arbitrates concurrent nudges.
+//
+// Robustness to false suspicion (the concern FLAC, Pan et al., makes
+// central): a one-way-partitioned replica is alive but silent towards the
+// controller, and acting on every suspicion would thrash epochs.  The
+// controller therefore applies hysteresis — exponential backoff between
+// attempts per shard (ControllerTuning::backoff_*), reset only after a
+// quiet period — so any false-suspicion storm of bounded length initiates
+// only O(log) epochs, and recovery (the suspect answering pings again)
+// stops the loop before the next attempt fires.  Safety never depends on
+// suspicion accuracy: a falsely-replaced replica costs one epoch, not an
+// invariant.
+//
+// The membership chosen for the new epoch is the PlacementPolicy extension
+// point documented in placement.h.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/types.h"
+#include "configsvc/client.h"
+#include "configsvc/config.h"
+#include "configsvc/messages.h"
+#include "ctrl/placement.h"
+#include "fd/failure_detector.h"
+#include "sim/network.h"
+#include "sim/process.h"
+
+namespace ratc::commit {
+struct ProbeAck;
+}
+
+namespace ratc::ctrl {
+
+class ReconController : public sim::Process {
+ public:
+  /// How attempts are executed; see the file comment.
+  enum class Mode { kPerShardCas, kDelegateGlobal };
+
+  struct Options {
+    ShardId shard = 0;
+    Mode mode = Mode::kPerShardCas;
+    /// CS endpoints (per-shard CS for kPerShardCas; unused by the global
+    /// mode, whose CAS happens inside the nudged replica).
+    std::vector<ProcessId> cs_endpoints;
+    std::size_t target_shard_size = 2;
+    ControllerTuning tuning;
+    /// Fresh-spare allocator shared with the replicas (the cluster's pool).
+    std::function<std::vector<ProcessId>(ShardId, std::size_t)> allocate_spares;
+    /// Returns spares consumed by a proposal whose CAS lost the race; they
+    /// never entered any stored configuration, so they are still globally
+    /// fresh and may be handed out again.
+    std::function<void(ShardId, const std::vector<ProcessId>&)> release_spares;
+  };
+
+  struct Stats {
+    std::size_t suspicions = 0;        ///< suspicion edges heard
+    std::size_t recoveries = 0;        ///< suspicions retracted by a pong
+    std::size_t attempts = 0;          ///< reconfiguration attempts started
+    std::size_t attempts_abandoned = 0;  ///< watchdog-expired attempts
+    std::size_t epochs_initiated = 0;  ///< CAS wins (kPerShardCas)
+    std::size_t cas_losses = 0;        ///< CAS races lost (kPerShardCas)
+    std::size_t nudges = 0;            ///< delegated triggers (kDelegateGlobal)
+  };
+
+  ReconController(sim::Simulator& sim, sim::Network& net, ProcessId id,
+                  Options options);
+
+  /// Installs the initial per-shard view and starts watching its members
+  /// (commit stack).
+  void bootstrap(const configsvc::ShardConfig& view);
+  /// Same for the RDMA stack's global configuration.
+  void bootstrap_global(const configsvc::GlobalConfig& config);
+
+  ShardId shard() const { return options_.shard; }
+  const Stats& stats() const { return stats_; }
+  const configsvc::ShardConfig& view() const { return view_; }
+  bool suspects(ProcessId p) const { return suspects_.count(p) > 0; }
+
+  void on_message(ProcessId from, const sim::AnyMessage& msg) override;
+
+ private:
+  // --- trigger plumbing -------------------------------------------------------
+  void on_suspect(ProcessId peer);
+  void on_recover(ProcessId peer);
+  bool have_live_grievance() const;
+  /// Central gate: acts only when a current member is suspect, an attempt
+  /// is not already in flight, and the backoff window has elapsed (else
+  /// arms a retry timer for when it has).
+  void maybe_act();
+  void start_attempt();
+  void arm_watchdog();
+
+  // --- view tracking ----------------------------------------------------------
+  void adopt_view(const configsvc::ShardConfig& next);
+  void handle_config_change(const configsvc::ConfigChange& m);
+  void handle_global_config_change(const configsvc::GlobalConfigChange& m);
+
+  // --- kPerShardCas: the reconfigurer role (Fig. 1 lines 33-55) --------------
+  void probe_begin();
+  void handle_probe_ack(ProcessId from, const commit::ProbeAck& m);
+  void propose(ProcessId leader_candidate);
+  void arm_descend_timer();
+  void descend_probing();
+
+  // --- kDelegateGlobal --------------------------------------------------------
+  void nudge();
+
+  Options options_;
+  sim::Network& net_;
+  configsvc::CsClient cs_;
+  fd::PingMonitor fd_;
+  ReplaceSuspectsPolicy default_policy_;
+  PlacementPolicy* policy_;  // options_.tuning.policy or &default_policy_
+
+  configsvc::ShardConfig view_;      ///< latest known config of our shard
+  configsvc::GlobalConfig gview_;    ///< kDelegateGlobal: full global config
+  std::set<ProcessId> suspects_;
+
+  // Hysteresis state.
+  Duration backoff_;
+  Time next_allowed_ = 0;
+  Time last_attempt_at_ = 0;
+  bool retry_armed_ = false;
+  /// Epoch an attempt is trying to install (kNoEpoch when none).  Probing
+  /// freezes the probed replicas (they stop certifying until a NEW_CONFIG /
+  /// NEW_STATE arrives), so once an attempt has gone out the controller
+  /// must drive the shard to SOME epoch >= this target even if the
+  /// original suspicion is retracted — otherwise a lost ProbeAck plus a
+  /// recovered suspect would leave the shard frozen forever.  Cleared when
+  /// a stored epoch >= the target is observed.
+  Epoch pending_target_ = kNoEpoch;
+
+  // Attempt state (kPerShardCas probing, mirroring commit::Replica).
+  bool probing_ = false;
+  std::uint64_t round_ = 0;  ///< also guards the delegate-mode watchdog
+  Epoch recon_epoch_ = kNoEpoch;
+  Epoch probed_epoch_ = kNoEpoch;
+  std::vector<ProcessId> probed_members_;
+  std::set<ProcessId> probe_responders_;
+  bool round_has_false_ack_ = false;
+  bool descend_timer_armed_ = false;
+
+  std::size_t nudge_rr_ = 0;  ///< round-robin cursor over nudge targets
+
+  Stats stats_;
+};
+
+}  // namespace ratc::ctrl

@@ -8,10 +8,11 @@
 //
 //  * fd::Responder — drop-in pong responder for monitored processes.
 //  * fd::PingMonitor — sends pings on a period, suspects after a silence
-//    threshold, fires a callback once per suspicion.  Ticking pauses while
-//    no peer is watched (and resumes on the next watch), so an idle monitor
-//    never keeps the simulator's event queue alive — embedders can run the
-//    simulation to quiescence.
+//    threshold, and notifies registered subscribers once per suspicion edge
+//    and once per recovery (a suspected peer answering again).  Ticking
+//    pauses while no peer is watched (and resumes on the next watch), so an
+//    idle monitor never keeps the simulator's event queue alive — embedders
+//    can run the simulation to quiescence.
 #pragma once
 
 #include <functional>
@@ -68,8 +69,23 @@ class PingMonitor {
   PingMonitor(sim::Simulator& sim, sim::Network& net, ProcessId owner)
       : PingMonitor(sim, net, owner, Options{}) {}
 
-  /// Fires once per watched process when it becomes suspected.
-  std::function<void(ProcessId)> on_suspect;
+  /// Registered suspicion/recovery callbacks.  on_suspect fires once per
+  /// suspicion edge (a watched peer crossing the silence threshold);
+  /// on_recover fires when a suspected peer answers a ping again (the
+  /// spurious-suspicion retraction of an eventually-perfect detector).
+  struct Callbacks {
+    std::function<void(ProcessId)> on_suspect;
+    std::function<void(ProcessId)> on_recover;
+  };
+  using SubscriptionId = std::uint64_t;
+
+  SubscriptionId subscribe(Callbacks cbs) {
+    SubscriptionId id = next_subscription_++;
+    subscribers_[id] = std::move(cbs);
+    return id;
+  }
+
+  void unsubscribe(SubscriptionId id) { subscribers_.erase(id); }
 
   void watch(ProcessId peer) {
     watched_[peer] = sim_.now();
@@ -78,6 +94,15 @@ class PingMonitor {
       ticking_ = true;
       tick();
     }
+  }
+
+  /// Watches `peer` unless already watched (a plain watch() would reset an
+  /// accumulated silence window and retract an existing suspicion).
+  /// Returns whether `peer` is currently suspected — the caller's cue that
+  /// the on_suspect edge has already fired and will not fire again.
+  bool ensure_watched(ProcessId peer) {
+    if (!watching(peer)) watch(peer);
+    return suspects(peer);
   }
 
   void unwatch(ProcessId peer) {
@@ -104,12 +129,24 @@ class PingMonitor {
     auto it = watched_.find(from);
     if (it != watched_.end()) {
       it->second = sim_.now();
-      suspected_.erase(from);  // spurious suspicion retracted
+      if (suspected_.erase(from) > 0) {  // spurious suspicion retracted
+        notify(from, &Callbacks::on_recover);
+      }
     }
     return true;
   }
 
  private:
+  /// Callbacks may subscribe/unsubscribe (mutating subscribers_), so fire
+  /// over a snapshot.
+  void notify(ProcessId peer, std::function<void(ProcessId)> Callbacks::* which) {
+    std::vector<std::function<void(ProcessId)>> fns;
+    for (const auto& [id, cbs] : subscribers_) {
+      if (cbs.*which) fns.push_back(cbs.*which);
+    }
+    for (const auto& fn : fns) fn(peer);
+  }
+
   void tick() {
     if (watched_.empty()) {
       ticking_ = false;  // pause; the next watch() resumes
@@ -126,7 +163,7 @@ class PingMonitor {
       }
     }
     for (ProcessId peer : newly_suspected) {
-      if (on_suspect) on_suspect(peer);
+      notify(peer, &Callbacks::on_suspect);
     }
     sim_.schedule_for(owner_, options_.ping_every, [this] { tick(); });
   }
@@ -137,6 +174,8 @@ class PingMonitor {
   Options options_;
   std::map<ProcessId, Time> watched_;
   std::set<ProcessId> suspected_;
+  std::map<SubscriptionId, Callbacks> subscribers_;
+  SubscriptionId next_subscription_ = 1;
   std::uint64_t seq_ = 0;
   bool started_ = false;
   bool ticking_ = false;

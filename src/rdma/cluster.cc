@@ -10,6 +10,7 @@ constexpr ProcessId kReplicaBase = 100;
 constexpr ProcessId kShardStride = 100;
 constexpr ProcessId kSpareOffset = 50;
 constexpr ProcessId kClientBase = 5000;
+constexpr ProcessId kCtrlBase = 8000;
 constexpr ProcessId kCsPid = 9000;
 }  // namespace
 
@@ -84,13 +85,11 @@ Cluster::Cluster(Options options)
     ropt.ablate_flush = options_.ablate_flush;
     ropt.monitor = monitor_.get();
     ropt.allocate_spares = [this](ShardId shard, std::size_t n) {
-      std::vector<ProcessId> out;
-      auto& pool = free_spares_[shard];
-      while (!pool.empty() && out.size() < n) {
-        out.push_back(pool.front());
-        pool.erase(pool.begin());
-      }
-      return out;
+      return allocate_spares(shard, n);
+    };
+    ropt.release_spares = [this](ShardId shard,
+                                 const std::vector<ProcessId>& spares) {
+      release_spares(shard, spares);
     };
     for (std::size_t j = 0; j < options_.spares_per_shard; ++j) {
       free_spares_[s].push_back(replica_pid(s, options_.shard_size + j));
@@ -118,6 +117,54 @@ Cluster::Cluster(Options options)
       }
     }
   }
+
+  // Autonomous reconfiguration controllers (src/ctrl/): watch members, and
+  // on suspicion nudge a live replica to run the global reconfiguration
+  // (the fabric-side activation steps live in the replicas; see
+  // ctrl/messages.h).  Safe global mode only — the unsafe strawman exists
+  // to reproduce the Fig. 4a violation, not to be healed.
+  if (options_.enable_controller) {
+    if (options_.mode != ReconfigMode::kGlobalSafe) {
+      // Replicas drop CTRL_NUDGE outside safe mode; silently spawning
+      // controllers would claim autonomous recovery while healing nothing.
+      throw std::invalid_argument(
+          "enable_controller requires ReconfigMode::kGlobalSafe");
+    }
+    for (ShardId s = 0; s < options_.num_shards; ++s) {
+      ctrl::ReconController::Options copt;
+      copt.shard = s;
+      copt.mode = ctrl::ReconController::Mode::kDelegateGlobal;
+      copt.target_shard_size = options_.shard_size;
+      copt.tuning = options_.controller_tuning;
+      auto c = std::make_unique<ctrl::ReconController>(
+          sim_, *net_, kCtrlBase + s, std::move(copt));
+      sim_.add_process(c.get());
+      gcs_->subscribe(c->id());
+      c->bootstrap_global(initial);
+      controllers_.push_back(std::move(c));
+    }
+  }
+}
+
+std::size_t Cluster::controller_attempts() const {
+  std::size_t n = 0;
+  for (const auto& c : controllers_) n += c->stats().attempts;
+  return n;
+}
+
+std::vector<ProcessId> Cluster::allocate_spares(ShardId shard, std::size_t n) {
+  std::vector<ProcessId> out;
+  auto& pool = free_spares_[shard];
+  while (!pool.empty() && out.size() < n) {
+    out.push_back(pool.front());
+    pool.erase(pool.begin());
+  }
+  return out;
+}
+
+void Cluster::release_spares(ShardId shard, const std::vector<ProcessId>& spares) {
+  auto& pool = free_spares_[shard];
+  pool.insert(pool.end(), spares.begin(), spares.end());
 }
 
 ProcessId Cluster::replica_pid(ShardId s, std::size_t idx) const {

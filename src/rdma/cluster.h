@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "configsvc/simple_service.h"
+#include "ctrl/recon_controller.h"
 #include "rdma/fabric.h"
 #include "rdma/monitor.h"
 #include "rdma/replica.h"
@@ -113,6 +114,11 @@ class Cluster {
     /// Test-only ablation of the NEW_CONFIG flush (Fig. 8 line 142).
     bool ablate_flush = false;
     bool enable_tracer = false;
+    /// Spawn one autonomous reconfiguration controller per shard
+    /// (src/ctrl/); safe global mode only.  The controllers delegate
+    /// execution to replicas via CTRL_NUDGE (see ctrl/messages.h).
+    bool enable_controller = false;
+    ctrl::ControllerTuning controller_tuning;
   };
 
   explicit Cluster(Options options);
@@ -134,6 +140,13 @@ class Cluster {
   bool await_active_shard_epoch(ShardId s, Epoch at_least,
                                 std::size_t max_events = 2'000'000);
 
+  // --- autonomous reconfiguration (src/ctrl/) ---------------------------------
+
+  bool has_controller() const { return !controllers_.empty(); }
+  ctrl::ReconController& controller(ShardId s) { return *controllers_.at(s); }
+  /// Total reconfiguration attempts started by the controllers.
+  std::size_t controller_attempts() const;
+
   sim::Simulator& sim() { return sim_; }
   sim::Network& net() { return *net_; }
   Fabric& fabric() { return *fabric_; }
@@ -148,6 +161,10 @@ class Cluster {
 
  private:
   ProcessId replica_pid(ShardId s, std::size_t idx) const;
+  /// Fresh-spare pool management (global freshness; mirrors
+  /// commit::Cluster::allocate_spares/release_spares).
+  std::vector<ProcessId> allocate_spares(ShardId shard, std::size_t n);
+  void release_spares(ShardId shard, const std::vector<ProcessId>& spares);
 
   Options options_;
   sim::Simulator sim_;
@@ -160,6 +177,7 @@ class Cluster {
   std::unique_ptr<configsvc::SimpleGlobalConfigService> gcs_;
   std::unique_ptr<configsvc::SimpleConfigService> cs_;
   std::vector<std::unique_ptr<Replica>> replicas_;
+  std::vector<std::unique_ptr<ctrl::ReconController>> controllers_;
   std::vector<std::unique_ptr<Client>> clients_;
   std::map<ShardId, std::vector<ProcessId>> free_spares_;
   tcs::History history_;

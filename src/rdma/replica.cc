@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/log.h"
+#include "ctrl/messages.h"
 #include "rdma/monitor.h"
 
 namespace ratc::rdma {
@@ -123,8 +124,11 @@ void Replica::start_certification(commit::TxnMeta meta, const tcs::Payload* full
     return;
   }
   CoordState& c = coord_[txn];
+  if (c.decided) return;  // late retry of an already-decided coordination
+  undecided_coords_.insert(txn);
   c.meta = meta;
   if (local_cb) c.local_cb = std::move(local_cb);
+  c.last_driven = sim().now();
   // Lines 75-76.
   for (ShardId s : meta.participants) {
     commit::Prepare p;
@@ -132,11 +136,38 @@ void Replica::start_certification(commit::TxnMeta meta, const tcs::Payload* full
     if (full_payload != nullptr) {
       p.has_payload = true;
       p.payload = options_.shard_map->project(*full_payload, s);
+      c.shard_payloads[s] = p.payload;
     } else {
       p.has_payload = false;
     }
     p.meta = meta;
     net_.send_msg(id(), leader_of(s), p);
+  }
+}
+
+void Replica::redrive_coordinations() {
+  // Same availability hole as the message-passing stack (see
+  // commit::Replica::redrive_coordinations): a PREPARE that died with a
+  // crashed leader leaves no prepared witness, so only its coordinator can
+  // re-drive the transaction once reconfiguration installs a new leader.
+  Time now = sim().now();
+  for (TxnId txn : undecided_coords_) {
+    CoordState& c = coord_.at(txn);
+    if (now - c.last_driven < options_.retry_timeout) continue;
+    c.last_driven = now;
+    for (ShardId s : c.meta.participants) {
+      commit::Prepare p;
+      p.txn = txn;
+      auto it = c.shard_payloads.find(s);
+      if (it != c.shard_payloads.end()) {
+        p.has_payload = true;
+        p.payload = it->second;
+      } else {
+        p.has_payload = false;
+      }
+      p.meta = c.meta;
+      net_.send_msg(id(), leader_of(s), p);
+    }
   }
 }
 
@@ -296,7 +327,7 @@ void Replica::check_coordination(TxnId txn) {
     }
     decision = meet(decision, pr.vote);
   }
-  c.decided = true;
+  c.decided = true;  // guards re-entrancy from the client callback below
   // Line 98.
   if (c.local_cb) {
     if (monitor_) monitor_->on_local_decision(txn, decision);
@@ -317,6 +348,12 @@ void Replica::check_coordination(TxnId txn) {
       fabric_.send_rdma(id(), p, sim::AnyMessage(d));
     }
   }
+  // Complete: shed the heavy state but keep a decided tombstone (see
+  // commit::Replica::check_coordination).
+  c.progress.clear();
+  c.shard_payloads.clear();
+  c.local_cb = nullptr;
+  undecided_coords_.erase(txn);
 }
 
 void Replica::deliver_rdma(ProcessId from, const sim::AnyMessage& msg) {
@@ -399,15 +436,23 @@ void Replica::handle_probe_ack(ProcessId from, const commit::ProbeAck& m) {
         if (next.members.size() >= options_.target_shard_size) break;
         if (p != new_leader) next.members.push_back(p);
       }
+      std::vector<ProcessId> allocated;
       if (next.members.size() < options_.target_shard_size && options_.allocate_spares) {
         for (ProcessId sp : options_.allocate_spares(
                  recon_shard_, options_.target_shard_size - next.members.size())) {
           next.members.push_back(sp);
+          allocated.push_back(sp);
         }
       }
-      cs_.cas(recon_shard_, recon_epoch_ - 1, next, [this, new_leader, next](bool ok) {
-        if (ok) net_.send_msg(id(), new_leader, commit::NewConfig{next.epoch, next.members});
-      });
+      cs_.cas(recon_shard_, recon_epoch_ - 1, next,
+              [this, new_leader, next, allocated, shard = recon_shard_](bool ok) {
+                if (ok) {
+                  net_.send_msg(id(), new_leader,
+                                commit::NewConfig{next.epoch, next.members});
+                } else if (!allocated.empty() && options_.release_spares) {
+                  options_.release_spares(shard, allocated);
+                }
+              });
     } else {
       ps.round_has_false_ack = true;
       arm_descend_timer(m.shard);
@@ -441,6 +486,7 @@ void Replica::finish_probing() {
   rec_status_ = RecStatus::kReady;
   recon_config_ = {};
   recon_config_.epoch = recon_epoch_;
+  auto allocated = std::make_shared<std::map<ShardId, std::vector<ProcessId>>>();
   for (auto& [s, ps] : probe_state_) {
     std::vector<ProcessId> members{ps.leader_candidate};
     for (ProcessId p : ps.responders) {
@@ -451,13 +497,23 @@ void Replica::finish_probing() {
       for (ProcessId sp :
            options_.allocate_spares(s, options_.target_shard_size - members.size())) {
         members.push_back(sp);
+        (*allocated)[s].push_back(sp);
       }
     }
     recon_config_.members[s] = members;
     recon_config_.leaders[s] = ps.leader_candidate;
   }
-  gcs_.cas(recon_epoch_ - 1, recon_config_, [this](bool ok) {
-    if (!ok) return;
+  gcs_.cas(recon_epoch_ - 1, recon_config_, [this, allocated](bool ok) {
+    if (!ok) {
+      // Losing the global CAS (e.g. two nudged replicas racing) must not
+      // consume the fresh spares the losing proposal reserved.
+      if (options_.release_spares) {
+        for (const auto& [s, spares] : *allocated) {
+          options_.release_spares(s, spares);
+        }
+      }
+      return;
+    }
     rec_status_ = RecStatus::kInstalling;
     config_prepare_acks_.clear();
     for (ProcessId p : recon_config_.all_members()) {
@@ -700,6 +756,7 @@ void Replica::arm_retry_timer() {
       prepared_at_[k] = now;
       retry(k);
     }
+    redrive_coordinations();
     arm_retry_timer();
   });
 }
@@ -741,6 +798,12 @@ void Replica::on_message(ProcessId from, const sim::AnyMessage& msg) {
     handle_new_state_unsafe(from, *ns2);
   } else if (const auto* cc = msg.as<configsvc::ConfigChange>()) {
     handle_config_change(*cc);
+  } else if (msg.as<ctrl::NudgeReconfig>() != nullptr) {
+    // A reconfiguration controller suspects a member: run the global
+    // reconfiguration (Fig. 8).  No-op while one is already in flight
+    // (rec_status_ guard inside reconfigure()); the controller's watchdog
+    // re-nudges if nothing lands.
+    if (options_.mode == ReconfigMode::kGlobalSafe) reconfigure();
   }
 }
 

@@ -58,6 +58,9 @@ class Replica : public sim::Process {
     std::vector<ProcessId> cs_endpoints;
     std::size_t target_shard_size = 2;
     std::function<std::vector<ProcessId>(ShardId, std::size_t)> allocate_spares;
+    /// Returns spares reserved by a proposal whose CAS lost (they remain
+    /// fresh; see commit::Replica::Options::release_spares).
+    std::function<void(ShardId, const std::vector<ProcessId>&)> release_spares;
     Duration probe_patience = 5;
     Duration connect_retry = 5;
     Duration retry_timeout = 0;
@@ -113,6 +116,10 @@ class Replica : public sim::Process {
     std::map<ShardId, ShardProgress> progress;
     bool decided = false;
     std::function<void(tcs::Decision)> local_cb;
+    /// Per-shard projections for coordinator re-drive (see
+    /// redrive_coordinations); empty for ⊥ retries.
+    std::map<ShardId, tcs::Payload> shard_payloads;
+    Time last_driven = 0;
   };
   /// Per-shard probing state of an ongoing global reconfiguration.
   struct ProbeState {
@@ -157,6 +164,9 @@ class Replica : public sim::Process {
   void handle_config_change(const configsvc::ConfigChange& m);
 
   void arm_retry_timer();
+  /// Re-sends PREPAREs of undecided coordinated transactions to the current
+  /// leaders; runs on the retry timer.
+  void redrive_coordinations();
   Epoch view_epoch(ShardId s) const;
 
   Options options_;
@@ -190,8 +200,10 @@ class Replica : public sim::Process {
   bool probing_unsafe_ = false;
   ShardId recon_shard_ = 0;
 
-  // Coordinator state.
+  // Coordinator state; decided entries stay as slim tombstones and the
+  // index bounds the re-drive scan (see commit::Replica).
   std::map<TxnId, CoordState> coord_;
+  std::set<TxnId> undecided_coords_;
   /// RDMA write tokens -> (txn, shard, follower) for ack matching.
   std::map<std::uint64_t, std::tuple<TxnId, ShardId, ProcessId>> write_tokens_;
 

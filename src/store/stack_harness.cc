@@ -73,7 +73,9 @@ CommitHarness::CommitHarness(std::uint64_t seed, const StackWorkload& w)
                 .isolation = w.isolation,
                 .retry_timeout = w.retry_timeout,
                 .exponential_delays = w.exponential_delays,
-                .enable_tracer = w.capture_trace}),
+                .enable_tracer = w.capture_trace,
+                .enable_controller = w.autonomous_controller,
+                .controller_tuning = w.controller}),
       client_(&cluster_.add_client()) {}
 
 void CommitHarness::install_fault_injector(sim::FaultInjector* fi) {
@@ -108,6 +110,9 @@ bool CommitHarness::crash_and_reconfigure(Rng& rng, ShardId s) {
   if (alive.size() < cfg.members.size() || alive.size() <= 1) return false;
   ProcessId victim = alive[rng.below(alive.size())];
   cluster_.crash(victim);
+  // Crash-only nemesis: no omniscient repair — the autonomous controller
+  // (if enabled) must detect the crash and reconfigure on its own.
+  if (!w_.harness_repair) return true;
   ProcessId survivor = kNoProcess;
   for (ProcessId m : alive) {
     if (m != victim) survivor = m;
@@ -150,7 +155,9 @@ RdmaHarness::RdmaHarness(std::uint64_t seed, const StackWorkload& w)
                 .spares_per_shard = w.spares_per_shard,
                 .isolation = w.isolation,
                 .retry_timeout = w.retry_timeout,
-                .enable_tracer = w.capture_trace}),
+                .enable_tracer = w.capture_trace,
+                .enable_controller = w.autonomous_controller,
+                .controller_tuning = w.controller}),
       client_(&cluster_.add_client()) {}
 
 void RdmaHarness::install_fault_injector(sim::FaultInjector* fi) {
@@ -184,6 +191,7 @@ bool RdmaHarness::crash_and_reconfigure(Rng& rng, ShardId s) {
   if (alive.size() < cfg.members.size() || alive.size() <= 1) return false;
   ProcessId victim = alive[rng.below(alive.size())];
   cluster_.crash(victim);
+  if (!w_.harness_repair) return true;  // crash-only nemesis (see CommitHarness)
   ProcessId survivor = victim == alive[0] ? alive[1] : alive[0];
   Epoch before = cluster_.current_epoch();
   cluster_.replica_by_pid(survivor).reconfigure();
@@ -278,6 +286,7 @@ bool BaselineHarness::crash_and_reconfigure(Rng& rng, ShardId s) {
   ProcessId victim = alive[rng.below(alive.size())];
   bool was_leader = victim == cluster_.leader_server(s);
   cluster_.crash_server(victim);
+  if (!w_.harness_repair) return true;  // crash-only nemesis: no failover
   if (was_leader) {
     // Fail leadership over to a survivor.  Coordinator state held by the
     // victim is NOT recovered — classical 2PC blocks those transactions.

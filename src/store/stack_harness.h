@@ -38,6 +38,8 @@
 //   bool crash_and_reconfigure(Rng&, ShardId) / reconfigure_healthy(Rng&, ShardId);
 //   void drain(Duration, Rng&);
 //   std::string verify() / check_linearization() / trace();
+//   std::size_t controller_attempts();   // optional (requires-detected): stacks
+//                                        // with autonomous controllers (src/ctrl/)
 #pragma once
 
 #include <functional>
@@ -48,6 +50,7 @@
 #include "baseline/cluster.h"
 #include "commit/client.h"
 #include "commit/cluster.h"
+#include "ctrl/placement.h"
 #include "rdma/cluster.h"
 #include "sim/fault.h"
 #include "tcs/payload.h"
@@ -78,6 +81,17 @@ struct StackWorkload {
   /// Baseline only: enable cooperative termination (the classical 2PC fix;
   /// see src/baseline/termination.h).  BaselineCoopHarness forces it on.
   bool cooperative_termination = false;
+  /// Commit/RDMA stacks: spawn the autonomous reconfiguration controllers
+  /// (src/ctrl/), one per shard, which detect failures through the FD and
+  /// heal shards with no harness intervention.  The baseline has no
+  /// reconfiguration to drive and ignores it.
+  bool autonomous_controller = false;
+  ctrl::ControllerTuning controller;
+  /// When false, crash_and_reconfigure only crashes: the harness-side
+  /// repair (reconfigure + await activation, or the baseline's leader
+  /// failover) is suppressed, making the crash events a pure crash-only
+  /// nemesis — recovery, if any, is the controllers' job.
+  bool harness_repair = true;
 };
 
 /// Which end-of-run checkers apply to a stack.  monitor and tcsll are
@@ -153,6 +167,9 @@ class CommitHarness {
   bool crash_and_reconfigure(Rng& rng, ShardId s);
   bool reconfigure_healthy(Rng& rng, ShardId s);
   void drain(Duration d, Rng& rng);
+  /// Reconfiguration attempts the autonomous controllers started (0 when
+  /// the workload did not enable them).
+  std::size_t controller_attempts() const { return cluster_.controller_attempts(); }
 
   std::string verify() { return cluster_.verify(); }
   std::string check_linearization();
@@ -192,6 +209,7 @@ class RdmaHarness {
   bool crash_and_reconfigure(Rng& rng, ShardId s);
   bool reconfigure_healthy(Rng& rng, ShardId s);
   void drain(Duration d, Rng& rng);
+  std::size_t controller_attempts() const { return cluster_.controller_attempts(); }
 
   std::string verify() { return cluster_.verify(); }
   std::string check_linearization();

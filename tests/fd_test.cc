@@ -28,7 +28,9 @@ class Watcher : public sim::Process {
   Watcher(sim::Simulator& sim, sim::Network& net, ProcessId id,
           PingMonitor::Options opts = {})
       : Process(sim, id, "watcher"), monitor(sim, net, id, opts) {
-    monitor.on_suspect = [this](ProcessId p) { suspected.push_back(p); };
+    monitor.subscribe(
+        {.on_suspect = [this](ProcessId p) { suspected.push_back(p); },
+         .on_recover = [this](ProcessId p) { recovered.push_back(p); }});
   }
   void on_message(ProcessId from, const sim::AnyMessage& msg) override {
     monitor.handle(from, msg);
@@ -36,6 +38,7 @@ class Watcher : public sim::Process {
 
   PingMonitor monitor;
   std::vector<ProcessId> suspected;
+  std::vector<ProcessId> recovered;
 };
 
 TEST(FailureDetector, NoSuspicionWhileAlive) {
@@ -126,6 +129,103 @@ TEST(FailureDetector, IdleMonitorLetsTheSimulationQuiesce) {
   w.monitor.unwatch(t.id());
   sim.run();  // the dangling tick self-pauses; the queue drains
   EXPECT_TRUE(sim.idle());
+}
+
+/// Target that can be muted (pings answered or dropped on demand),
+/// modelling a one-way-partitioned but live peer.
+class MutableTarget : public sim::Process {
+ public:
+  MutableTarget(sim::Simulator& sim, sim::Network& net, ProcessId id)
+      : Process(sim, id, "mutable"), responder_(net, id) {}
+  void on_message(ProcessId from, const sim::AnyMessage& msg) override {
+    if (!muted) responder_.handle(from, msg);
+  }
+  bool muted = false;
+
+ private:
+  Responder responder_;
+};
+
+TEST(FailureDetector, RecoveryCallbackFiresWhenSuspectAnswersAgain) {
+  sim::Simulator sim(7);
+  sim::Network net(sim);
+  MutableTarget t(sim, net, 1);
+  Watcher w(sim, net, 2);
+  sim.add_process(&t);
+  sim.add_process(&w);
+  w.monitor.watch(t.id());
+  w.monitor.start();
+  t.muted = true;  // alive but silent: a false suspicion in the making
+  sim.run_until(200);
+  ASSERT_EQ(w.suspected.size(), 1u);
+  EXPECT_TRUE(w.recovered.empty());
+  t.muted = false;  // the "partition" heals
+  sim.run_until(400);
+  ASSERT_EQ(w.recovered.size(), 1u);
+  EXPECT_EQ(w.recovered[0], t.id());
+  EXPECT_FALSE(w.monitor.suspects(t.id()));
+  // A second silence fires a fresh suspicion edge.
+  t.muted = true;
+  sim.run_until(700);
+  EXPECT_EQ(w.suspected.size(), 2u);
+}
+
+TEST(FailureDetector, MultipleSubscribersAllNotified) {
+  sim::Simulator sim(8);
+  sim::Network net(sim);
+  Target t(sim, net, 1);
+  Watcher w(sim, net, 2);
+  sim.add_process(&t);
+  sim.add_process(&w);
+  std::vector<ProcessId> second;
+  w.monitor.subscribe({.on_suspect = [&](ProcessId p) { second.push_back(p); }});
+  w.monitor.watch(t.id());
+  w.monitor.start();
+  sim.crash(t.id());
+  sim.run_until(400);
+  ASSERT_EQ(w.suspected.size(), 1u);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0], t.id());
+}
+
+TEST(FailureDetector, UnsubscribeStopsNotifications) {
+  sim::Simulator sim(9);
+  sim::Network net(sim);
+  Target t(sim, net, 1);
+  Watcher w(sim, net, 2);
+  sim.add_process(&t);
+  sim.add_process(&w);
+  std::vector<ProcessId> second;
+  auto sub = w.monitor.subscribe({.on_suspect = [&](ProcessId p) { second.push_back(p); }});
+  w.monitor.unsubscribe(sub);
+  w.monitor.watch(t.id());
+  w.monitor.start();
+  sim.crash(t.id());
+  sim.run_until(400);
+  EXPECT_EQ(w.suspected.size(), 1u);  // the Watcher's own subscription stays
+  EXPECT_TRUE(second.empty());
+}
+
+TEST(FailureDetector, EnsureWatchedPreservesSilenceWindow) {
+  sim::Simulator sim(10);
+  sim::Network net(sim);
+  Target t(sim, net, 1);
+  Watcher w(sim, net, 2);
+  sim.add_process(&t);
+  sim.add_process(&w);
+  w.monitor.watch(t.id());
+  w.monitor.start();
+  sim.run_until(50);
+  sim.crash(t.id());
+  sim.run_until(200);
+  ASSERT_TRUE(w.monitor.suspects(t.id()));
+  // ensure_watched must not reset the accumulated suspicion the way a
+  // plain watch() would, and reports it so callers can act immediately.
+  EXPECT_TRUE(w.monitor.ensure_watched(t.id()));
+  EXPECT_TRUE(w.monitor.suspects(t.id()));
+  // For an unwatched peer it starts watching and reports no suspicion.
+  EXPECT_FALSE(w.monitor.ensure_watched(777));
+  EXPECT_TRUE(w.monitor.watching(777));
 }
 
 TEST(FailureDetector, UnwatchStopsSuspicion) {

@@ -27,6 +27,7 @@ std::string RunResult::summary() const {
                     " committed=" + std::to_string(committed) +
                     " dropped=" + std::to_string(dropped) +
                     " held=" + std::to_string(held);
+  if (ctrl_attempts > 0) out += " ctrl-attempts=" + std::to_string(ctrl_attempts);
   if (linearization_checked) out += " lin-checked";
   if (!problems.empty()) out += "\n" + problems;
   return out;

@@ -34,6 +34,10 @@ struct RunResult {
   std::size_t committed = 0;
   std::uint64_t dropped = 0;  ///< messages the nemesis dropped
   std::uint64_t held = 0;     ///< messages held back by partitions
+  /// Reconfiguration attempts started by the autonomous controllers
+  /// (src/ctrl/); 0 for stacks without them or when not enabled.  The
+  /// hysteresis sweeps bound this per run.
+  std::size_t ctrl_attempts = 0;
   bool linearization_checked = false;
   std::string problems;
   /// FNV-1a fingerprint of the full message trace plus outcome counters;
@@ -63,6 +67,9 @@ void apply_end_of_run_checks(RunResult& r, Harness& harness,
                              const typename Harness::Workload& w) {
   r.decided = harness.decided_count();
   r.committed = harness.committed_count();
+  if constexpr (requires { harness.controller_attempts(); }) {
+    r.ctrl_attempts = harness.controller_attempts();
+  }
   std::string verdict = harness.verify();
   if (!verdict.empty()) append_seed_problem(r, verdict);
   if constexpr (Harness::kCheckers.linearization) {
