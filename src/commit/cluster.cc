@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "recon/cluster_support.h"
+
 namespace ratc::commit {
 
 namespace {
@@ -67,6 +69,11 @@ Cluster::Cluster(Options options)
     if (monitor_) monitor_->register_config(s, cfg);
   }
 
+  zones_ = recon::assign_zones(
+      options_.num_zones, options_.num_shards,
+      options_.shard_size + options_.spares_per_shard,
+      [this](ShardId s, std::size_t i) { return replica_pid(s, i); });
+
   // Replicas and spares.
   for (ShardId s = 0; s < options_.num_shards; ++s) {
     Replica::Options ropt;
@@ -79,6 +86,10 @@ Cluster::Cluster(Options options)
     ropt.retry_timeout = options_.retry_timeout;
     ropt.leader_ships_accepts = options_.leader_ships_accepts;
     ropt.monitor = monitor_.get();
+    ropt.placement_policy = options_.placement_policy;
+    ropt.placement_context = [this](ShardId shard) {
+      return placement_context(shard);
+    };
     ropt.allocate_spares = [this](ShardId shard, std::size_t n) {
       return allocate_spares(shard, n);
     };
@@ -117,6 +128,12 @@ Cluster::Cluster(Options options)
       copt.cs_endpoints = cs_endpoints;
       copt.target_shard_size = options_.shard_size;
       copt.tuning = options_.controller_tuning;
+      // One placement knob drives replicas and controllers alike unless the
+      // controller tuning pins its own policy.
+      if (copt.tuning.policy == nullptr) copt.tuning.policy = options_.placement_policy;
+      copt.placement_context = [this](ShardId shard) {
+        return placement_context(shard);
+      };
       copt.allocate_spares = [this](ShardId shard, std::size_t n) {
         return allocate_spares(shard, n);
       };
@@ -154,6 +171,21 @@ std::size_t Cluster::controller_attempts() const {
   std::size_t n = 0;
   for (const auto& c : controllers_) n += c->stats().attempts;
   return n;
+}
+
+recon::EngineStats Cluster::engine_stats() const {
+  return recon::cluster_engine_stats(replicas_, controllers_);
+}
+
+std::string Cluster::spare_ledger_verdict() const {
+  return recon::cluster_spare_ledger_verdict(replicas_, controllers_);
+}
+
+recon::PlacementContext Cluster::placement_context(ShardId s) const {
+  auto pool = free_spares_.find(s);
+  return recon::cluster_placement_context(
+      s, replicas_, zones_,
+      pool == free_spares_.end() ? 0 : pool->second.size());
 }
 
 ProcessId Cluster::replica_pid(ShardId s, std::size_t idx) const {

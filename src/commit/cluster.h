@@ -52,6 +52,15 @@ class Cluster {
     /// (src/ctrl/): failure-detector-driven healing with no harness levers.
     bool enable_controller = false;
     ctrl::ControllerTuning controller_tuning;
+    /// Membership policy consulted by every reconfigurer in the cluster —
+    /// replica-driven (Fig. 1) and, unless controller_tuning.policy is set,
+    /// the controllers too.  Null selects recon::ReplaceSuspectsPolicy.
+    /// Non-owning.
+    recon::PlacementPolicy* placement_policy = nullptr;
+    /// When nonzero, replicas get synthetic zone labels ("z0".."z<n-1>",
+    /// assigned round-robin by per-shard index) surfaced to placement
+    /// policies through the PlacementContext.
+    std::size_t num_zones = 0;
   };
 
   explicit Cluster(Options options);
@@ -95,6 +104,19 @@ class Cluster {
   ctrl::ReconController& controller(ShardId s) { return *controllers_.at(s); }
   /// Total reconfiguration attempts started by the controllers.
   std::size_t controller_attempts() const;
+
+  // --- shared reconfigurer core (src/recon/) -----------------------------------
+
+  /// Aggregate recon::Engine counters over every reconfigurer in the
+  /// cluster (replicas + controllers).
+  recon::EngineStats engine_stats() const;
+  /// The spare ledger invariant, checked per engine: every reserved spare
+  /// is installed in a stored configuration, released back to the pool, or
+  /// still awaiting its CAS outcome.  Empty iff balanced everywhere.
+  std::string spare_ledger_verdict() const;
+  /// Cluster knowledge handed to placement policies (zones, per-process
+  /// load, spare-pool depth).
+  recon::PlacementContext placement_context(ShardId s) const;
 
   // --- infrastructure access -------------------------------------------------------
 
@@ -140,6 +162,8 @@ class Cluster {
   /// Never-yet-used spare processes per shard (the "fresh process" pool;
   /// allocation permanently consumes).
   std::map<ShardId, std::vector<ProcessId>> free_spares_;
+  /// Synthetic zone labels (num_zones > 0), fixed at construction.
+  std::map<ProcessId, std::string> zones_;
   tcs::History history_;
   TxnId next_txn_ = 1;
 };

@@ -16,7 +16,11 @@ Replica::Replica(sim::Simulator& sim, sim::Network& net, ProcessId id, Options o
       net_(net),
       cs_(sim, net, id, options_.cs_endpoints),
       fd_responder_(net, id),
-      monitor_(options_.monitor) {
+      monitor_(options_.monitor),
+      engine_(sim, id, *this,
+              {.target_shard_size = options_.target_shard_size,
+               .probe_patience = options_.probe_patience,
+               .policy = options_.placement_policy}) {
   assert(options_.shard_map != nullptr && options_.certifier != nullptr);
 }
 
@@ -359,29 +363,11 @@ void Replica::handle_decision(ProcessId from, const DecisionMsg& m) {
 // --- reconfiguration ----------------------------------------------------------
 
 void Replica::reconfigure(ShardId s) {
-  // Line 34 pre: probing = false.
-  if (probing_) return;
-  probing_ = true;
-  recon_shard_ = s;
-  probe_responders_.clear();
-  round_has_false_ack_ = false;
-  ++probe_round_;
-  // Line 36: read the latest configuration from the CS.
-  cs_.get_last(s, [this, s, round = probe_round_](const configsvc::ShardConfig& cfg) {
-    if (!probing_ || probe_round_ != round) return;
-    if (!cfg.valid()) {  // nothing stored: cannot reconfigure an unborn shard
-      probing_ = false;
-      return;
-    }
-    probed_epoch_ = cfg.epoch;
-    probed_members_ = cfg.members;
-    recon_epoch_ = cfg.epoch + 1;  // line 37
-    RATC_DEBUG(name() << " reconfigures s" << s << ": probing epoch " << probed_epoch_
-                      << " for new epoch " << recon_epoch_);
-    for (ProcessId p : probed_members_) {  // line 39
-      net_.send_msg(id(), p, Probe{recon_epoch_});
-    }
-  });
+  // The attempt lifecycle — probe/descend epoch search, placement, CAS with
+  // loser spare-release — is the shared reconfigurer core (recon::Engine);
+  // this replica only supplies the StackHooks below.  start() refuses while
+  // an attempt is in flight (line 34's probing guard).
+  engine_.start({s});
 }
 
 void Replica::handle_probe(ProcessId from, const Probe& m) {
@@ -393,101 +379,58 @@ void Replica::handle_probe(ProcessId from, const Probe& m) {
   net_.send_msg(id(), from, ProbeAck{initialized_, m.epoch, options_.shard});
 }
 
-void Replica::handle_probe_ack(ProcessId from, const ProbeAck& m) {
-  // Pattern match: this ack must be for our ongoing reconfiguration.
-  if (!probing_ || m.epoch != recon_epoch_ || m.shard != recon_shard_) return;
-  probe_responders_.insert(from);
-  if (m.initialized) {
-    // Line 45: found the new leader.
-    probing_ = false;
-    ProcessId new_leader = from;
-    std::vector<ProcessId> allocated;
-    std::vector<ProcessId> members = compute_membership(new_leader, &allocated);  // line 48
-    configsvc::ShardConfig next;
-    next.epoch = recon_epoch_;
-    next.members = members;
-    next.leader = new_leader;
-    // Line 49: CAS against the epoch we started probing from.
-    cs_.cas(recon_shard_, recon_epoch_ - 1, next,
-            [this, new_leader, next, allocated, shard = recon_shard_](bool ok) {
-              if (ok) {
-                // Line 50.
-                net_.send_msg(id(), new_leader, NewConfig{next.epoch, next.members});
-              } else {
-                RATC_DEBUG(name() << " lost reconfiguration CAS for s"
-                                  << next.epoch);
-                // The reserved spares never entered a stored configuration;
-                // hand them back so the shard can still backfill later.
-                if (!allocated.empty() && options_.release_spares) {
-                  options_.release_spares(shard, allocated);
-                }
-              }
-            });
-  } else {
-    // Line 51 (non-deterministic): maybe this epoch will never be
-    // operational; wait probe_patience for a positive ack, then descend.
-    round_has_false_ack_ = true;
-    arm_probe_descend_timer();
-  }
-}
+// --- recon::StackHooks --------------------------------------------------------
 
-void Replica::arm_probe_descend_timer() {
-  if (descend_timer_armed_) return;
-  descend_timer_armed_ = true;
-  sim().schedule_for(id(), options_.probe_patience,
-                     [this, round = probe_round_] {
-                       descend_timer_armed_ = false;
-                       if (!probing_ || probe_round_ != round) return;
-                       if (!round_has_false_ack_) return;
-                       descend_probing();
-                     });
-}
-
-void Replica::descend_probing() {
-  // Lines 52-55: the probed epoch is not operational and never will be;
-  // continue with the preceding epoch.
-  if (probed_epoch_ <= 1) {
-    // All shard data lost — liveness Assumption 1 violated; give up.
-    RATC_WARN(name() << " abandoning reconfiguration of s" << recon_shard_
-                     << ": probed down to the first epoch with no initialized member");
-    probing_ = false;
-    return;
-  }
-  probed_epoch_ -= 1;
-  round_has_false_ack_ = false;
-  cs_.get(recon_shard_, probed_epoch_,
-          [this, round = probe_round_](bool found, const configsvc::ShardConfig& cfg) {
-            if (!probing_ || probe_round_ != round) return;
-            if (!found) {  // epochs are contiguous; this cannot happen
-              probing_ = false;
-              return;
-            }
-            probed_members_ = cfg.members;
-            for (ProcessId p : probed_members_) {
-              net_.send_msg(id(), p, Probe{recon_epoch_});
-            }
-          });
-}
-
-std::vector<ProcessId> Replica::compute_membership(ProcessId new_leader,
-                                                   std::vector<ProcessId>* allocated) {
-  // Line 48: must contain the new leader; may contain probing responders
-  // and fresh processes.  Policy: leader, then other responders (recently
-  // alive, and members of probed-but-never-activated epochs are safe to
-  // reuse since such epochs accepted nothing), topped up with fresh spares.
-  std::vector<ProcessId> members{new_leader};
-  for (ProcessId p : probe_responders_) {
-    if (members.size() >= options_.target_shard_size) break;
-    if (p != new_leader) members.push_back(p);
-  }
-  if (members.size() < options_.target_shard_size && options_.allocate_spares) {
-    for (ProcessId spare : options_.allocate_spares(
-             recon_shard_, options_.target_shard_size - members.size())) {
-      members.push_back(spare);
-      if (allocated != nullptr) allocated->push_back(spare);
+void Replica::fetch_latest(const std::vector<ShardId>& shards,
+                           std::function<void(bool, recon::Snapshot)> cb) {
+  ShardId s = shards.front();  // per-shard reconfiguration: one shard
+  cs_.get_last(s, [s, cb](const configsvc::ShardConfig& cfg) {
+    if (!cfg.valid()) {  // nothing stored: cannot reconfigure an unborn shard
+      cb(false, {});
+      return;
     }
-  }
-  return members;
+    recon::Snapshot snap;
+    snap.epoch = cfg.epoch;
+    snap.members[s] = cfg.members;
+    cb(true, snap);
+  });
+}
+
+void Replica::fetch_members_at(ShardId shard, Epoch epoch,
+                               std::function<void(bool, std::vector<ProcessId>)> cb) {
+  cs_.get(shard, epoch, [cb](bool found, const configsvc::ShardConfig& cfg) {
+    cb(found, cfg.members);
+  });
+}
+
+void Replica::send_probe(ProcessId target, Epoch new_epoch) {
+  net_.send_msg(id(), target, Probe{new_epoch});
+}
+
+std::vector<ProcessId> Replica::reserve_spares(ShardId shard, std::size_t n) {
+  return options_.allocate_spares ? options_.allocate_spares(shard, n)
+                                  : std::vector<ProcessId>{};
+}
+
+void Replica::release_spares(ShardId shard, const std::vector<ProcessId>& spares) {
+  if (options_.release_spares) options_.release_spares(shard, spares);
+}
+
+void Replica::submit(const recon::Proposal& proposal,
+                     std::function<void(bool)> done) {
+  const auto& [shard, next] = *proposal.shards.begin();
+  cs_.cas(shard, proposal.epoch - 1, next, std::move(done));
+}
+
+void Replica::activate(const recon::Proposal& proposal) {
+  // Line 50: hand the won configuration to its new leader.
+  const configsvc::ShardConfig& next = proposal.shards.begin()->second;
+  net_.send_msg(id(), next.leader, NewConfig{next.epoch, next.members});
+}
+
+recon::PlacementContext Replica::placement_context(ShardId shard) {
+  return options_.placement_context ? options_.placement_context(shard)
+                                    : recon::PlacementContext{};
 }
 
 void Replica::handle_new_config(ProcessId from, const NewConfig& m) {
@@ -589,7 +532,7 @@ void Replica::on_message(ProcessId from, const sim::AnyMessage& msg) {
   } else if (const auto* pr = msg.as<Probe>()) {
     handle_probe(from, *pr);
   } else if (const auto* pra = msg.as<ProbeAck>()) {
-    handle_probe_ack(from, *pra);
+    engine_.on_probe_ack(from, pra->shard, pra->epoch, pra->initialized);
   } else if (const auto* nc = msg.as<NewConfig>()) {
     handle_new_config(from, *nc);
   } else if (const auto* ns = msg.as<NewState>()) {

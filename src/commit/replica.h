@@ -24,6 +24,7 @@
 #include "configsvc/client.h"
 #include "configsvc/config.h"
 #include "fd/failure_detector.h"
+#include "recon/engine.h"
 #include "sim/network.h"
 #include "sim/process.h"
 #include "tcs/certifier.h"
@@ -44,7 +45,7 @@ inline const char* to_string(Status s) {
   return "?";
 }
 
-class Replica : public sim::Process {
+class Replica : public sim::Process, private recon::StackHooks {
  public:
   struct Options {
     ShardId shard = 0;
@@ -70,6 +71,13 @@ class Replica : public sim::Process {
     /// PROBE_ACK(false) before descending an epoch (the paper's
     /// non-deterministic rule at line 51, scheduled by timer).
     Duration probe_patience = 5;
+    /// Membership policy consulted when this replica plays the reconfigurer
+    /// role; null selects recon::ReplaceSuspectsPolicy.  Non-owning.
+    recon::PlacementPolicy* placement_policy = nullptr;
+    /// Cluster knowledge (zones, load, spare-pool depth) handed to the
+    /// placement policy; replicas run no failure detector, so the suspect
+    /// set stays empty here.
+    std::function<recon::PlacementContext(ShardId)> placement_context;
     /// If nonzero, this replica periodically retries transactions that have
     /// been prepared but undecided for longer than this (coordinator
     /// recovery, line 70).
@@ -121,7 +129,10 @@ class Replica : public sim::Process {
   const ReplicaLog& log() const { return log_; }
   Slot next() const { return next_; }
   const configsvc::ShardConfig& view(ShardId s) const;
-  bool is_probing() const { return probing_; }
+  bool is_probing() const { return engine_.in_flight(); }
+  /// The shared reconfigurer core this replica's reconfigurer role runs on
+  /// (stats + spare-ledger introspection for harnesses).
+  const recon::Engine& recon_engine() const { return engine_; }
 
   void on_message(ProcessId from, const sim::AnyMessage& msg) override;
 
@@ -153,10 +164,25 @@ class Replica : public sim::Process {
   void handle_accept_ack(ProcessId from, const AcceptAck& m);       // line 26
   void handle_decision(ProcessId from, const DecisionMsg& m);       // line 30
   void handle_probe(ProcessId from, const Probe& m);                // line 40
-  void handle_probe_ack(ProcessId from, const ProbeAck& m);         // lines 45/51
   void handle_new_config(ProcessId from, const NewConfig& m);       // line 56
   void handle_new_state(ProcessId from, const NewState& m);         // line 61
   void handle_config_change(const configsvc::ConfigChange& m);      // line 67
+
+  // recon::StackHooks — the substrate adapter for the shared reconfigurer
+  // core (recon::Engine), which runs lines 33-55 + the CAS spare ledger.
+  void fetch_latest(const std::vector<ShardId>& shards,
+                    std::function<void(bool, recon::Snapshot)> cb) override;
+  void fetch_members_at(
+      ShardId shard, Epoch epoch,
+      std::function<void(bool, std::vector<ProcessId>)> cb) override;
+  void send_probe(ProcessId target, Epoch new_epoch) override;
+  std::vector<ProcessId> reserve_spares(ShardId shard, std::size_t n) override;
+  void release_spares(ShardId shard,
+                      const std::vector<ProcessId>& spares) override;
+  void submit(const recon::Proposal& proposal,
+              std::function<void(bool)> done) override;
+  void activate(const recon::Proposal& proposal) override;
+  recon::PlacementContext placement_context(ShardId shard) override;
 
   /// Prepares a transaction at the leader and replies with PREPARE_ACK
   /// (lines 6-17).
@@ -177,17 +203,6 @@ class Replica : public sim::Process {
   /// event for the given transaction.
   void check_coordination(TxnId txn);
 
-  /// compute_membership() (line 48): the new leader, plus probing
-  /// responders, topped up with fresh spares to the target size.  The
-  /// spares consumed are reported through `allocated` so a lost CAS can
-  /// return them.
-  std::vector<ProcessId> compute_membership(ProcessId new_leader,
-                                            std::vector<ProcessId>* allocated);
-
-  /// Arms the timer realizing the non-deterministic descent rule (line 51).
-  void arm_probe_descend_timer();
-  void descend_probing();
-
   void arm_retry_timer();
   /// Re-sends PREPAREs of undecided coordinated transactions to the current
   /// leaders (see the definition for why the line-70 retry cannot cover
@@ -199,6 +214,9 @@ class Replica : public sim::Process {
   configsvc::CsClient cs_;
   fd::Responder fd_responder_;
   Monitor* monitor_;
+  /// The reconfigurer role (lines 33-55), shared with every other stack
+  /// through recon::Engine; this replica only supplies the hooks above.
+  recon::Engine engine_;
 
   // Fig. 1 process state.
   Status status_ = Status::kReconfiguring;
@@ -207,17 +225,6 @@ class Replica : public sim::Process {
   std::map<ShardId, configsvc::ShardConfig> views_;  // epoch/members/leader arrays
   ReplicaLog log_;
   Slot next_ = 0;
-
-  // Reconfigurer state (lines 33-55).
-  bool probing_ = false;
-  ShardId recon_shard_ = 0;
-  Epoch recon_epoch_ = kNoEpoch;
-  Epoch probed_epoch_ = kNoEpoch;
-  std::vector<ProcessId> probed_members_;
-  std::set<ProcessId> probe_responders_;
-  bool round_has_false_ack_ = false;
-  bool descend_timer_armed_ = false;
-  std::uint64_t probe_round_ = 0;
 
   // Coordinator state.  Decided entries stay as slim tombstones (so a late
   // retry cannot re-coordinate); the index below keeps the re-drive scan

@@ -1,111 +1,24 @@
-// Placement policies for the autonomous reconfiguration controller.
+// Controller-facing placement surface.
 //
-// ===========================================================================
-// The PlacementPolicy extension point
-// ===========================================================================
-// When a ReconController (recon_controller.h) decides a shard must be
-// reconfigured, the *mechanism* is fixed by the paper — probe the members of
-// the latest stored configuration, pick an initialized responder as the new
-// leader (Fig. 1 line 45), and compare-and-swap the next epoch into the
-// configuration service — but the *membership* of the proposed
-// configuration is policy.  The paper only constrains it (line 48): the new
-// configuration must contain the new leader, and every other member must be
-// a probing responder or a fresh process.
-//
-// PlacementPolicy is that seam.  A policy receives everything the
-// controller learned during probing:
-//   * the leader candidate (the first initialized probing responder — this
-//     one is mandatory and must lead, because only it is known to hold the
-//     shard state the new epoch starts from);
-//   * the full responder set (processes that answered the probe, i.e. were
-//     recently alive);
-//   * the controller's current suspect set (failure-detector output; under
-//     asymmetric partitions a responder can simultaneously be suspected);
-//   * the target shard size (f+1);
-// plus an `allocate_fresh` callback that permanently consumes processes
-// from the cluster's never-yet-used spare pool (freshness must be global —
-// reusing a process that ever belonged to a configuration breaks
-// Invariant 5, so allocation goes through the shared resource manager the
-// cluster models).
-//
-// A policy returns the full proposed ShardConfig.  The controller clamps
-// the hard constraints (epoch, leader present and leading); drawing every
-// other member only from responders or fresh spares is the policy's
-// contract (Fig. 1 line 48).  The proposal then races through the CS CAS,
-// so a buggy policy can cost availability but never safety: the CAS and
-// the probing protocol underneath it are what correctness rests on.
-//
-// Custom policies can encode deployment concerns this repo does not model —
-// rack/zone anti-affinity, load-aware leader choice, draining — by
-// subclassing and passing the instance through
-// `ctrl::ControllerTuning::policy` (plumbed via commit::Cluster::Options /
-// rdma::Cluster::Options and store::StackWorkload).
+// The PlacementPolicy extension point was promoted into the shared
+// reconfiguration module (src/recon/placement.h) when the four reconfigurer
+// copies collapsed into recon::Engine: replica-driven reconfigurations now
+// consult the same policy seam the controllers do.  This header keeps the
+// ctrl:: names as aliases for the controller's callers and holds
+// ControllerTuning, which is genuinely controller-specific (failure-detector
+// cadence, hysteresis, watchdog).
 #pragma once
 
-#include <functional>
-#include <set>
-#include <vector>
-
-#include "common/types.h"
-#include "configsvc/config.h"
 #include "fd/failure_detector.h"
+#include "recon/placement.h"
 
 namespace ratc::ctrl {
 
-/// Everything the controller learned by the time it must propose a
-/// configuration; see the file comment for field semantics.
-struct PlacementInput {
-  ShardId shard = 0;
-  Epoch next_epoch = kNoEpoch;
-  /// First initialized probing responder; must be the proposed leader.
-  ProcessId leader_candidate = kNoProcess;
-  /// All probing responders (recently alive), in ascending pid order.
-  std::vector<ProcessId> responders;
-  /// Processes the controller's failure detector currently suspects.
-  std::set<ProcessId> suspected;
-  std::size_t target_size = 2;
-};
-
-class PlacementPolicy {
- public:
-  virtual ~PlacementPolicy() = default;
-  virtual const char* name() const = 0;
-
-  /// Proposes the next configuration.  `allocate_fresh(n)` hands out up to
-  /// n fresh spares (permanently consumed); call it at most once.
-  virtual configsvc::ShardConfig plan(
-      const PlacementInput& in,
-      const std::function<std::vector<ProcessId>(std::size_t)>& allocate_fresh) = 0;
-};
-
-/// Default policy: keep the leader candidate, retain non-suspected
-/// responders, and top up with fresh spares — i.e. replace exactly the
-/// members that are dead (no probe answer) or suspect (half-partitioned
-/// processes answer probes but cannot be relied on).
-class ReplaceSuspectsPolicy final : public PlacementPolicy {
- public:
-  const char* name() const override { return "replace-suspects"; }
-
-  configsvc::ShardConfig plan(
-      const PlacementInput& in,
-      const std::function<std::vector<ProcessId>(std::size_t)>& allocate_fresh) override {
-    configsvc::ShardConfig next;
-    next.epoch = in.next_epoch;
-    next.leader = in.leader_candidate;
-    next.members.push_back(in.leader_candidate);
-    for (ProcessId p : in.responders) {
-      if (next.members.size() >= in.target_size) break;
-      if (p == in.leader_candidate || in.suspected.count(p) > 0) continue;
-      next.members.push_back(p);
-    }
-    if (next.members.size() < in.target_size && allocate_fresh) {
-      for (ProcessId spare : allocate_fresh(in.target_size - next.members.size())) {
-        next.members.push_back(spare);
-      }
-    }
-    return next;
-  }
-};
+using PlacementContext = recon::PlacementContext;
+using PlacementInput = recon::PlacementInput;
+using PlacementPolicy = recon::PlacementPolicy;
+using ReplaceSuspectsPolicy = recon::ReplaceSuspectsPolicy;
+using ZoneAntiAffinityPolicy = recon::ZoneAntiAffinityPolicy;
 
 /// Timing and policy knobs of a ReconController, separated out so cluster
 /// harnesses and StackWorkload can pass them through untouched.
@@ -127,8 +40,9 @@ struct ControllerTuning {
   Duration attempt_timeout = 300;
   /// Probing-descent patience, as in the replica reconfigurer.
   Duration probe_patience = 5;
-  /// Membership policy; null selects ReplaceSuspectsPolicy.  Non-owning.
-  PlacementPolicy* policy = nullptr;
+  /// Membership policy; null selects the cluster's placement_policy (and
+  /// ReplaceSuspectsPolicy when that is unset too).  Non-owning.
+  recon::PlacementPolicy* policy = nullptr;
 };
 
 }  // namespace ratc::ctrl

@@ -15,8 +15,10 @@ ReconController::ReconController(sim::Simulator& sim, sim::Network& net,
       net_(net),
       cs_(sim, net, id, options_.cs_endpoints),
       fd_(sim, net, id, options_.tuning.fd),
-      policy_(options_.tuning.policy != nullptr ? options_.tuning.policy
-                                                : &default_policy_),
+      engine_(sim, id, *this,
+              {.target_shard_size = options_.target_shard_size,
+               .probe_patience = options_.tuning.probe_patience,
+               .policy = options_.tuning.policy}),
       backoff_(options_.tuning.backoff_initial) {
   fd_.subscribe({.on_suspect = [this](ProcessId p) { on_suspect(p); },
                  .on_recover = [this](ProcessId p) { on_recover(p); }});
@@ -33,17 +35,29 @@ void ReconController::bootstrap_global(const configsvc::GlobalConfig& config) {
   bootstrap(config.shard(options_.shard));
 }
 
+ReconController::Stats ReconController::stats() const {
+  Stats s;
+  s.suspicions = suspicions_;
+  s.recoveries = recoveries_;
+  s.attempts = attempts_;
+  s.attempts_abandoned = attempts_abandoned_;
+  s.epochs_initiated = engine_.stats().cas_wins;
+  s.cas_losses = engine_.stats().cas_losses;
+  s.nudges = nudges_;
+  return s;
+}
+
 // --- trigger plumbing ---------------------------------------------------------
 
 void ReconController::on_suspect(ProcessId peer) {
-  ++stats_.suspicions;
+  ++suspicions_;
   suspects_.insert(peer);
   RATC_DEBUG(name() << " suspects " << process_name(peer));
   maybe_act();
 }
 
 void ReconController::on_recover(ProcessId peer) {
-  ++stats_.recoveries;
+  ++recoveries_;
   suspects_.erase(peer);
   RATC_DEBUG(name() << " retracts suspicion of " << process_name(peer));
 }
@@ -58,10 +72,10 @@ bool ReconController::have_live_grievance() const {
 void ReconController::maybe_act() {
   // Every trigger funnels here and re-validates: a suspicion retracted (or
   // reconfigured away) before the backoff window elapsed costs nothing.
-  // An unresolved attempt (pending_target_) must be driven to completion
-  // regardless — its probes have already frozen replicas.
-  if (!have_live_grievance() && pending_target_ == kNoEpoch) return;
-  if (probing_) return;  // attempt in flight; its watchdog re-checks
+  // An unresolved attempt (the engine's pending target) must be driven to
+  // completion regardless — its probes have already frozen replicas.
+  if (!have_live_grievance() && engine_.pending_target() == kNoEpoch) return;
+  if (engine_.in_flight()) return;  // attempt in flight; its watchdog re-checks
   Time now = sim().now();
   if (now < next_allowed_) {
     if (!retry_armed_) {
@@ -85,24 +99,26 @@ void ReconController::start_attempt() {
   last_attempt_at_ = now;
   next_allowed_ = now + backoff_;
   backoff_ = std::min(backoff_ * 2, options_.tuning.backoff_max);
-  ++stats_.attempts;
+  ++attempts_;
   ++round_;
   arm_watchdog();
   if (options_.mode == Mode::kDelegateGlobal) {
     nudge();
   } else {
-    probe_begin();
+    engine_.start({options_.shard});
   }
 }
 
 void ReconController::arm_watchdog() {
   sim().schedule_for(id(), options_.tuning.attempt_timeout, [this, r = round_] {
     if (round_ != r) return;  // a newer attempt owns the state
-    if (probing_) {
+    if (engine_.in_flight()) {
       // Probes swallowed (e.g. every probed member crashed or partitioned
-      // away) or the CS unreachable: abandon and retry under backoff.
-      probing_ = false;
-      ++stats_.attempts_abandoned;
+      // away) or the CS unreachable: abandon and retry under backoff.  The
+      // engine keeps the pending target, so maybe_act keeps re-driving the
+      // frozen shard even after the suspicion is retracted.
+      engine_.abandon();
+      ++attempts_abandoned_;
     }
     // Also covers the stuck-epoch case: a CAS-won configuration whose
     // leader died before activation leaves its members suspect, so the
@@ -120,12 +136,7 @@ void ReconController::adopt_view(const configsvc::ShardConfig& next) {
   // an in-flight probe for an epoch it supersedes is moot, and any
   // unresolved attempt aiming at or below it is resolved — the winner's
   // handover unfreezes whatever our probes froze.
-  if (probing_ && recon_epoch_ != kNoEpoch && next.epoch >= recon_epoch_) {
-    probing_ = false;
-  }
-  if (pending_target_ != kNoEpoch && next.epoch >= pending_target_) {
-    pending_target_ = kNoEpoch;
-  }
+  engine_.observe_epoch(options_.shard, next.epoch);
   for (ProcessId p : view_.members) {
     if (!next.has_member(p)) {
       fd_.unwatch(p);
@@ -151,145 +162,73 @@ void ReconController::handle_global_config_change(
   adopt_view(m.config.shard(options_.shard));
 }
 
-// --- kPerShardCas: the reconfigurer role --------------------------------------
+// --- recon::StackHooks (kPerShardCas) -----------------------------------------
 
-void ReconController::probe_begin() {
-  probing_ = true;
-  recon_epoch_ = kNoEpoch;  // no target yet; assigned once get_last returns
-  probe_responders_.clear();
-  round_has_false_ack_ = false;
-  descend_timer_armed_ = false;
-  // Line 36: read the latest configuration from the CS.
-  cs_.get_last(options_.shard,
-               [this, r = round_](const configsvc::ShardConfig& cfg) {
-                 if (!probing_ || round_ != r) return;
-                 if (!cfg.valid()) {
-                   probing_ = false;
-                   return;
-                 }
-                 // The read may reveal an epoch we had not heard about
-                 // (e.g. our CONFIG_CHANGE was delayed): sync the view and
-                 // re-validate before freezing anyone with probes.
-                 adopt_view(cfg);
-                 if (!probing_) return;  // adoption resolved the attempt
-                 if (!have_live_grievance() && pending_target_ == kNoEpoch) {
-                   probing_ = false;
-                   return;
-                 }
-                 probed_epoch_ = cfg.epoch;
-                 probed_members_ = cfg.members;
-                 recon_epoch_ = cfg.epoch + 1;  // line 37
-                 pending_target_ = recon_epoch_;
-                 RATC_DEBUG(name() << " probes epoch " << probed_epoch_
-                                   << " for new epoch " << recon_epoch_);
-                 for (ProcessId p : probed_members_) {  // line 39
-                   net_.send_msg(id(), p, commit::Probe{recon_epoch_});
-                 }
-               });
-}
-
-void ReconController::handle_probe_ack(ProcessId from, const commit::ProbeAck& m) {
-  if (!probing_ || m.epoch != recon_epoch_ || m.shard != options_.shard) return;
-  probe_responders_.insert(from);
-  if (m.initialized) {
-    propose(from);  // line 45: found the new leader
-  } else {
-    // Line 51's non-deterministic descent, realized by timer as in the
-    // replica reconfigurer.
-    round_has_false_ack_ = true;
-    arm_descend_timer();
-  }
-}
-
-void ReconController::propose(ProcessId leader_candidate) {
-  probing_ = false;
-  PlacementInput in;
-  in.shard = options_.shard;
-  in.next_epoch = recon_epoch_;
-  in.leader_candidate = leader_candidate;
-  in.responders.assign(probe_responders_.begin(), probe_responders_.end());
-  in.suspected = suspects_;
-  in.target_size = options_.target_shard_size;
-  // Track what the policy consumes so a lost CAS can return it: spares in
-  // a never-stored proposal stay globally fresh.
-  auto allocated = std::make_shared<std::vector<ProcessId>>();
-  auto allocate_fresh = [this, allocated](std::size_t n) {
-    std::vector<ProcessId> out = options_.allocate_spares
-                                     ? options_.allocate_spares(options_.shard, n)
-                                     : std::vector<ProcessId>{};
-    allocated->insert(allocated->end(), out.begin(), out.end());
-    return out;
-  };
-  configsvc::ShardConfig next = policy_->plan(in, allocate_fresh);
-  // Clamp the paper's hard constraints (line 48): the initialized probing
-  // responder must be present and leading, at the probed-from epoch + 1.  A
-  // policy may otherwise cost availability, never safety — the CAS below
-  // and the probing protocol carry correctness.
-  next.epoch = recon_epoch_;
-  if (!next.has_member(leader_candidate)) {
-    next.members.insert(next.members.begin(), leader_candidate);
-  }
-  next.leader = leader_candidate;
-  // Line 49: CAS against the epoch we started probing from.
-  cs_.cas(options_.shard, recon_epoch_ - 1, next, [this, next, allocated](bool ok) {
-    if (ok) {
-      ++stats_.epochs_initiated;
-      RATC_DEBUG(name() << " installed " << next.to_string());
-      net_.send_msg(id(), next.leader, commit::NewConfig{next.epoch, next.members});
-      // A policy may have taken more spares than it used (e.g. a trimming
-      // policy); whatever stayed out of the stored configuration is still
-      // fresh and goes back.
-      if (options_.release_spares) {
-        std::vector<ProcessId> unused;
-        for (ProcessId sp : *allocated) {
-          if (!next.has_member(sp)) unused.push_back(sp);
-        }
-        if (!unused.empty()) options_.release_spares(options_.shard, unused);
-      }
-    } else {
-      // Another reconfigurer won the epoch; our CONFIG_CHANGE subscription
-      // delivers the winner and adopt_view re-evaluates the grievance.
-      // The spares we reserved never entered a stored configuration, so
-      // they go back to the pool (leaking them would leave the shard
-      // unable to backfill a later genuine crash).
-      ++stats_.cas_losses;
-      if (!allocated->empty() && options_.release_spares) {
-        options_.release_spares(options_.shard, *allocated);
-      }
+void ReconController::fetch_latest(const std::vector<ShardId>& shards,
+                                   std::function<void(bool, recon::Snapshot)> cb) {
+  (void)shards;  // one-shard attempts only
+  cs_.get_last(options_.shard, [this, cb](const configsvc::ShardConfig& cfg) {
+    if (!cfg.valid()) {
+      cb(false, {});
+      return;
     }
+    // The read may reveal an epoch we had not heard about (e.g. our
+    // CONFIG_CHANGE was delayed): sync the view and re-validate before
+    // freezing anyone with probes.
+    adopt_view(cfg);
+    if (!engine_.in_flight()) return;  // adoption resolved the attempt
+    if (!have_live_grievance() && engine_.pending_target() == kNoEpoch) {
+      cb(false, {});
+      return;
+    }
+    recon::Snapshot snap;
+    snap.epoch = cfg.epoch;
+    snap.members[options_.shard] = cfg.members;
+    cb(true, snap);
   });
 }
 
-void ReconController::arm_descend_timer() {
-  if (descend_timer_armed_) return;
-  descend_timer_armed_ = true;
-  sim().schedule_for(id(), options_.tuning.probe_patience, [this, r = round_] {
-    descend_timer_armed_ = false;
-    if (!probing_ || round_ != r) return;
-    if (!round_has_false_ack_) return;
-    descend_probing();
+void ReconController::fetch_members_at(
+    ShardId shard, Epoch epoch,
+    std::function<void(bool, std::vector<ProcessId>)> cb) {
+  cs_.get(shard, epoch, [cb](bool found, const configsvc::ShardConfig& cfg) {
+    cb(found, cfg.members);
   });
 }
 
-void ReconController::descend_probing() {
-  // Lines 52-55: the probed epoch will never be operational; continue with
-  // the preceding one.
-  if (probed_epoch_ <= 1) {
-    RATC_WARN(name() << " abandoning reconfiguration: probed down to the first "
-                        "epoch with no initialized member");
-    probing_ = false;
-    return;
-  }
-  probed_epoch_ -= 1;
-  round_has_false_ack_ = false;
-  cs_.get(options_.shard, probed_epoch_,
-          [this, r = round_](bool found, const configsvc::ShardConfig& cfg) {
-            if (!probing_ || round_ != r || !found) return;
-            probed_members_ = cfg.members;
-            for (ProcessId p : probed_members_) {
-              net_.send_msg(id(), p, commit::Probe{recon_epoch_});
-            }
-          });
+void ReconController::send_probe(ProcessId target, Epoch new_epoch) {
+  net_.send_msg(id(), target, commit::Probe{new_epoch});
+}
+
+std::vector<ProcessId> ReconController::reserve_spares(ShardId shard,
+                                                       std::size_t n) {
+  return options_.allocate_spares ? options_.allocate_spares(shard, n)
+                                  : std::vector<ProcessId>{};
+}
+
+void ReconController::release_spares(ShardId shard,
+                                     const std::vector<ProcessId>& spares) {
+  if (options_.release_spares) options_.release_spares(shard, spares);
+}
+
+void ReconController::submit(const recon::Proposal& proposal,
+                             std::function<void(bool)> done) {
+  cs_.cas(options_.shard, proposal.epoch - 1, proposal.shards.at(options_.shard),
+          std::move(done));
+}
+
+void ReconController::activate(const recon::Proposal& proposal) {
+  const configsvc::ShardConfig& next = proposal.shards.at(options_.shard);
+  RATC_DEBUG(name() << " installed " << next.to_string());
+  net_.send_msg(id(), next.leader, commit::NewConfig{next.epoch, next.members});
+}
+
+recon::PlacementContext ReconController::placement_context(ShardId shard) {
+  recon::PlacementContext ctx =
+      options_.placement_context ? options_.placement_context(shard)
+                                 : recon::PlacementContext{};
+  ctx.suspected.insert(suspects_.begin(), suspects_.end());
+  return ctx;
 }
 
 // --- kDelegateGlobal ----------------------------------------------------------
@@ -310,11 +249,11 @@ void ReconController::nudge() {
     }
   }
   if (candidates.empty()) return;  // nothing dispatched: no pending target
-  ++stats_.nudges;
+  ++nudges_;
   // Unresolved until a newer global epoch is observed: a nudged replica
   // that dies mid-probe would otherwise leave its probed victims frozen
   // with nobody retrying (the watchdog re-nudges while this is set).
-  if (gview_.valid()) pending_target_ = gview_.epoch + 1;
+  if (gview_.valid()) engine_.set_pending_target(gview_.epoch + 1);
   ProcessId target = candidates[nudge_rr_++ % candidates.size()];
   RATC_DEBUG(name() << " nudges " << process_name(target));
   net_.send_msg(id(), target, NudgeReconfig{options_.shard, view_.epoch});
@@ -326,7 +265,7 @@ void ReconController::on_message(ProcessId from, const sim::AnyMessage& msg) {
   if (cs_.handle(msg)) return;
   if (fd_.handle(from, msg)) return;
   if (const auto* pa = msg.as<commit::ProbeAck>()) {
-    handle_probe_ack(from, *pa);
+    engine_.on_probe_ack(from, pa->shard, pa->epoch, pa->initialized);
   } else if (const auto* cc = msg.as<configsvc::ConfigChange>()) {
     handle_config_change(*cc);
   } else if (const auto* gc = msg.as<configsvc::GlobalConfigChange>()) {

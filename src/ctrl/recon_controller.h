@@ -7,7 +7,7 @@
 // crash_and_reconfigure.  ReconController moves the loop inside the system:
 //
 //     failure detection  ->  candidate-config selection  ->  CS CAS
-//          (fd::PingMonitor)     (ctrl::PlacementPolicy)        |
+//          (fd::PingMonitor)     (recon::PlacementPolicy)       |
 //               ^                                               v
 //               +--------------- epoch handover  <--------------+
 //                        (CONFIG_CHANGE subscription)
@@ -20,19 +20,22 @@
 // lost probes) — initiates a reconfiguration:
 //
 //  * Commit stack (Mode::kPerShardCas): the controller plays the paper's
-//    reconfigurer role itself (Fig. 1 lines 33-55) — get_last, PROBE the
-//    stored membership, descend through never-activated epochs, pick the
-//    first initialized responder as leader, let the PlacementPolicy choose
-//    the rest of the membership (replace suspects with fresh spares), and
-//    compare-and-swap the next epoch into the CS.  Concurrent controllers
-//    and replica-driven reconfigurations race safely: the CAS admits
-//    exactly one winner per epoch and losers re-observe via CONFIG_CHANGE.
+//    reconfigurer role itself — but the role's state machine (probe /
+//    descend / placement / CAS with loser spare-release) lives in the
+//    shared recon::Engine; the controller is one of its four StackHooks
+//    adapters, contributing only what is controller-specific: the grievance
+//    re-check after the CS read, the suspect set fed into the
+//    PlacementContext, and the hysteresis/watchdog around attempts.
+//    Concurrent controllers and replica-driven reconfigurations race
+//    safely: the CAS admits exactly one winner per epoch and losers
+//    re-observe via CONFIG_CHANGE.
 //
 //  * RDMA stack (Mode::kDelegateGlobal): reconfiguration is global (Fig. 8)
 //    and its activation needs fabric-side connection management that only
 //    replicas can perform, so the controller delegates execution — it
 //    nudges a live, non-suspected replica to run the global protocol; the
-//    global CS CAS inside the replicas arbitrates concurrent nudges.
+//    global CS CAS inside the replicas arbitrates concurrent nudges.  The
+//    engine still tracks the pending target so a dead delegate is re-nudged.
 //
 // Robustness to false suspicion (the concern FLAC, Pan et al., makes
 // central): a one-way-partitioned replica is alive but silent towards the
@@ -45,8 +48,8 @@
 // suspicion accuracy: a falsely-replaced replica costs one epoch, not an
 // invariant.
 //
-// The membership chosen for the new epoch is the PlacementPolicy extension
-// point documented in placement.h.
+// The membership chosen for the new epoch is the recon::PlacementPolicy
+// extension point documented in recon/placement.h.
 #pragma once
 
 #include <functional>
@@ -60,6 +63,7 @@
 #include "configsvc/messages.h"
 #include "ctrl/placement.h"
 #include "fd/failure_detector.h"
+#include "recon/engine.h"
 #include "sim/network.h"
 #include "sim/process.h"
 
@@ -69,7 +73,7 @@ struct ProbeAck;
 
 namespace ratc::ctrl {
 
-class ReconController : public sim::Process {
+class ReconController : public sim::Process, private recon::StackHooks {
  public:
   /// How attempts are executed; see the file comment.
   enum class Mode { kPerShardCas, kDelegateGlobal };
@@ -88,6 +92,9 @@ class ReconController : public sim::Process {
     /// never entered any stored configuration, so they are still globally
     /// fresh and may be handed out again.
     std::function<void(ShardId, const std::vector<ProcessId>&)> release_spares;
+    /// Cluster knowledge (zones, load, spare depth) for the placement
+    /// policy; the controller merges its own suspect set in.
+    std::function<recon::PlacementContext(ShardId)> placement_context;
   };
 
   struct Stats {
@@ -110,7 +117,10 @@ class ReconController : public sim::Process {
   void bootstrap_global(const configsvc::GlobalConfig& config);
 
   ShardId shard() const { return options_.shard; }
-  const Stats& stats() const { return stats_; }
+  /// Snapshot assembled from the controller's own counters plus the shared
+  /// reconfiguration engine's (CAS wins/losses live there now).
+  Stats stats() const;
+  const recon::Engine& engine() const { return engine_; }
   const configsvc::ShardConfig& view() const { return view_; }
   bool suspects(ProcessId p) const { return suspects_.count(p) > 0; }
 
@@ -133,12 +143,20 @@ class ReconController : public sim::Process {
   void handle_config_change(const configsvc::ConfigChange& m);
   void handle_global_config_change(const configsvc::GlobalConfigChange& m);
 
-  // --- kPerShardCas: the reconfigurer role (Fig. 1 lines 33-55) --------------
-  void probe_begin();
-  void handle_probe_ack(ProcessId from, const commit::ProbeAck& m);
-  void propose(ProcessId leader_candidate);
-  void arm_descend_timer();
-  void descend_probing();
+  // --- recon::StackHooks (kPerShardCas; the engine runs the Fig. 1 role) -----
+  void fetch_latest(const std::vector<ShardId>& shards,
+                    std::function<void(bool, recon::Snapshot)> cb) override;
+  void fetch_members_at(
+      ShardId shard, Epoch epoch,
+      std::function<void(bool, std::vector<ProcessId>)> cb) override;
+  void send_probe(ProcessId target, Epoch new_epoch) override;
+  std::vector<ProcessId> reserve_spares(ShardId shard, std::size_t n) override;
+  void release_spares(ShardId shard,
+                      const std::vector<ProcessId>& spares) override;
+  void submit(const recon::Proposal& proposal,
+              std::function<void(bool)> done) override;
+  void activate(const recon::Proposal& proposal) override;
+  recon::PlacementContext placement_context(ShardId shard) override;
 
   // --- kDelegateGlobal --------------------------------------------------------
   void nudge();
@@ -147,8 +165,7 @@ class ReconController : public sim::Process {
   sim::Network& net_;
   configsvc::CsClient cs_;
   fd::PingMonitor fd_;
-  ReplaceSuspectsPolicy default_policy_;
-  PlacementPolicy* policy_;  // options_.tuning.policy or &default_policy_
+  recon::Engine engine_;
 
   configsvc::ShardConfig view_;      ///< latest known config of our shard
   configsvc::GlobalConfig gview_;    ///< kDelegateGlobal: full global config
@@ -159,28 +176,16 @@ class ReconController : public sim::Process {
   Time next_allowed_ = 0;
   Time last_attempt_at_ = 0;
   bool retry_armed_ = false;
-  /// Epoch an attempt is trying to install (kNoEpoch when none).  Probing
-  /// freezes the probed replicas (they stop certifying until a NEW_CONFIG /
-  /// NEW_STATE arrives), so once an attempt has gone out the controller
-  /// must drive the shard to SOME epoch >= this target even if the
-  /// original suspicion is retracted — otherwise a lost ProbeAck plus a
-  /// recovered suspect would leave the shard frozen forever.  Cleared when
-  /// a stored epoch >= the target is observed.
-  Epoch pending_target_ = kNoEpoch;
-
-  // Attempt state (kPerShardCas probing, mirroring commit::Replica).
-  bool probing_ = false;
-  std::uint64_t round_ = 0;  ///< also guards the delegate-mode watchdog
-  Epoch recon_epoch_ = kNoEpoch;
-  Epoch probed_epoch_ = kNoEpoch;
-  std::vector<ProcessId> probed_members_;
-  std::set<ProcessId> probe_responders_;
-  bool round_has_false_ack_ = false;
-  bool descend_timer_armed_ = false;
+  std::uint64_t round_ = 0;  ///< guards the attempt watchdog
 
   std::size_t nudge_rr_ = 0;  ///< round-robin cursor over nudge targets
 
-  Stats stats_;
+  // Controller-side counters; engine counters are merged in stats().
+  std::size_t suspicions_ = 0;
+  std::size_t recoveries_ = 0;
+  std::size_t attempts_ = 0;
+  std::size_t attempts_abandoned_ = 0;
+  std::size_t nudges_ = 0;
 };
 
 }  // namespace ratc::ctrl

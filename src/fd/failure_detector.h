@@ -137,14 +137,29 @@ class PingMonitor {
   }
 
  private:
-  /// Callbacks may subscribe/unsubscribe (mutating subscribers_), so fire
-  /// over a snapshot.
+  /// Callbacks may subscribe/unsubscribe (mutating subscribers_) while a
+  /// notification is being dispatched, so iterate over a snapshot of the
+  /// subscription IDS and re-validate each before invoking:
+  ///  * a subscriber unregistered mid-dispatch (by itself or by an earlier
+  ///    callback) must NOT fire — its owner may already be torn down, and a
+  ///    snapshot of the std::functions would still call it;
+  ///  * the function object is copied before the call, because a callback
+  ///    that unsubscribes *itself* destroys the stored std::function it is
+  ///    currently executing (iterator/self invalidation);
+  ///  * subscribers added mid-dispatch never see the in-flight edge.
   void notify(ProcessId peer, std::function<void(ProcessId)> Callbacks::* which) {
-    std::vector<std::function<void(ProcessId)>> fns;
+    std::vector<SubscriptionId> ids;
+    ids.reserve(subscribers_.size());
     for (const auto& [id, cbs] : subscribers_) {
-      if (cbs.*which) fns.push_back(cbs.*which);
+      (void)cbs;
+      ids.push_back(id);
     }
-    for (const auto& fn : fns) fn(peer);
+    for (SubscriptionId id : ids) {
+      auto it = subscribers_.find(id);
+      if (it == subscribers_.end()) continue;  // unsubscribed mid-dispatch
+      auto fn = it->second.*which;             // copy: may unsubscribe itself
+      if (fn) fn(peer);
+    }
   }
 
   void tick() {

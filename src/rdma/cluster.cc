@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "recon/cluster_support.h"
+
 namespace ratc::rdma {
 
 namespace {
@@ -72,6 +74,11 @@ Cluster::Cluster(Options options)
     monitor_->register_members(s, initial.epoch, members, initial.leaders.at(s));
   }
 
+  zones_ = recon::assign_zones(
+      options_.num_zones, options_.num_shards,
+      options_.shard_size + options_.spares_per_shard,
+      [this](ShardId s, std::size_t i) { return replica_pid(s, i); });
+
   for (ShardId s = 0; s < options_.num_shards; ++s) {
     Replica::Options ropt;
     ropt.shard = s;
@@ -84,6 +91,10 @@ Cluster::Cluster(Options options)
     ropt.retry_timeout = options_.retry_timeout;
     ropt.ablate_flush = options_.ablate_flush;
     ropt.monitor = monitor_.get();
+    ropt.placement_policy = options_.placement_policy;
+    ropt.placement_context = [this](ShardId shard) {
+      return placement_context(shard);
+    };
     ropt.allocate_spares = [this](ShardId shard, std::size_t n) {
       return allocate_spares(shard, n);
     };
@@ -136,6 +147,9 @@ Cluster::Cluster(Options options)
       copt.mode = ctrl::ReconController::Mode::kDelegateGlobal;
       copt.target_shard_size = options_.shard_size;
       copt.tuning = options_.controller_tuning;
+      copt.placement_context = [this](ShardId shard) {
+        return placement_context(shard);
+      };
       auto c = std::make_unique<ctrl::ReconController>(
           sim_, *net_, kCtrlBase + s, std::move(copt));
       sim_.add_process(c.get());
@@ -150,6 +164,21 @@ std::size_t Cluster::controller_attempts() const {
   std::size_t n = 0;
   for (const auto& c : controllers_) n += c->stats().attempts;
   return n;
+}
+
+recon::EngineStats Cluster::engine_stats() const {
+  return recon::cluster_engine_stats(replicas_, controllers_);
+}
+
+std::string Cluster::spare_ledger_verdict() const {
+  return recon::cluster_spare_ledger_verdict(replicas_, controllers_);
+}
+
+recon::PlacementContext Cluster::placement_context(ShardId s) const {
+  auto pool = free_spares_.find(s);
+  return recon::cluster_placement_context(
+      s, replicas_, zones_,
+      pool == free_spares_.end() ? 0 : pool->second.size());
 }
 
 std::vector<ProcessId> Cluster::allocate_spares(ShardId shard, std::size_t n) {

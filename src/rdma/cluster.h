@@ -119,6 +119,12 @@ class Cluster {
     /// execution to replicas via CTRL_NUDGE (see ctrl/messages.h).
     bool enable_controller = false;
     ctrl::ControllerTuning controller_tuning;
+    /// Membership policy for every reconfigurer (the replicas running the
+    /// global protocol, and the unsafe strawman's per-shard one).  Null
+    /// selects recon::ReplaceSuspectsPolicy.  Non-owning.
+    recon::PlacementPolicy* placement_policy = nullptr;
+    /// Synthetic zone labels as in commit::Cluster::Options::num_zones.
+    std::size_t num_zones = 0;
   };
 
   explicit Cluster(Options options);
@@ -146,6 +152,15 @@ class Cluster {
   ctrl::ReconController& controller(ShardId s) { return *controllers_.at(s); }
   /// Total reconfiguration attempts started by the controllers.
   std::size_t controller_attempts() const;
+
+  // --- shared reconfigurer core (src/recon/) -----------------------------------
+
+  /// Aggregate recon::Engine counters (replicas + controllers).
+  recon::EngineStats engine_stats() const;
+  /// Per-engine spare-ledger invariant; empty iff balanced everywhere.
+  std::string spare_ledger_verdict() const;
+  /// Cluster knowledge for placement policies (zones, load, spare depth).
+  recon::PlacementContext placement_context(ShardId s) const;
 
   sim::Simulator& sim() { return sim_; }
   sim::Network& net() { return *net_; }
@@ -180,6 +195,7 @@ class Cluster {
   std::vector<std::unique_ptr<ctrl::ReconController>> controllers_;
   std::vector<std::unique_ptr<Client>> clients_;
   std::map<ShardId, std::vector<ProcessId>> free_spares_;
+  std::map<ProcessId, std::string> zones_;
   tcs::History history_;
   TxnId next_txn_ = 1;
 };

@@ -20,7 +20,11 @@ Replica::Replica(sim::Simulator& sim, sim::Network& net, Fabric& fabric, Process
       gcs_(sim, net, id, options_.cs_endpoints),
       cs_(sim, net, id, options_.cs_endpoints),
       fd_responder_(net, id),
-      monitor_(options_.monitor) {
+      monitor_(options_.monitor),
+      engine_(sim, id, *this,
+              {.target_shard_size = options_.target_shard_size,
+               .probe_patience = options_.probe_patience,
+               .policy = options_.placement_policy}) {
   assert(options_.shard_map != nullptr && options_.certifier != nullptr);
   fabric_.attach(
       id,
@@ -377,32 +381,26 @@ void Replica::deliver_rdma(ProcessId from, const sim::AnyMessage& msg) {
   }
 }
 
-// --- reconfiguration: global safe mode (Fig. 8) --------------------------------
+// --- reconfiguration: the engine's hooks ----------------------------------------
+//
+// Both modes run the shared reconfigurer core (recon::Engine).  Safe mode
+// (Fig. 8): one multi-shard attempt over the global configuration service;
+// the engine waits for an initialized responder in EVERY shard (line 117)
+// before proposing, and activate() stages the fabric-aware install phase
+// (CONFIG_PREPARE dissemination).  Unsafe mode (the Fig. 4a strawman): the
+// Fig. 1 per-shard attempt, with NEW_CONFIG handed straight to the new
+// leader — reproducing the protocol the paper proves incorrect.
 
 void Replica::reconfigure() {
   assert(options_.mode == ReconfigMode::kGlobalSafe);
-  // Line 104 pre.
-  if (rec_status_ != RecStatus::kReady) return;
-  rec_status_ = RecStatus::kProbing;
-  ++probe_round_;
-  probe_state_.clear();
-  // Lines 106-110.
-  gcs_.get_last([this, round = probe_round_](const configsvc::GlobalConfig& cfg) {
-    if (rec_status_ != RecStatus::kProbing || probe_round_ != round) return;
-    if (!cfg.valid()) {
-      rec_status_ = RecStatus::kReady;
-      return;
-    }
-    recon_epoch_ = cfg.epoch + 1;
-    for (const auto& [s, members] : cfg.members) {
-      ProbeState& ps = probe_state_[s];
-      ps.probed_epoch = cfg.epoch;
-      ps.probed_members = members;
-      for (ProcessId p : members) {
-        net_.send_msg(id(), p, commit::Probe{recon_epoch_});
-      }
-    }
-  });
+  // Line 104 pre: not already probing or installing.
+  if (installing_) return;
+  engine_.start({});  // shard set comes from the GCS snapshot
+}
+
+void Replica::reconfigure_shard(ShardId s) {
+  assert(options_.mode == ReconfigMode::kPerShardUnsafe);
+  engine_.start({s});
 }
 
 void Replica::handle_probe(ProcessId from, const commit::Probe& m) {
@@ -419,160 +417,115 @@ void Replica::handle_probe(ProcessId from, const commit::Probe& m) {
   net_.send_msg(id(), from, commit::ProbeAck{initialized_, m.epoch, options_.shard});
 }
 
-void Replica::handle_probe_ack(ProcessId from, const commit::ProbeAck& m) {
-  if (options_.mode == ReconfigMode::kPerShardUnsafe) {
-    // Fig. 1 lines 45-55, restricted to recon_shard_.
-    if (!probing_unsafe_ || m.epoch != recon_epoch_ || m.shard != recon_shard_) return;
-    ProbeState& ps = probe_state_[m.shard];
-    ps.responders.insert(from);
-    if (m.initialized) {
-      probing_unsafe_ = false;
-      ProcessId new_leader = from;
-      configsvc::ShardConfig next;
-      next.epoch = recon_epoch_;
-      next.leader = new_leader;
-      next.members = {new_leader};
-      for (ProcessId p : ps.responders) {
-        if (next.members.size() >= options_.target_shard_size) break;
-        if (p != new_leader) next.members.push_back(p);
+void Replica::fetch_latest(const std::vector<ShardId>& shards,
+                           std::function<void(bool, recon::Snapshot)> cb) {
+  if (options_.mode == ReconfigMode::kGlobalSafe) {
+    // Lines 106-110: the global protocol probes every shard of the latest
+    // stored global configuration.
+    gcs_.get_last([cb](const configsvc::GlobalConfig& cfg) {
+      if (!cfg.valid()) {
+        cb(false, {});
+        return;
       }
-      std::vector<ProcessId> allocated;
-      if (next.members.size() < options_.target_shard_size && options_.allocate_spares) {
-        for (ProcessId sp : options_.allocate_spares(
-                 recon_shard_, options_.target_shard_size - next.members.size())) {
-          next.members.push_back(sp);
-          allocated.push_back(sp);
-        }
-      }
-      cs_.cas(recon_shard_, recon_epoch_ - 1, next,
-              [this, new_leader, next, allocated, shard = recon_shard_](bool ok) {
-                if (ok) {
-                  net_.send_msg(id(), new_leader,
-                                commit::NewConfig{next.epoch, next.members});
-                } else if (!allocated.empty() && options_.release_spares) {
-                  options_.release_spares(shard, allocated);
-                }
-              });
-    } else {
-      ps.round_has_false_ack = true;
-      arm_descend_timer(m.shard);
-    }
-    return;
-  }
-  // Safe mode, lines 117-130.
-  if (rec_status_ != RecStatus::kProbing || m.epoch != recon_epoch_) return;
-  ProbeState& ps = probe_state_[m.shard];
-  ps.responders.insert(from);
-  if (m.initialized) {
-    if (ps.leader_candidate == kNoProcess) ps.leader_candidate = from;
-    check_probing_done();
+      recon::Snapshot snap;
+      snap.epoch = cfg.epoch;
+      snap.members = cfg.members;
+      cb(true, snap);
+    });
   } else {
-    ps.round_has_false_ack = true;
-    arm_descend_timer(m.shard);
+    ShardId s = shards.front();
+    cs_.get_last(s, [s, cb](const configsvc::ShardConfig& cfg) {
+      if (!cfg.valid()) {
+        cb(false, {});
+        return;
+      }
+      recon::Snapshot snap;
+      snap.epoch = cfg.epoch;
+      snap.members[s] = cfg.members;
+      cb(true, snap);
+    });
   }
 }
 
-void Replica::check_probing_done() {
-  // Line 117: a PROBE_ACK(true) for every shard.
-  for (const auto& [s, ps] : probe_state_) {
-    (void)s;
-    if (ps.leader_candidate == kNoProcess) return;
+void Replica::fetch_members_at(ShardId shard, Epoch epoch,
+                               std::function<void(bool, std::vector<ProcessId>)> cb) {
+  if (options_.mode == ReconfigMode::kGlobalSafe) {
+    gcs_.get(epoch, [shard, cb](bool found, const configsvc::GlobalConfig& cfg) {
+      if (!found) {
+        cb(false, {});
+        return;
+      }
+      auto mit = cfg.members.find(shard);
+      if (mit == cfg.members.end()) {
+        cb(false, {});
+        return;
+      }
+      cb(true, mit->second);
+    });
+  } else {
+    cs_.get(shard, epoch, [cb](bool found, const configsvc::ShardConfig& cfg) {
+      cb(found, cfg.members);
+    });
   }
-  finish_probing();
 }
 
-void Replica::finish_probing() {
-  // Lines 119-124.
-  rec_status_ = RecStatus::kReady;
-  recon_config_ = {};
-  recon_config_.epoch = recon_epoch_;
-  auto allocated = std::make_shared<std::map<ShardId, std::vector<ProcessId>>>();
-  for (auto& [s, ps] : probe_state_) {
-    std::vector<ProcessId> members{ps.leader_candidate};
-    for (ProcessId p : ps.responders) {
-      if (members.size() >= options_.target_shard_size) break;
-      if (p != ps.leader_candidate) members.push_back(p);
-    }
-    if (members.size() < options_.target_shard_size && options_.allocate_spares) {
-      for (ProcessId sp :
-           options_.allocate_spares(s, options_.target_shard_size - members.size())) {
-        members.push_back(sp);
-        (*allocated)[s].push_back(sp);
-      }
-    }
-    recon_config_.members[s] = members;
-    recon_config_.leaders[s] = ps.leader_candidate;
+void Replica::send_probe(ProcessId target, Epoch new_epoch) {
+  net_.send_msg(id(), target, commit::Probe{new_epoch});
+}
+
+std::vector<ProcessId> Replica::reserve_spares(ShardId shard, std::size_t n) {
+  return options_.allocate_spares ? options_.allocate_spares(shard, n)
+                                  : std::vector<ProcessId>{};
+}
+
+void Replica::release_spares(ShardId shard, const std::vector<ProcessId>& spares) {
+  // Losing a CAS (e.g. two nudged replicas racing the global CAS) must not
+  // consume the fresh spares the losing proposal reserved; the engine
+  // routes them back here.
+  if (options_.release_spares) options_.release_spares(shard, spares);
+}
+
+namespace {
+configsvc::GlobalConfig to_global(const recon::Proposal& proposal) {
+  configsvc::GlobalConfig gc;
+  gc.epoch = proposal.epoch;
+  for (const auto& [s, cfg] : proposal.shards) {
+    gc.members[s] = cfg.members;
+    gc.leaders[s] = cfg.leader;
   }
-  gcs_.cas(recon_epoch_ - 1, recon_config_, [this, allocated](bool ok) {
-    if (!ok) {
-      // Losing the global CAS (e.g. two nudged replicas racing) must not
-      // consume the fresh spares the losing proposal reserved.
-      if (options_.release_spares) {
-        for (const auto& [s, spares] : *allocated) {
-          options_.release_spares(s, spares);
-        }
-      }
-      return;
-    }
-    rec_status_ = RecStatus::kInstalling;
+  return gc;
+}
+}  // namespace
+
+void Replica::submit(const recon::Proposal& proposal,
+                     std::function<void(bool)> done) {
+  if (options_.mode == ReconfigMode::kGlobalSafe) {
+    gcs_.cas(proposal.epoch - 1, to_global(proposal), std::move(done));
+  } else {
+    const auto& [shard, next] = *proposal.shards.begin();
+    cs_.cas(shard, proposal.epoch - 1, next, std::move(done));
+  }
+}
+
+void Replica::activate(const recon::Proposal& proposal) {
+  if (options_.mode == ReconfigMode::kGlobalSafe) {
+    // Lines 131-136 start here: disseminate CONFIG_PREPARE to the whole new
+    // membership; activation (RNEW_CONFIG) waits for every ack.
+    recon_config_ = to_global(proposal);
+    installing_ = true;
     config_prepare_acks_.clear();
     for (ProcessId p : recon_config_.all_members()) {
       net_.send_msg(id(), p, ConfigPrepare{recon_config_.epoch, recon_config_});
     }
-  });
-}
-
-void Replica::arm_descend_timer(ShardId s) {
-  ProbeState& ps = probe_state_[s];
-  if (ps.descend_timer_armed) return;
-  ps.descend_timer_armed = true;
-  sim().schedule_for(id(), options_.probe_patience, [this, s, round = probe_round_] {
-    auto it = probe_state_.find(s);
-    if (it == probe_state_.end() || probe_round_ != round) return;
-    it->second.descend_timer_armed = false;
-    bool active = options_.mode == ReconfigMode::kGlobalSafe
-                      ? rec_status_ == RecStatus::kProbing
-                      : probing_unsafe_;
-    if (!active || !it->second.round_has_false_ack) return;
-    if (it->second.leader_candidate != kNoProcess) return;
-    descend_probing(s);
-  });
-}
-
-void Replica::descend_probing(ShardId s) {
-  ProbeState& ps = probe_state_[s];
-  if (ps.probed_epoch <= 1) {
-    RATC_WARN(name() << " abandoning reconfiguration: shard " << s
-                     << " has no initialized member in any epoch");
-    rec_status_ = RecStatus::kReady;
-    probing_unsafe_ = false;
-    return;
-  }
-  ps.probed_epoch -= 1;
-  ps.round_has_false_ack = false;
-  if (options_.mode == ReconfigMode::kGlobalSafe) {
-    gcs_.get(ps.probed_epoch,
-             [this, s, round = probe_round_](bool found, const configsvc::GlobalConfig& cfg) {
-               if (rec_status_ != RecStatus::kProbing || probe_round_ != round || !found) {
-                 return;
-               }
-               auto mit = cfg.members.find(s);
-               if (mit == cfg.members.end()) return;
-               probe_state_[s].probed_members = mit->second;
-               for (ProcessId p : mit->second) {
-                 net_.send_msg(id(), p, commit::Probe{recon_epoch_});
-               }
-             });
   } else {
-    cs_.get(s, ps.probed_epoch,
-            [this, s](bool found, const configsvc::ShardConfig& cfg) {
-              if (!probing_unsafe_ || !found) return;
-              probe_state_[s].probed_members = cfg.members;
-              for (ProcessId p : cfg.members) {
-                net_.send_msg(id(), p, commit::Probe{recon_epoch_});
-              }
-            });
+    const configsvc::ShardConfig& next = proposal.shards.begin()->second;
+    net_.send_msg(id(), next.leader, commit::NewConfig{next.epoch, next.members});
   }
+}
+
+recon::PlacementContext Replica::placement_context(ShardId shard) {
+  return options_.placement_context ? options_.placement_context(shard)
+                                    : recon::PlacementContext{};
 }
 
 void Replica::handle_config_prepare(ProcessId from, const ConfigPrepare& m) {
@@ -585,12 +538,12 @@ void Replica::handle_config_prepare(ProcessId from, const ConfigPrepare& m) {
 
 void Replica::handle_config_prepare_ack(ProcessId from, const ConfigPrepareAck& m) {
   // Lines 137-140.
-  if (rec_status_ != RecStatus::kInstalling || m.epoch != recon_config_.epoch) return;
+  if (!installing_ || m.epoch != recon_config_.epoch) return;
   config_prepare_acks_.insert(from);
   for (ProcessId p : recon_config_.all_members()) {
     if (config_prepare_acks_.count(p) == 0) return;
   }
-  rec_status_ = RecStatus::kReady;
+  installing_ = false;
   for (ProcessId l : recon_config_.all_leaders()) {
     net_.send_msg(id(), l, RNewConfig{recon_config_.epoch});
   }
@@ -678,28 +631,6 @@ void Replica::handle_connect_ack(ProcessId from, const ConnectAck& m) {
 
 // --- reconfiguration: per-shard unsafe mode (Fig. 4a strawman) -----------------
 
-void Replica::reconfigure_shard(ShardId s) {
-  assert(options_.mode == ReconfigMode::kPerShardUnsafe);
-  if (probing_unsafe_) return;
-  probing_unsafe_ = true;
-  recon_shard_ = s;
-  ++probe_round_;
-  probe_state_.clear();
-  cs_.get_last(s, [this, s](const configsvc::ShardConfig& cfg) {
-    if (!probing_unsafe_ || !cfg.valid()) {
-      probing_unsafe_ = false;
-      return;
-    }
-    recon_epoch_ = cfg.epoch + 1;
-    ProbeState& ps = probe_state_[s];
-    ps.probed_epoch = cfg.epoch;
-    ps.probed_members = cfg.members;
-    for (ProcessId p : cfg.members) {
-      net_.send_msg(id(), p, commit::Probe{recon_epoch_});
-    }
-  });
-}
-
 void Replica::handle_new_config_unsafe(const commit::NewConfig& m) {
   if (m.epoch < new_epoch_) return;
   new_epoch_ = m.epoch;
@@ -779,7 +710,7 @@ void Replica::on_message(ProcessId from, const sim::AnyMessage& msg) {
   } else if (const auto* pr = msg.as<commit::Probe>()) {
     handle_probe(from, *pr);
   } else if (const auto* pra = msg.as<commit::ProbeAck>()) {
-    handle_probe_ack(from, *pra);
+    engine_.on_probe_ack(from, pra->shard, pra->epoch, pra->initialized);
   } else if (const auto* cp = msg.as<ConfigPrepare>()) {
     handle_config_prepare(from, *cp);
   } else if (const auto* cpa = msg.as<ConfigPrepareAck>()) {

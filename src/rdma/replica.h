@@ -30,6 +30,7 @@
 #include "fd/failure_detector.h"
 #include "rdma/fabric.h"
 #include "rdma/messages.h"
+#include "recon/engine.h"
 #include "sim/network.h"
 #include "sim/process.h"
 #include "tcs/certifier.h"
@@ -45,9 +46,8 @@ enum class ReconfigMode {
 };
 
 enum class Status { kLeader, kFollower, kReconfiguring };
-enum class RecStatus { kReady, kProbing, kInstalling };
 
-class Replica : public sim::Process {
+class Replica : public sim::Process, private recon::StackHooks {
  public:
   struct Options {
     ShardId shard = 0;
@@ -62,6 +62,11 @@ class Replica : public sim::Process {
     /// fresh; see commit::Replica::Options::release_spares).
     std::function<void(ShardId, const std::vector<ProcessId>&)> release_spares;
     Duration probe_patience = 5;
+    /// Membership policy for the reconfigurer role (both modes); null
+    /// selects recon::ReplaceSuspectsPolicy.  Non-owning.
+    recon::PlacementPolicy* placement_policy = nullptr;
+    /// Cluster knowledge (zones, load, spare depth) for the policy.
+    std::function<recon::PlacementContext(ShardId)> placement_context;
     Duration connect_retry = 5;
     Duration retry_timeout = 0;
     /// ABLATION (tests only): skip the flush() at NEW_CONFIG (Fig. 8 line
@@ -99,6 +104,8 @@ class Replica : public sim::Process {
   ProcessId leader_of(ShardId s) const;
   std::vector<ProcessId> members_of(ShardId s) const;
   const std::set<ProcessId>& connections() const { return connections_; }
+  /// The shared reconfigurer core (stats + spare-ledger introspection).
+  const recon::Engine& recon_engine() const { return engine_; }
 
   void on_message(ProcessId from, const sim::AnyMessage& msg) override;
 
@@ -121,16 +128,6 @@ class Replica : public sim::Process {
     std::map<ShardId, tcs::Payload> shard_payloads;
     Time last_driven = 0;
   };
-  /// Per-shard probing state of an ongoing global reconfiguration.
-  struct ProbeState {
-    Epoch probed_epoch = kNoEpoch;
-    std::vector<ProcessId> probed_members;
-    std::set<ProcessId> responders;
-    ProcessId leader_candidate = kNoProcess;
-    bool round_has_false_ack = false;
-    bool descend_timer_armed = false;
-  };
-
   // Certification path (Fig. 7).
   void start_certification(commit::TxnMeta meta, const tcs::Payload* full_payload,
                            std::function<void(tcs::Decision)> local_cb);
@@ -143,12 +140,12 @@ class Replica : public sim::Process {
   void check_coordination(TxnId txn);
 
   // Reconfiguration (Fig. 8 for safe mode; Fig. 1 lines 33-69 for unsafe).
+  // The probe/descend/placement/CAS lifecycle lives in recon::Engine; the
+  // hooks below adapt it to the global (GCS) and per-shard (CS) substrates.
+  // What stays here is the probed side (handle_probe) and the safe mode's
+  // fabric-aware install phase (CONFIG_PREPARE .. CONNECT, Fig. 8 lines
+  // 131-162), which the engine triggers through activate().
   void handle_probe(ProcessId from, const commit::Probe& m);
-  void handle_probe_ack(ProcessId from, const commit::ProbeAck& m);
-  void check_probing_done();
-  void arm_descend_timer(ShardId s);
-  void descend_probing(ShardId s);
-  void finish_probing();
   void handle_config_prepare(ProcessId from, const ConfigPrepare& m);
   void handle_config_prepare_ack(ProcessId from, const ConfigPrepareAck& m);
   void handle_new_config(const RNewConfig& m);
@@ -168,6 +165,21 @@ class Replica : public sim::Process {
   /// leaders; runs on the retry timer.
   void redrive_coordinations();
   Epoch view_epoch(ShardId s) const;
+
+  // recon::StackHooks.
+  void fetch_latest(const std::vector<ShardId>& shards,
+                    std::function<void(bool, recon::Snapshot)> cb) override;
+  void fetch_members_at(
+      ShardId shard, Epoch epoch,
+      std::function<void(bool, std::vector<ProcessId>)> cb) override;
+  void send_probe(ProcessId target, Epoch new_epoch) override;
+  std::vector<ProcessId> reserve_spares(ShardId shard, std::size_t n) override;
+  void release_spares(ShardId shard,
+                      const std::vector<ProcessId>& spares) override;
+  void submit(const recon::Proposal& proposal,
+              std::function<void(bool)> done) override;
+  void activate(const recon::Proposal& proposal) override;
+  recon::PlacementContext placement_context(ShardId shard) override;
 
   Options options_;
   sim::Network& net_;
@@ -189,16 +201,12 @@ class Replica : public sim::Process {
   Slot next_ = 0;
   std::set<ProcessId> connections_;
 
-  // Reconfigurer state.
-  RecStatus rec_status_ = RecStatus::kReady;
-  Epoch recon_epoch_ = kNoEpoch;
-  std::map<ShardId, ProbeState> probe_state_;
-  std::uint64_t probe_round_ = 0;
+  // Reconfigurer: the probe/descend/CAS core is engine_; what remains here
+  // is the safe mode's install phase (staged by activate()).
+  recon::Engine engine_;
+  bool installing_ = false;  ///< CONFIG_PREPARE dissemination in flight
   configsvc::GlobalConfig recon_config_;
   std::set<ProcessId> config_prepare_acks_;
-  // Unsafe-mode reconfigurer state (single shard).
-  bool probing_unsafe_ = false;
-  ShardId recon_shard_ = 0;
 
   // Coordinator state; decided entries stay as slim tombstones and the
   // index bounds the re-drive scan (see commit::Replica).

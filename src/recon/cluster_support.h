@@ -1,0 +1,83 @@
+// Shared cluster-side plumbing for the reconfiguration engine: zone-label
+// assignment, PlacementContext assembly, and engine-stats / spare-ledger
+// aggregation.  commit::Cluster and rdma::Cluster host different replica
+// types but expose the same surface (shard(), id(), log(), recon_engine(),
+// name()), so these templates keep the logic in one copy — the same
+// discipline recon::Engine applies to the reconfigurer itself.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "recon/engine.h"
+
+namespace ratc::recon {
+
+/// Synthetic zone labels "z<idx % num_zones>", assigned round-robin by
+/// per-shard host index so initial members and the spare pool both span
+/// the failure domains.  Empty when num_zones == 0.
+template <typename PidOf>
+std::map<ProcessId, std::string> assign_zones(std::size_t num_zones,
+                                              std::uint32_t num_shards,
+                                              std::size_t hosts_per_shard,
+                                              PidOf&& pid_of) {
+  std::map<ProcessId, std::string> zones;
+  if (num_zones == 0) return zones;
+  for (ShardId s = 0; s < num_shards; ++s) {
+    for (std::size_t i = 0; i < hosts_per_shard; ++i) {
+      zones[pid_of(s, i)] = "z" + std::to_string(i % num_zones);
+    }
+  }
+  return zones;
+}
+
+/// PlacementContext over a shard's hosts.  Certification-log length is the
+/// load proxy this simulation can measure; a deployment would plug its
+/// metrics pipeline in here.
+template <typename ReplicaPtrs>
+PlacementContext cluster_placement_context(
+    ShardId s, const ReplicaPtrs& replicas,
+    const std::map<ProcessId, std::string>& zones, std::size_t spare_pool) {
+  PlacementContext ctx;
+  ctx.spare_pool = spare_pool;
+  for (const auto& r : replicas) {
+    if (r->shard() != s) continue;
+    ctx.load[r->id()] = r->log().max_filled();
+    auto z = zones.find(r->id());
+    if (z != zones.end()) ctx.zones[r->id()] = z->second;
+  }
+  return ctx;
+}
+
+/// Sum of every reconfigurer's engine counters (replicas + controllers).
+template <typename ReplicaPtrs, typename ControllerPtrs>
+EngineStats cluster_engine_stats(const ReplicaPtrs& replicas,
+                                 const ControllerPtrs& controllers) {
+  EngineStats total;
+  for (const auto& r : replicas) total.accumulate(r->recon_engine().stats());
+  for (const auto& c : controllers) total.accumulate(c->engine().stats());
+  return total;
+}
+
+inline void append_ledger_verdict(const Engine& e, const std::string& who,
+                                  std::string& out) {
+  if (e.ledger_balanced()) return;
+  const EngineStats& s = e.stats();
+  out += "spare ledger unbalanced at " + who + ": reserved " +
+         std::to_string(s.spares_reserved) + " != installed " +
+         std::to_string(s.spares_installed) + " + released " +
+         std::to_string(s.spares_released) + " + pending " +
+         std::to_string(e.spares_pending()) + "\n";
+}
+
+/// Per-engine ledger invariant across the cluster; empty iff balanced.
+template <typename ReplicaPtrs, typename ControllerPtrs>
+std::string cluster_spare_ledger_verdict(const ReplicaPtrs& replicas,
+                                         const ControllerPtrs& controllers) {
+  std::string out;
+  for (const auto& r : replicas) append_ledger_verdict(r->recon_engine(), r->name(), out);
+  for (const auto& c : controllers) append_ledger_verdict(c->engine(), c->name(), out);
+  return out;
+}
+
+}  // namespace ratc::recon

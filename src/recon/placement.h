@@ -1,0 +1,190 @@
+// Placement policies for the shared reconfiguration engine (recon::Engine).
+//
+// ===========================================================================
+// The PlacementPolicy extension point
+// ===========================================================================
+// When a reconfigurer — a replica playing the Fig. 1 role, or an autonomous
+// ctrl::ReconController — decides a shard must move to a new epoch, the
+// *mechanism* is fixed by the paper: probe the members of the latest stored
+// configuration, pick an initialized responder as the new leader (Fig. 1
+// line 45), and compare-and-swap the next epoch into the configuration
+// service.  The *membership* of the proposed configuration is policy.  The
+// paper only constrains it (line 48): the new configuration must contain
+// the new leader, and every other member must be a probing responder or a
+// fresh process.
+//
+// PlacementPolicy is that seam.  A policy receives everything the engine
+// learned during probing:
+//   * the leader candidate (the first initialized probing responder — this
+//     one is mandatory and must lead, because only it is known to hold the
+//     shard state the new epoch starts from);
+//   * the full responder set (processes that answered the probe, i.e. were
+//     recently alive — including members of probed-but-never-activated
+//     epochs, which are safe to reuse since such epochs accepted nothing);
+//   * a cluster-aware PlacementContext: the reconfigurer's current suspect
+//     set (failure-detector output; under asymmetric partitions a responder
+//     can simultaneously be suspected), the depth of the shard's fresh-spare
+//     pool, per-member load counters, and optional zone labels;
+//   * the target shard size (f+1);
+// plus an `allocate_fresh` callback that permanently consumes processes
+// from the cluster's never-yet-used spare pool (freshness must be global —
+// reusing a process that ever belonged to a configuration breaks
+// Invariant 5, so allocation goes through the shared resource manager the
+// cluster models).  The engine tracks what the policy consumes: spares in
+// a proposal whose CAS loses are returned to the pool automatically.
+//
+// A policy returns the full proposed ShardConfig.  The engine clamps the
+// hard constraints (epoch, leader present and leading); drawing every other
+// member only from responders or fresh spares is the policy's contract
+// (Fig. 1 line 48).  The proposal then races through the CS CAS, so a buggy
+// policy can cost availability but never safety: the CAS and the probing
+// protocol underneath it are what correctness rests on.
+//
+// Two policies ship here; custom ones (load-aware leader choice, proactive
+// draining) subclass and plug in through commit::Cluster::Options /
+// rdma::Cluster::Options::placement_policy, ctrl::ControllerTuning::policy,
+// or store::StackWorkload::placement.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "configsvc/config.h"
+
+namespace ratc::recon {
+
+/// Cluster-level knowledge a policy may use beyond the probe results.  All
+/// fields are advisory: an empty context degrades every shipped policy to
+/// pid-order selection, never to an invalid proposal.
+struct PlacementContext {
+  /// Processes the reconfigurer's failure detector currently suspects
+  /// (empty for replica-driven reconfigurations, which run no detector).
+  std::set<ProcessId> suspected;
+  /// Fresh spares still available to this shard's pool (depth only — the
+  /// pool itself is consumed through allocate_fresh).
+  std::size_t spare_pool = 0;
+  /// Per-process load counters (certification-log length in this repo; a
+  /// deployment would plug in whatever its metrics pipeline exports).
+  std::map<ProcessId, std::uint64_t> load;
+  /// Optional failure-domain labels; processes without a label are treated
+  /// as zone-unknown.
+  std::map<ProcessId, std::string> zones;
+};
+
+/// Everything the engine learned by the time it must propose a
+/// configuration; see the file comment for field semantics.
+struct PlacementInput {
+  ShardId shard = 0;
+  Epoch next_epoch = kNoEpoch;
+  /// First initialized probing responder; must be the proposed leader.
+  ProcessId leader_candidate = kNoProcess;
+  /// All probing responders (recently alive), in ascending pid order.
+  std::vector<ProcessId> responders;
+  std::size_t target_size = 2;
+  PlacementContext context;
+
+  bool suspected(ProcessId p) const { return context.suspected.count(p) > 0; }
+  std::string zone_of(ProcessId p) const {
+    auto it = context.zones.find(p);
+    return it == context.zones.end() ? std::string{} : it->second;
+  }
+};
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+  virtual const char* name() const = 0;
+
+  /// Proposes the next configuration.  `allocate_fresh(n)` hands out up to
+  /// n fresh spares (permanently consumed unless the engine returns them);
+  /// call it at most once.
+  virtual configsvc::ShardConfig plan(
+      const PlacementInput& in,
+      const std::function<std::vector<ProcessId>(std::size_t)>& allocate_fresh) = 0;
+};
+
+/// Default policy: keep the leader candidate, retain non-suspected
+/// responders in pid order, and top up with fresh spares — i.e. replace
+/// exactly the members that are dead (no probe answer) or suspect
+/// (half-partitioned processes answer probes but cannot be relied on).
+class ReplaceSuspectsPolicy final : public PlacementPolicy {
+ public:
+  const char* name() const override { return "replace-suspects"; }
+
+  configsvc::ShardConfig plan(
+      const PlacementInput& in,
+      const std::function<std::vector<ProcessId>(std::size_t)>& allocate_fresh) override {
+    configsvc::ShardConfig next;
+    next.epoch = in.next_epoch;
+    next.leader = in.leader_candidate;
+    next.members.push_back(in.leader_candidate);
+    for (ProcessId p : in.responders) {
+      if (next.members.size() >= in.target_size) break;
+      if (p == in.leader_candidate || in.suspected(p)) continue;
+      next.members.push_back(p);
+    }
+    if (next.members.size() < in.target_size && allocate_fresh) {
+      for (ProcessId spare : allocate_fresh(in.target_size - next.members.size())) {
+        next.members.push_back(spare);
+      }
+    }
+    return next;
+  }
+};
+
+/// Zone-aware policy: like ReplaceSuspectsPolicy, but when responders carry
+/// zone labels it prefers members whose zones are not already represented
+/// in the proposal, so a single failure domain never concentrates the whole
+/// shard when alternatives answered the probe.  Selection is two-pass —
+/// spread first (unseen zones only), then fill in pid order — so with no
+/// labels, or all responders in one zone, it degrades to the default
+/// policy.  Fresh-spare top-up takes whatever the pool hands out: zone
+/// placement of *fresh* processes is the resource manager's concern.
+class ZoneAntiAffinityPolicy final : public PlacementPolicy {
+ public:
+  const char* name() const override { return "zone-anti-affinity"; }
+
+  configsvc::ShardConfig plan(
+      const PlacementInput& in,
+      const std::function<std::vector<ProcessId>(std::size_t)>& allocate_fresh) override {
+    configsvc::ShardConfig next;
+    next.epoch = in.next_epoch;
+    next.leader = in.leader_candidate;
+    next.members.push_back(in.leader_candidate);
+    std::set<std::string> zones_used;
+    if (std::string z = in.zone_of(in.leader_candidate); !z.empty()) {
+      zones_used.insert(z);
+    }
+    auto eligible = [&](ProcessId p) {
+      return p != in.leader_candidate && !in.suspected(p) && !next.has_member(p);
+    };
+    // Spread pass: responders in zones not yet represented (unlabeled
+    // responders count as their own unseen zone).
+    for (ProcessId p : in.responders) {
+      if (next.members.size() >= in.target_size) break;
+      if (!eligible(p)) continue;
+      std::string z = in.zone_of(p);
+      if (!z.empty() && zones_used.count(z) > 0) continue;
+      next.members.push_back(p);
+      if (!z.empty()) zones_used.insert(z);
+    }
+    // Fill pass: pid order, zone collisions accepted over leaving a seat
+    // for a fresh spare (responders are known-recently-alive).
+    for (ProcessId p : in.responders) {
+      if (next.members.size() >= in.target_size) break;
+      if (eligible(p)) next.members.push_back(p);
+    }
+    if (next.members.size() < in.target_size && allocate_fresh) {
+      for (ProcessId spare : allocate_fresh(in.target_size - next.members.size())) {
+        next.members.push_back(spare);
+      }
+    }
+    return next;
+  }
+};
+
+}  // namespace ratc::recon

@@ -1,10 +1,21 @@
 #include "store/stack_harness.h"
 
+#include <stdexcept>
+
 #include "checker/linearization.h"
 
 namespace ratc::store {
 
 namespace {
+
+/// Resolves StackWorkload::placement against the policies the harness owns.
+/// Null means "engine default" (recon::ReplaceSuspectsPolicy).
+recon::PlacementPolicy* select_placement(const StackWorkload& w,
+                                         recon::ZoneAntiAffinityPolicy* zone) {
+  if (w.placement.empty() || w.placement == "replace-suspects") return nullptr;
+  if (w.placement == "zone-anti-affinity") return zone;
+  throw std::invalid_argument("unknown StackWorkload::placement: " + w.placement);
+}
 
 std::string lin_verdict(const tcs::History& history, const tcs::Certifier& certifier) {
   checker::LinearizationResult lin = checker::check_linearization(history, certifier);
@@ -75,7 +86,9 @@ CommitHarness::CommitHarness(std::uint64_t seed, const StackWorkload& w)
                 .exponential_delays = w.exponential_delays,
                 .enable_tracer = w.capture_trace,
                 .enable_controller = w.autonomous_controller,
-                .controller_tuning = w.controller}),
+                .controller_tuning = w.controller,
+                .placement_policy = select_placement(w, &zone_policy_),
+                .num_zones = w.num_zones}),
       client_(&cluster_.add_client()) {}
 
 void CommitHarness::install_fault_injector(sim::FaultInjector* fi) {
@@ -157,7 +170,9 @@ RdmaHarness::RdmaHarness(std::uint64_t seed, const StackWorkload& w)
                 .retry_timeout = w.retry_timeout,
                 .enable_tracer = w.capture_trace,
                 .enable_controller = w.autonomous_controller,
-                .controller_tuning = w.controller}),
+                .controller_tuning = w.controller,
+                .placement_policy = select_placement(w, &zone_policy_),
+                .num_zones = w.num_zones}),
       client_(&cluster_.add_client()) {}
 
 void RdmaHarness::install_fault_injector(sim::FaultInjector* fi) {

@@ -52,6 +52,8 @@
 #include "commit/cluster.h"
 #include "ctrl/placement.h"
 #include "rdma/cluster.h"
+#include "recon/engine.h"
+#include "recon/placement.h"
 #include "sim/fault.h"
 #include "tcs/payload.h"
 
@@ -87,6 +89,13 @@ struct StackWorkload {
   /// reconfiguration to drive and ignores it.
   bool autonomous_controller = false;
   ctrl::ControllerTuning controller;
+  /// Membership policy for every reconfigurer in the stack (replica-driven
+  /// and controller-driven alike): "replace-suspects" (the default) or
+  /// "zone-anti-affinity" (see recon/placement.h).  Unknown names throw.
+  std::string placement = "replace-suspects";
+  /// Synthetic zone labels for placement (0 = unlabeled); pids get zones
+  /// "z0".."z<n-1>" round-robin by per-shard index.
+  std::size_t num_zones = 0;
   /// When false, crash_and_reconfigure only crashes: the harness-side
   /// repair (reconfigure + await activation, or the baseline's leader
   /// failover) is suppressed, making the crash events a pure crash-only
@@ -170,6 +179,11 @@ class CommitHarness {
   /// Reconfiguration attempts the autonomous controllers started (0 when
   /// the workload did not enable them).
   std::size_t controller_attempts() const { return cluster_.controller_attempts(); }
+  /// Aggregate recon::Engine counters over every reconfigurer.
+  recon::EngineStats engine_stats() const { return cluster_.engine_stats(); }
+  /// Per-engine spare-ledger invariant (empty iff balanced); asserted by
+  /// every random sweep through apply_end_of_run_checks.
+  std::string spare_ledger_verdict() const { return cluster_.spare_ledger_verdict(); }
 
   std::string verify() { return cluster_.verify(); }
   std::string check_linearization();
@@ -179,6 +193,7 @@ class CommitHarness {
   std::vector<ProcessId> alive_members(ShardId s);
 
   StackWorkload w_;
+  recon::ZoneAntiAffinityPolicy zone_policy_;  ///< selected by w.placement
   commit::Cluster cluster_;
   commit::Client* client_;
 };
@@ -210,6 +225,8 @@ class RdmaHarness {
   bool reconfigure_healthy(Rng& rng, ShardId s);
   void drain(Duration d, Rng& rng);
   std::size_t controller_attempts() const { return cluster_.controller_attempts(); }
+  recon::EngineStats engine_stats() const { return cluster_.engine_stats(); }
+  std::string spare_ledger_verdict() const { return cluster_.spare_ledger_verdict(); }
 
   std::string verify() { return cluster_.verify(); }
   std::string check_linearization();
@@ -219,6 +236,7 @@ class RdmaHarness {
   std::vector<ProcessId> alive_members(ShardId s);
 
   StackWorkload w_;
+  recon::ZoneAntiAffinityPolicy zone_policy_;
   rdma::Cluster cluster_;
   rdma::Client* client_;
 };

@@ -223,6 +223,35 @@ TEST(ControllerHysteresis, RdmaFalseSuspicionStormsBoundEpochChurn) {
   EXPECT_TRUE(sweep.ok()) << sweep.report();
 }
 
+TEST(PlacementDiversity, ZoneAntiAffinitySweepStaysSafeAndBalanced) {
+  // The placement seam end to end: zone labels on every replica, the
+  // ZoneAntiAffinityPolicy driving BOTH replica-driven repair
+  // (harness_repair, kReconfigure events) and the autonomous controllers,
+  // under a crash+reconfigure schedule.  Safety checks and the engines'
+  // spare-ledger balance (asserted inside apply_end_of_run_checks) must
+  // hold for every seed.
+  ScheduleOptions opt = crash_only_schedule();
+  opt.reconfigures = 2;  // healthy reconfigurations exercise responder choice
+  CommitWorkloadOptions w;
+  w.total_txns = 120;
+  w.autonomous_controller = true;
+  w.controller.fd = {.ping_every = 5, .suspect_after = 15};
+  w.retry_timeout = 20;
+  w.placement = "zone-anti-affinity";
+  w.num_zones = 3;
+  w.min_decided_fraction = 0.8;
+  SweepResult sweep =
+      parallel_sweep_seeds(kFirstSeed, kSmallSweepSeeds, [&](std::uint64_t seed) {
+        RunResult r = run_commit_workload(seed, w, schedule_for(seed, opt));
+        if (r.probes_sent == 0) {
+          append_seed_problem(r, "placement sweep ran no reconfiguration at all");
+        }
+        return r;
+      });
+  EXPECT_TRUE(sweep.ok()) << sweep.report();
+  print_sweep("zone-anti-affinity", sweep);
+}
+
 TEST(ControllerDeterminism, SameSeedSameTraceWithControllersEnabled) {
   ScheduleOptions opt = crash_only_schedule();
   CommitWorkloadOptions cw;

@@ -188,6 +188,104 @@ TEST(FailureDetector, MultipleSubscribersAllNotified) {
   EXPECT_EQ(second[0], t.id());
 }
 
+TEST(FailureDetector, CallbackMayUnsubscribeItselfDuringDispatch) {
+  // Regression: a suspicion callback that unregisters its own subscription
+  // destroys the std::function being executed if dispatch iterates the live
+  // registry (iterator/self invalidation).  The dispatcher must copy before
+  // invoking and survive the erase; later edges must skip the gone
+  // subscriber.
+  sim::Simulator sim(11);
+  sim::Network net(sim);
+  MutableTarget t(sim, net, 1);
+  Watcher w(sim, net, 2);
+  sim.add_process(&t);
+  sim.add_process(&w);
+  std::vector<ProcessId> one_shot;
+  PingMonitor::SubscriptionId sub = 0;
+  sub = w.monitor.subscribe({.on_suspect = [&](ProcessId p) {
+    one_shot.push_back(p);
+    w.monitor.unsubscribe(sub);  // self-unsubscribe mid-dispatch
+  }});
+  w.monitor.watch(t.id());
+  w.monitor.start();
+  t.muted = true;
+  sim.run_until(200);
+  ASSERT_EQ(one_shot.size(), 1u);
+  ASSERT_EQ(w.suspected.size(), 1u);  // the Watcher's own subscription ran too
+  // A fresh suspicion edge: the one-shot subscriber must stay silent.
+  t.muted = false;
+  sim.run_until(400);
+  t.muted = true;
+  sim.run_until(700);
+  EXPECT_EQ(w.suspected.size(), 2u);
+  EXPECT_EQ(one_shot.size(), 1u);
+}
+
+TEST(FailureDetector, CallbackUnsubscribingAPeerSuppressesItMidDispatch) {
+  // The Watcher's own subscription (id 1) fires first and tears down a
+  // later subscription before the dispatcher reaches it: the torn-down
+  // callback must NOT fire — its owner may already be destroyed.
+  sim::Simulator sim(12);
+  sim::Network net(sim);
+  Target t(sim, net, 1);
+  sim.add_process(&t);
+
+  class TearingWatcher : public sim::Process {
+   public:
+    TearingWatcher(sim::Simulator& sim, sim::Network& net, ProcessId id)
+        : Process(sim, id, "tearing"), monitor(sim, net, id) {
+      monitor.subscribe({.on_suspect = [this](ProcessId) {
+        ++first_fired;
+        monitor.unsubscribe(second_sub);
+      }});
+      second_sub = monitor.subscribe(
+          {.on_suspect = [this](ProcessId) { ++second_fired; }});
+    }
+    void on_message(ProcessId from, const sim::AnyMessage& msg) override {
+      monitor.handle(from, msg);
+    }
+    PingMonitor monitor;
+    PingMonitor::SubscriptionId second_sub = 0;
+    int first_fired = 0;
+    int second_fired = 0;
+  };
+  TearingWatcher w(sim, net, 2);
+  sim.add_process(&w);
+  w.monitor.watch(t.id());
+  w.monitor.start();
+  sim.crash(t.id());
+  sim.run_until(400);
+  EXPECT_GE(w.first_fired, 1);
+  EXPECT_EQ(w.second_fired, 0) << "unsubscribed-mid-dispatch callback fired";
+}
+
+TEST(FailureDetector, SubscriberAddedDuringDispatchMissesTheInFlightEdge) {
+  sim::Simulator sim(13);
+  sim::Network net(sim);
+  MutableTarget t(sim, net, 1);
+  Watcher w(sim, net, 2);
+  sim.add_process(&t);
+  sim.add_process(&w);
+  std::vector<ProcessId> late;
+  bool added = false;
+  w.monitor.subscribe({.on_suspect = [&](ProcessId) {
+    if (added) return;
+    added = true;
+    w.monitor.subscribe({.on_suspect = [&](ProcessId p) { late.push_back(p); }});
+  }});
+  w.monitor.watch(t.id());
+  w.monitor.start();
+  t.muted = true;
+  sim.run_until(200);
+  EXPECT_EQ(w.suspected.size(), 1u);
+  EXPECT_TRUE(late.empty()) << "mid-dispatch subscriber saw the current edge";
+  t.muted = false;
+  sim.run_until(400);
+  t.muted = true;
+  sim.run_until(700);
+  EXPECT_EQ(late.size(), 1u);  // subsequent edges reach it
+}
+
 TEST(FailureDetector, UnsubscribeStopsNotifications) {
   sim::Simulator sim(9);
   sim::Network net(sim);

@@ -28,6 +28,12 @@ std::string RunResult::summary() const {
                     " dropped=" + std::to_string(dropped) +
                     " held=" + std::to_string(held);
   if (ctrl_attempts > 0) out += " ctrl-attempts=" + std::to_string(ctrl_attempts);
+  if (probes_sent > 0) {
+    out += " probes=" + std::to_string(probes_sent) +
+           " cas-losses=" + std::to_string(cas_losses) +
+           " spares=" + std::to_string(spares_reserved) + "/" +
+           std::to_string(spares_released);
+  }
   if (linearization_checked) out += " lin-checked";
   if (!problems.empty()) out += "\n" + problems;
   return out;

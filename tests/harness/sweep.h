@@ -38,6 +38,13 @@ struct RunResult {
   /// (src/ctrl/); 0 for stacks without them or when not enabled.  The
   /// hysteresis sweeps bound this per run.
   std::size_t ctrl_attempts = 0;
+  /// recon::Engine counters aggregated over every reconfigurer in the run
+  /// (replica-driven and controller-driven); 0 for stacks without the
+  /// shared engine (baseline, paxos).
+  std::size_t probes_sent = 0;
+  std::size_t cas_losses = 0;
+  std::size_t spares_reserved = 0;
+  std::size_t spares_released = 0;
   bool linearization_checked = false;
   std::string problems;
   /// FNV-1a fingerprint of the full message trace plus outcome counters;
@@ -69,6 +76,20 @@ void apply_end_of_run_checks(RunResult& r, Harness& harness,
   r.committed = harness.committed_count();
   if constexpr (requires { harness.controller_attempts(); }) {
     r.ctrl_attempts = harness.controller_attempts();
+  }
+  if constexpr (requires { harness.engine_stats(); }) {
+    auto es = harness.engine_stats();
+    r.probes_sent = es.probes_sent;
+    r.cas_losses = es.cas_losses;
+    r.spares_reserved = es.spares_reserved;
+    r.spares_released = es.spares_released;
+  }
+  if constexpr (requires { harness.spare_ledger_verdict(); }) {
+    // Every random sweep asserts the engines' spare ledger balances: a
+    // reserved spare must end up installed in a stored configuration,
+    // released back to the pool, or still awaiting its CAS outcome.
+    std::string ledger = harness.spare_ledger_verdict();
+    if (!ledger.empty()) append_seed_problem(r, ledger);
   }
   std::string verdict = harness.verify();
   if (!verdict.empty()) append_seed_problem(r, verdict);
