@@ -1,5 +1,8 @@
-// Shared helpers for the experiment binaries (see DESIGN.md Sec. 3 for the
-// experiment index E1-E13 and EXPERIMENTS.md for recorded results).
+// Shared helpers for the experiment binaries.  Each bench names its
+// experiment (E1-E14) in its header comment and prints the paper claim it
+// exercises; ROADMAP.md carries the experiment roadmap, and the benches
+// that persist results write BENCH_<name>.json via bench/bench_report.h
+// (schema documented in tests/README.md).
 #pragma once
 
 #include <cstdio>
@@ -22,16 +25,18 @@ namespace ratc::bench {
 template <typename ClusterT, typename FrontendT>
 class Rig {
  public:
+  /// `batch_size` groups submissions into batched certification rounds
+  /// (1 = scalar submission; see store::WorkloadRunner).
   Rig(typename ClusterT::Options cluster_options,
       store::WorkloadOptions workload_options, std::uint64_t workload_seed,
-      std::size_t window = 8)
+      std::size_t window = 8, std::size_t batch_size = 1)
       : cluster(std::move(cluster_options)),
         frontend(cluster),
         gen(workload_options, workload_seed),
         runner(
             cluster.sim(), frontend, db,
             [this](const store::VersionedStore& d) { return gen.next(d); },
-            window) {}
+            window, batch_size) {}
 
   Rig(const Rig&) = delete;
   Rig& operator=(const Rig&) = delete;

@@ -6,9 +6,12 @@
 // processing transactions while the system is reconfigured" (Sec. 6, the
 // price of f+1); probing walks epochs downward and completes under
 // Assumption 1 (Theorems 4.2/4.3).
+// MTTR rows are persisted to BENCH_reconfiguration.json
+// (bench/bench_report.h) so CI tracks the recovery-time trajectory.
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "bench/bench_report.h"
 #include "commit/cluster.h"
 
 using namespace ratc;
@@ -101,17 +104,26 @@ Duration mttr(bool controller_driven, Duration suspect_after,
   return cluster.sim().now() - crash_at;
 }
 
-void mttr_comparison() {
+void mttr_comparison(bench::BenchReport& report) {
   std::printf("MTTR: leader crash -> first post-crash commit in the affected shard\n");
   std::printf("%-38s %18s\n", "recovery mode", "MTTR (ticks)");
+  Duration omniscient = mttr(false, 50);
   std::printf("%-38s %18llu\n", "harness-driven (omniscient)",
-              (unsigned long long)mttr(false, 50));
+              (unsigned long long)omniscient);
+  report.add_row()
+      .set("mode", "harness-driven")
+      .set("suspect_after", std::uint64_t{0})
+      .set("mttr", static_cast<std::uint64_t>(omniscient));
   for (Duration suspect_after : {50u, 30u, 15u}) {
     char label[64];
     std::snprintf(label, sizeof(label), "controller-driven (suspect_after=%llu)",
                   (unsigned long long)suspect_after);
-    std::printf("%-38s %18llu\n", label,
-                (unsigned long long)mttr(true, suspect_after));
+    Duration d = mttr(true, suspect_after);
+    std::printf("%-38s %18llu\n", label, (unsigned long long)d);
+    report.add_row()
+        .set("mode", "controller-driven")
+        .set("suspect_after", static_cast<std::uint64_t>(suspect_after))
+        .set("mttr", static_cast<std::uint64_t>(d));
   }
   std::printf("\n");
 }
@@ -121,15 +133,22 @@ void mttr_comparison() {
 /// Placement decides WHO joins the new epoch, not how fast probing and the
 /// CAS run, so the columns should be close — the table documents that the
 /// zone-aware policy buys failure-domain spread at no recovery-time cost.
-void mttr_by_placement_policy() {
+void mttr_by_placement_policy(bench::BenchReport& report) {
   std::printf("MTTR by placement policy (controller-driven, suspect_after=30, 3 zones)\n");
   std::printf("%-38s %18s\n", "policy", "MTTR (ticks)");
   recon::ReplaceSuspectsPolicy replace;
   recon::ZoneAntiAffinityPolicy zone;
-  std::printf("%-38s %18llu\n", replace.name(),
-              (unsigned long long)mttr(true, 30, &replace, 3));
-  std::printf("%-38s %18llu\n", zone.name(),
-              (unsigned long long)mttr(true, 30, &zone, 3));
+  for (recon::PlacementPolicy* policy :
+       {static_cast<recon::PlacementPolicy*>(&replace),
+        static_cast<recon::PlacementPolicy*>(&zone)}) {
+    Duration d = mttr(true, 30, policy, 3);
+    std::printf("%-38s %18llu\n", policy->name(), (unsigned long long)d);
+    report.add_row()
+        .set("mode", "controller-driven")
+        .set("policy", policy->name())
+        .set("suspect_after", std::uint64_t{30})
+        .set("mttr", static_cast<std::uint64_t>(d));
+  }
   std::printf("\n");
 }
 
@@ -209,9 +228,11 @@ int main() {
                 (unsigned long long)availability_gap(patience));
   }
   std::printf("\n");
-  mttr_comparison();
-  mttr_by_placement_policy();
+  bench::BenchReport report("reconfiguration");
+  mttr_comparison(report);
+  mttr_by_placement_policy(report);
   non_disruption();
   probing_descent();
+  report.write();
   return 0;
 }

@@ -1,0 +1,141 @@
+#include "bench/bench_report.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ratc::bench {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  // %.6g keeps the output stable across runs and compact; JSON has no
+  // inf/nan, so degenerate ratios serialize as 0.
+  if (v != v || v > 1e308 || v < -1e308) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+BenchReport::Row& BenchReport::Row::set(const std::string& key,
+                                        const std::string& value) {
+  cells_.emplace_back(key, "\"" + json_escape(value) + "\"");
+  return *this;
+}
+
+BenchReport::Row& BenchReport::Row::set(const std::string& key,
+                                        const char* value) {
+  return set(key, std::string(value));
+}
+
+BenchReport::Row& BenchReport::Row::set(const std::string& key, double value) {
+  cells_.emplace_back(key, json_number(value));
+  return *this;
+}
+
+BenchReport::Row& BenchReport::Row::set(const std::string& key,
+                                        std::uint64_t value) {
+  cells_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+BenchReport::Row& BenchReport::Row::set(const std::string& key,
+                                        std::int64_t value) {
+  cells_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+BenchReport::Row& BenchReport::Row::set(const std::string& key, bool value) {
+  cells_.emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+
+std::string BenchReport::render() const {
+  std::string out = "{\n  \"bench\": \"" + json_escape(name_) + "\",\n  \"rows\": [";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {";
+    const auto& cells = rows_[i].cells_;
+    for (std::size_t j = 0; j < cells.size(); ++j) {
+      if (j != 0) out += ", ";
+      out += "\"" + json_escape(cells[j].first) + "\": " + cells[j].second;
+    }
+    out += "}";
+  }
+  out += rows_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+bool BenchReport::write() const {
+  const char* dir = std::getenv("RATC_BENCH_JSON_DIR");
+  std::string path = (dir != nullptr && *dir != '\0')
+                         ? std::string(dir) + "/BENCH_" + name_ + ".json"
+                         : "BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_report: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::string doc = render();
+  std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  if (written != doc.size()) {
+    std::fprintf(stderr, "bench_report: short write to %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+  return true;
+}
+
+BenchReport::Row& fill_runner_row(BenchReport::Row& row,
+                                  const std::string& stack,
+                                  std::uint32_t shards, std::size_t batch_size,
+                                  std::size_t window,
+                                  const store::RunnerStats& stats) {
+  return row.set("stack", stack)
+      .set("shards", static_cast<std::uint64_t>(shards))
+      .set("batch_size", batch_size)
+      .set("window", window)
+      .set("txns", stats.submitted)
+      .set("throughput", stats.throughput())
+      .set("mean_latency", stats.mean_latency())
+      .set("p50_latency", static_cast<std::uint64_t>(stats.p50_latency()))
+      .set("p99_latency", static_cast<std::uint64_t>(stats.p99_latency()))
+      .set("committed", stats.committed)
+      .set("aborted", stats.aborted)
+      .set("latency_censored", stats.latency_censored())
+      .set("committed_fraction", stats.committed_fraction());
+}
+
+std::size_t bench_txns(std::size_t default_txns) {
+  const char* env = std::getenv("RATC_BENCH_TXNS");
+  if (env == nullptr || *env == '\0') return default_txns;
+  long n = std::atol(env);
+  return n > 0 ? static_cast<std::size_t>(n) : default_txns;
+}
+
+}  // namespace ratc::bench

@@ -1,0 +1,86 @@
+// Persisted bench results: a tiny dependency-free JSON emitter so every
+// bench run leaves a machine-readable BENCH_<name>.json next to its stdout
+// tables.  CI uploads these as artifacts on every push, giving the repo a
+// perf trajectory over time instead of numbers trapped in scrollback.
+//
+// Schema (documented for consumers in tests/README.md):
+//
+//   {
+//     "bench": "<name>",
+//     "rows": [ { "<col>": <string|number|bool>, ... }, ... ]
+//   }
+//
+// Rows preserve insertion order and a run's output is a pure function of
+// its inputs (no timestamps), so two runs of the same binary diff cleanly.
+//
+// The output directory is RATC_BENCH_JSON_DIR when set, else the working
+// directory; RATC_BENCH_TXNS scales down transaction counts for smoke runs
+// (see bench_txns).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "store/runner.h"
+
+namespace ratc::bench {
+
+/// One result table destined for BENCH_<name>.json.
+class BenchReport {
+ public:
+  /// One row of named columns; values keep insertion order.
+  class Row {
+   public:
+    Row& set(const std::string& key, const std::string& value);
+    Row& set(const std::string& key, const char* value);
+    Row& set(const std::string& key, double value);
+    Row& set(const std::string& key, std::uint64_t value);
+    Row& set(const std::string& key, std::int64_t value);
+    Row& set(const std::string& key, bool value);
+
+   private:
+    friend class BenchReport;
+    /// key -> already-JSON-encoded value.
+    std::vector<std::pair<std::string, std::string>> cells_;
+  };
+
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  Row& add_row() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  const std::string& name() const { return name_; }
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// The serialized document.
+  std::string render() const;
+
+  /// Writes BENCH_<name>.json into RATC_BENCH_JSON_DIR (or the working
+  /// directory) and reports the path on stdout; false on I/O failure.
+  bool write() const;
+
+ private:
+  std::string name_;
+  std::vector<Row> rows_;
+};
+
+/// Fills the standard closed-loop columns shared by every runner-driven
+/// bench row: identification (stack/shards/batch_size/window/txns) plus
+/// throughput, latency (mean/p50/p99), outcome counts, the committed
+/// fraction, and the censored-latency count (see RunnerStats::undecided).
+BenchReport::Row& fill_runner_row(BenchReport::Row& row,
+                                  const std::string& stack,
+                                  std::uint32_t shards, std::size_t batch_size,
+                                  std::size_t window,
+                                  const store::RunnerStats& stats);
+
+/// Transaction count for a bench: `default_txns` unless RATC_BENCH_TXNS
+/// overrides it (CI smoke runs set a tiny count to exercise the full
+/// pipeline without the full cost).
+std::size_t bench_txns(std::size_t default_txns);
+
+}  // namespace ratc::bench

@@ -1,42 +1,62 @@
 // E11: throughput scaling with the number of shards — the motivation for
-// partitioning data into independently managed shards (paper Sec. 1).
+// partitioning data into independently managed shards (paper Sec. 1) —
+// plus the certification batch-size sweep: requirement (1)'s distributive
+// vote lets a coordinator certify a whole batch in one PREPARE round per
+// shard leader (and the baseline in one Paxos append per shard), so
+// batching amortizes the protocol's fixed per-round cost at the price of
+// per-transaction latency.
 //
 // Single-shard transactions scale near-linearly with shards (independent
 // certification orders + coordinator-delegated replication); cross-shard
 // transactions pay coordination but still scale.  The 2f+1 baseline's
 // leaders saturate earlier at equal offered load.
+//
+// Results are persisted to BENCH_throughput.json (bench/bench_report.h);
+// RATC_BENCH_TXNS trims the per-cell transaction count for smoke runs.
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "bench/bench_report.h"
 
 using namespace ratc;
 
 namespace {
 
-constexpr std::size_t kTxns = 800;
+std::size_t txns() { return bench::bench_txns(800); }
 
 store::WorkloadOptions workload_for(std::uint32_t shards) {
   return {.objects = 400 * shards, .ops_per_txn = 3, .write_fraction = 0.5};
 }
 
-store::RunnerStats run_ours(std::uint32_t shards, std::size_t window) {
+store::RunnerStats run_ours(std::uint32_t shards, std::size_t window,
+                            std::size_t batch = 1) {
   bench::CommitRig rig({.seed = 17, .num_shards = shards, .shard_size = 2,
                         .enable_monitor = false},
-                       workload_for(shards), 3, window);
-  return rig.run(kTxns);
+                       workload_for(shards), 3, window, batch);
+  return rig.run(txns());
+}
+
+store::RunnerStats run_rdma(std::uint32_t shards, std::size_t window,
+                            std::size_t batch = 1) {
+  bench::RdmaRig rig({.seed = 19, .num_shards = shards, .shard_size = 2},
+                     workload_for(shards), 3, window, batch);
+  return rig.run(txns());
 }
 
 store::RunnerStats run_baseline(std::uint32_t shards, std::size_t window,
-                                bool cooperative_termination) {
+                                bool cooperative_termination,
+                                std::size_t batch = 1) {
   bench::BaselineRig rig({.seed = 18, .num_shards = shards, .shard_size = 3,
                           .cooperative_termination = cooperative_termination},
-                         workload_for(shards), 3, window);
-  return rig.run(kTxns);
+                         workload_for(shards), 3, window, batch);
+  return rig.run(txns());
 }
 
 }  // namespace
 
 int main() {
+  bench::BenchReport report("throughput");
+
   bench::header("E11", "throughput scaling with shard count (committed txns / 1000 ticks)");
   bench::claim(
       "sharding scales certification; the f+1 protocol sustains higher\n"
@@ -55,12 +75,51 @@ int main() {
     std::printf("%8u | %10.1f %11.1f | %10.1f %11.1f | %10.1f %11.1f\n", shards,
                 ours.throughput(), ours.mean_latency(), base.throughput(),
                 base.mean_latency(), coop.throughput(), coop.mean_latency());
+    bench::fill_runner_row(report.add_row(), "commit", shards, 1, 32, ours)
+        .set("sweep", "shards");
+    bench::fill_runner_row(report.add_row(), "baseline", shards, 1, 32, base)
+        .set("sweep", "shards");
+    bench::fill_runner_row(report.add_row(), "baseline-coop", shards, 1, 32, coop)
+        .set("sweep", "shards");
   }
+
   std::printf("\nwindow sweep at 4 shards (this work):\n");
   std::printf("%10s %12s %12s\n", "window", "tput", "mean lat");
   for (std::size_t w : {4u, 16u, 64u, 256u}) {
     store::RunnerStats s = run_ours(4, w);
     std::printf("%10zu %12.1f %12.1f\n", w, s.throughput(), s.mean_latency());
+    bench::fill_runner_row(report.add_row(), "commit", 4, 1, w, s)
+        .set("sweep", "window");
   }
+
+  // Batch-size sweep: one certification round per coordinator per batch.
+  // The window is held at 256 so the batcher can actually fill large
+  // batches; batch 1 is the scalar path (bit-identical to the pre-batching
+  // runner) and anchors the comparison.
+  std::printf(
+      "\nbatch-size sweep at 4 shards, window 256 (one CERTIFY round per "
+      "batch):\n");
+  std::printf("%10s | %9s | %10s %8s %8s %8s | %9s\n", "stack", "batch",
+              "tput", "mean", "p50", "p99", "committed");
+  for (std::size_t batch : {1u, 4u, 16u, 64u}) {
+    struct NamedRun {
+      const char* stack;
+      store::RunnerStats stats;
+    };
+    NamedRun runs[] = {{"commit", run_ours(4, 256, batch)},
+                       {"rdma", run_rdma(4, 256, batch)},
+                       {"baseline", run_baseline(4, 256, false, batch)}};
+    for (const NamedRun& r : runs) {
+      std::printf("%10s | %9zu | %10.1f %8.1f %8llu %8llu | %8.1f%%\n",
+                  r.stack, batch, r.stats.throughput(), r.stats.mean_latency(),
+                  static_cast<unsigned long long>(r.stats.p50_latency()),
+                  static_cast<unsigned long long>(r.stats.p99_latency()),
+                  100.0 * r.stats.committed_fraction());
+      bench::fill_runner_row(report.add_row(), r.stack, 4, batch, 256, r.stats)
+          .set("sweep", "batch_size");
+    }
+  }
+
+  report.write();
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "baseline/shard_server.h"
@@ -29,6 +30,24 @@ class BaselineClient : public sim::Process {
     history_->record_certify(sim().now(), txn, payload);
     sent_[txn] = sim().now();
     net_.send_msg(id(), coordinator, BCertify{txn, payload});
+  }
+
+  /// One CERTIFY round for a whole batch sharing a coordinator (size 1
+  /// falls back to the scalar message).
+  void certify_batch(ProcessId coordinator,
+                     const std::vector<std::pair<TxnId, tcs::Payload>>& batch) {
+    if (batch.size() == 1) {
+      certify(coordinator, batch.front().first, batch.front().second);
+      return;
+    }
+    BCertifyBatch m;
+    m.items.reserve(batch.size());
+    for (const auto& [txn, payload] : batch) {
+      history_->record_certify(sim().now(), txn, payload);
+      sent_[txn] = sim().now();
+      m.items.push_back(BCertify{txn, payload});
+    }
+    net_.send_msg(id(), coordinator, std::move(m));
   }
 
   void on_message(ProcessId from, const sim::AnyMessage& msg) override {

@@ -36,6 +36,31 @@ struct SubmitPrepare {
   }
 };
 
+/// Client -> coordinator: one CERTIFY round for a whole batch (items are
+/// handled in order, each as an independent 2PC instance).  Batches of one
+/// are never sent — the scalar BCertify is used instead.
+struct BCertifyBatch {
+  static constexpr const char* kName = "B_CERTIFY_BATCH";
+  std::vector<BCertify> items;
+  std::size_t wire_size() const {
+    std::size_t n = 16;
+    for (const BCertify& it : items) n += it.wire_size();
+    return n;
+  }
+};
+
+/// Coordinator -> participant shard leader: replicate-and-prepare a whole
+/// batch through ONE Paxos append (CmdPrepareBatch).
+struct SubmitPrepareBatch {
+  static constexpr const char* kName = "B_SUBMIT_PREPARE_BATCH";
+  std::vector<SubmitPrepare> items;
+  std::size_t wire_size() const {
+    std::size_t n = 16;
+    for (const SubmitPrepare& it : items) n += it.wire_size();
+    return n;
+  }
+};
+
 /// Participant shard leader -> coordinator, after the prepare applied.
 struct Vote {
   static constexpr const char* kName = "B_VOTE";
@@ -87,6 +112,20 @@ struct CmdPrepare {
   ProcessId coordinator = kNoProcess;
   std::size_t wire_size() const {
     return 32 + payload.wire_size() + participants.size() * 4;
+  }
+};
+
+/// One replicated log entry carrying a whole batch of prepares: the batch
+/// costs one Paxos round instead of one per transaction.  Applying it is
+/// defined as applying its items in order, so every replica still computes
+/// identical votes from the applied prefix.
+struct CmdPrepareBatch {
+  static constexpr const char* kName = "B_CMD_PREPARE_BATCH";
+  std::vector<CmdPrepare> items;
+  std::size_t wire_size() const {
+    std::size_t n = 16;
+    for (const CmdPrepare& it : items) n += it.wire_size();
+    return n;
   }
 };
 

@@ -27,8 +27,12 @@ void ShardServer::on_message(ProcessId from, const sim::AnyMessage& msg) {
   if (fd_monitor_ && fd_monitor_->handle(from, msg)) return;
   if (const auto* c = msg.as<BCertify>()) {
     handle_certify(from, *c);
+  } else if (const auto* cb = msg.as<BCertifyBatch>()) {
+    handle_certify_batch(from, *cb);
   } else if (const auto* sp = msg.as<SubmitPrepare>()) {
     handle_submit_prepare(*sp);
+  } else if (const auto* spb = msg.as<SubmitPrepareBatch>()) {
+    handle_submit_prepare_batch(*spb);
   } else if (const auto* v = msg.as<Vote>()) {
     handle_vote(*v);
   } else if (const auto* sd = msg.as<SubmitDecide>()) {
@@ -66,6 +70,41 @@ void ShardServer::handle_certify(ProcessId from, const BCertify& m) {
   }
 }
 
+void ShardServer::handle_certify_batch(ProcessId from, const BCertifyBatch& m) {
+  // Each item is an independent 2PC instance; the batch only coalesces the
+  // per-shard replicate-and-prepare traffic (one SubmitPrepareBatch per
+  // shard leader, one Paxos append there).
+  std::map<ShardId, SubmitPrepareBatch> per_shard;
+  for (const BCertify& item : m.items) {
+    std::vector<ShardId> participants = options_.shard_map->shards_of(item.payload);
+    if (participants.empty()) {
+      net_.send_msg(id(), from, BClientDecision{item.txn, Decision::kCommit});
+      continue;
+    }
+    CoordState& c = coord_[item.txn];
+    c.participants = participants;
+    c.client = from;
+    for (ShardId s : participants) {
+      SubmitPrepare sp;
+      sp.txn = item.txn;
+      sp.payload = options_.shard_map->project(item.payload, s);
+      sp.participants = participants;
+      sp.client = from;
+      sp.coordinator = id();
+      per_shard[s].items.push_back(std::move(sp));
+    }
+  }
+  for (auto& [s, batch] : per_shard) {
+    if (s == options_.shard) {
+      handle_submit_prepare_batch(batch);  // local shard: no network hop
+    } else if (batch.items.size() == 1) {
+      net_.send_msg(id(), shard_leader(s), std::move(batch.items.front()));
+    } else {
+      net_.send_msg(id(), shard_leader(s), std::move(batch));
+    }
+  }
+}
+
 void ShardServer::handle_submit_prepare(const SubmitPrepare& m) {
   // Replicate the prepare through this shard's Paxos group; the vote is
   // computed when the command applies.
@@ -78,6 +117,27 @@ void ShardServer::handle_submit_prepare(const SubmitPrepare& m) {
   paxos_->submit(sim::AnyMessage(std::move(cmd)));
 }
 
+void ShardServer::handle_submit_prepare_batch(const SubmitPrepareBatch& m) {
+  if (m.items.size() == 1) {
+    handle_submit_prepare(m.items.front());
+    return;
+  }
+  // The whole batch rides ONE replicated log entry: one Paxos round where
+  // the unbatched path pays one per transaction.
+  CmdPrepareBatch cmd;
+  cmd.items.reserve(m.items.size());
+  for (const SubmitPrepare& sp : m.items) {
+    CmdPrepare c;
+    c.txn = sp.txn;
+    c.payload = sp.payload;
+    c.participants = sp.participants;
+    c.client = sp.client;
+    c.coordinator = sp.coordinator;
+    cmd.items.push_back(std::move(c));
+  }
+  paxos_->submit(sim::AnyMessage(std::move(cmd)));
+}
+
 void ShardServer::handle_submit_decide(const SubmitDecide& m) {
   paxos_->submit(sim::AnyMessage(CmdDecide{m.txn, m.decision}));
 }
@@ -86,6 +146,10 @@ void ShardServer::apply(Slot slot, const sim::AnyMessage& cmd) {
   (void)slot;
   if (const auto* p = cmd.as<CmdPrepare>()) {
     apply_prepare(*p);
+  } else if (const auto* pb = cmd.as<CmdPrepareBatch>()) {
+    // Applying a batch == applying its items in order; votes stay a pure
+    // function of the applied prefix on every replica.
+    for (const CmdPrepare& item : pb->items) apply_prepare(item);
   } else if (const auto* d = cmd.as<CmdDecide>()) {
     apply_decide(*d);
   } else if (const auto* r = cmd.as<CmdResolveAbort>()) {

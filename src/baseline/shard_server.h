@@ -119,7 +119,10 @@ class ShardServer : public sim::Process {
   };
 
   void handle_certify(ProcessId from, const BCertify& m);
+  void handle_certify_batch(ProcessId from, const BCertifyBatch& m);
   void handle_submit_prepare(const SubmitPrepare& m);
+  /// Replicates the whole batch through ONE Paxos append (CmdPrepareBatch).
+  void handle_submit_prepare_batch(const SubmitPrepareBatch& m);
   void handle_vote(const Vote& m);
   void handle_submit_decide(const SubmitDecide& m);
   void apply_prepare(const CmdPrepare& c);

@@ -12,6 +12,8 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "commit/messages.h"
 #include "commit/replica.h"
@@ -37,6 +39,20 @@ class Client : public sim::Process {
     history_->record_certify(sim().now(), txn, payload);
     sent_[txn] = sim().now();
     coordinator.certify_local(txn, payload, [this, txn](tcs::Decision d) {
+      record_decision(txn, d);
+    });
+  }
+
+  /// Submits a whole batch through one co-located coordinator (one
+  /// PREPARE_BATCH per shard leader instead of one PREPARE per txn each).
+  void certify_batch_colocated(
+      Replica& coordinator,
+      const std::vector<std::pair<TxnId, tcs::Payload>>& batch) {
+    for (const auto& [txn, payload] : batch) {
+      history_->record_certify(sim().now(), txn, payload);
+      sent_[txn] = sim().now();
+    }
+    coordinator.certify_batch_local(batch, [this](TxnId txn, tcs::Decision d) {
       record_decision(txn, d);
     });
   }

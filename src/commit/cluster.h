@@ -61,6 +61,10 @@ class Cluster {
     /// assigned round-robin by per-shard index) surfaced to placement
     /// policies through the PlacementContext.
     std::size_t num_zones = 0;
+    /// Debug cross-check: every vote is recomputed with the flat L1/L2 log
+    /// scan and the process aborts if the witness index disagrees (see
+    /// commit::Replica::Options).  Meant for tests and sweeps.
+    bool check_certifier_index = false;
   };
 
   explicit Cluster(Options options);

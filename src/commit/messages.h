@@ -6,6 +6,7 @@
 
 #include "commit/log.h"
 #include "common/types.h"
+#include "sim/message.h"
 #include "tcs/decision.h"
 #include "tcs/payload.h"
 
@@ -18,6 +19,21 @@ struct CertifyRequest {
   tcs::Payload payload;
   std::size_t wire_size() const { return 16 + payload.wire_size(); }
 };
+
+namespace detail {
+template <class Item>
+std::size_t batch_wire_size(const std::vector<Item>& items) {
+  std::size_t n = 16;  // header + count
+  for (const Item& it : items) {
+    if constexpr (sim::HasWireSize<Item>) {
+      n += it.wire_size();
+    } else {
+      n += sizeof(Item);
+    }
+  }
+  return n;
+}
+}  // namespace detail
 
 /// Coordinator -> shard leader (Fig. 1 line 3 / line 73).  `has_payload` is
 /// false for the retry path's ⊥ payload.
@@ -75,6 +91,46 @@ struct AcceptAck {
   Slot slot = kNoSlot;
   TxnId txn = 0;
   tcs::Decision vote = tcs::Decision::kAbort;
+};
+
+// --- batched certification ---------------------------------------------------
+//
+// The certification function is distributive (requirement (1) of Sec. 2):
+// the vote over a set of payloads is the meet of pairwise checks, so many
+// payloads can ride one CERTIFY round without changing any decision.  Each
+// wrapper below carries a vector of the corresponding per-transaction
+// message; handlers apply the items in order, so a batch is semantically the
+// simultaneous delivery of its items.  Batches of size 1 are never sent —
+// the frontends fall back to the scalar messages, keeping batch_size=1 runs
+// bit-identical to the pre-batching protocol.
+
+/// Coordinator -> shard leader: one PREPARE round for a whole batch.
+struct PrepareBatch {
+  static constexpr const char* kName = "PREPARE_BATCH";
+  std::vector<Prepare> items;
+  std::size_t wire_size() const { return detail::batch_wire_size(items); }
+};
+
+/// Leader -> coordinator: the acks of one PrepareBatch.
+struct PrepareAckBatch {
+  static constexpr const char* kName = "PREPARE_ACK_BATCH";
+  std::vector<PrepareAck> items;
+  std::size_t wire_size() const { return detail::batch_wire_size(items); }
+};
+
+/// Coordinator (or leader, in the leader-driven ablation) -> follower: one
+/// replication write for a whole batch.
+struct AcceptBatch {
+  static constexpr const char* kName = "ACCEPT_BATCH";
+  std::vector<Accept> items;
+  std::size_t wire_size() const { return detail::batch_wire_size(items); }
+};
+
+/// Follower -> coordinator: the acks of one AcceptBatch.
+struct AcceptAckBatch {
+  static constexpr const char* kName = "ACCEPT_ACK_BATCH";
+  std::vector<AcceptAck> items;
+  std::size_t wire_size() const { return detail::batch_wire_size(items); }
 };
 
 /// Coordinator -> shard members (Fig. 1 line 29).

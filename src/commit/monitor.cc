@@ -82,82 +82,102 @@ void Monitor::on_local_decision(TxnId txn, Decision d) {
   }
 }
 
+void Monitor::observe_prepare_ack(ProcessId from, const PrepareAck& pa) {
+  // Snapshot the leader's arrays up to the slot — the reference state for
+  // Invariants 1 and 2.
+  AcceptKey key{pa.shard, pa.epoch, pa.slot};
+  if (acceptances_.count(key) != 0) return;
+  Acceptance acc;
+  acc.shard = pa.shard;
+  acc.epoch = pa.epoch;
+  acc.slot = pa.slot;
+  acc.txn = pa.txn;
+  acc.payload = pa.payload;
+  acc.vote = pa.vote;
+  Replica* leader = replica_of(from);
+  if (leader != nullptr) {
+    acc.leader_prefix.resize(pa.slot);
+    for (Slot k = 1; k <= pa.slot; ++k) {
+      const LogEntry* e = leader->log().find(k);
+      SnapshotEntry& snap = acc.leader_prefix[k - 1];
+      if (e != nullptr && e->filled()) {
+        snap.filled = true;
+        snap.txn = e->txn;
+        snap.vote = e->vote;
+        snap.payload = e->payload;
+      }
+    }
+  }
+  auto [it, _] = acceptances_.emplace(key, std::move(acc));
+  maybe_complete(it->second);  // zero-follower configurations
+}
+
+void Monitor::observe_accept(const Accept& a) {
+  // Inv 6: ACCEPTs for the same (epoch, slot) to a shard agree on
+  // transaction, payload and vote.
+  AcceptKey key{a.shard, a.epoch, a.slot};
+  auto it = accept_sent_.find(key);
+  if (it == accept_sent_.end()) {
+    accept_sent_.emplace(key, std::make_tuple(a.txn, a.payload, a.vote));
+  } else {
+    const auto& [t0, l0, d0] = it->second;
+    if (t0 != a.txn || !(l0 == a.payload) || d0 != a.vote) {
+      report("Invariant6", "conflicting ACCEPT(e=" + std::to_string(a.epoch) +
+                               ",k=" + std::to_string(a.slot) + ") at s" +
+                               std::to_string(a.shard));
+    }
+  }
+  // Inv 9: the same transaction maps to a single slot per epoch.
+  auto slot_it = accept_slot_.find({a.shard, a.epoch, a.txn});
+  if (slot_it == accept_slot_.end()) {
+    accept_slot_.emplace(std::make_tuple(a.shard, a.epoch, a.txn), a.slot);
+  } else if (slot_it->second != a.slot) {
+    report("Invariant9", "txn" + std::to_string(a.txn) + " accepted at slots " +
+                             std::to_string(slot_it->second) + " and " +
+                             std::to_string(a.slot) + " in epoch " +
+                             std::to_string(a.epoch));
+  }
+}
+
+void Monitor::observe_accept_ack(ProcessId from, const AcceptAck& aa) {
+  // Inv 3: no ACCEPT_ACK below an acknowledged PROBE epoch.
+  auto pit = probe_acked_.find(from);
+  if (pit != probe_acked_.end() && aa.epoch < pit->second) {
+    report("Invariant3", process_name(from) + " acked ACCEPT at epoch " +
+                             std::to_string(aa.epoch) + " after promising epoch " +
+                             std::to_string(pit->second));
+  }
+  AcceptKey key{aa.shard, aa.epoch, aa.slot};
+  auto it = acceptances_.find(key);
+  if (it != acceptances_.end() && it->second.txn == aa.txn) {
+    // Inv 1: the follower's prefix matches the leader snapshot.
+    Replica* follower = replica_of(from);
+    if (follower != nullptr) {
+      check_prefix_against_leader(*follower, it->second, "Invariant1");
+    }
+    it->second.acks.insert(from);
+    maybe_complete(it->second);
+  }
+}
+
 void Monitor::on_send(Time now, ProcessId from, ProcessId to,
                       const sim::AnyMessage& msg) {
   (void)now;
+  // Batched wire forms carry the same protocol steps as their scalar
+  // counterparts; the monitor observes each item or the acceptance records
+  // (and with them TCS-LL's inputs) silently go missing for batched runs.
   if (const auto* pa = msg.as<PrepareAck>()) {
-    // Snapshot the leader's arrays up to the slot — the reference state for
-    // Invariants 1 and 2.
-    AcceptKey key{pa->shard, pa->epoch, pa->slot};
-    if (acceptances_.count(key) == 0) {
-      Acceptance acc;
-      acc.shard = pa->shard;
-      acc.epoch = pa->epoch;
-      acc.slot = pa->slot;
-      acc.txn = pa->txn;
-      acc.payload = pa->payload;
-      acc.vote = pa->vote;
-      Replica* leader = replica_of(from);
-      if (leader != nullptr) {
-        acc.leader_prefix.resize(pa->slot);
-        for (Slot k = 1; k <= pa->slot; ++k) {
-          const LogEntry* e = leader->log().find(k);
-          SnapshotEntry& snap = acc.leader_prefix[k - 1];
-          if (e != nullptr && e->filled()) {
-            snap.filled = true;
-            snap.txn = e->txn;
-            snap.vote = e->vote;
-            snap.payload = e->payload;
-          }
-        }
-      }
-      auto [it, _] = acceptances_.emplace(key, std::move(acc));
-      maybe_complete(it->second);  // zero-follower configurations
-    }
+    observe_prepare_ack(from, *pa);
+  } else if (const auto* pab = msg.as<PrepareAckBatch>()) {
+    for (const PrepareAck& item : pab->items) observe_prepare_ack(from, item);
   } else if (const auto* a = msg.as<Accept>()) {
-    // Inv 6: ACCEPTs for the same (epoch, slot) to a shard agree on
-    // transaction, payload and vote.
-    AcceptKey key{a->shard, a->epoch, a->slot};
-    auto it = accept_sent_.find(key);
-    if (it == accept_sent_.end()) {
-      accept_sent_.emplace(key, std::make_tuple(a->txn, a->payload, a->vote));
-    } else {
-      const auto& [t0, l0, d0] = it->second;
-      if (t0 != a->txn || !(l0 == a->payload) || d0 != a->vote) {
-        report("Invariant6", "conflicting ACCEPT(e=" + std::to_string(a->epoch) +
-                                 ",k=" + std::to_string(a->slot) + ") at s" +
-                                 std::to_string(a->shard));
-      }
-    }
-    // Inv 9: the same transaction maps to a single slot per epoch.
-    auto slot_it = accept_slot_.find({a->shard, a->epoch, a->txn});
-    if (slot_it == accept_slot_.end()) {
-      accept_slot_.emplace(std::make_tuple(a->shard, a->epoch, a->txn), a->slot);
-    } else if (slot_it->second != a->slot) {
-      report("Invariant9", "txn" + std::to_string(a->txn) + " accepted at slots " +
-                               std::to_string(slot_it->second) + " and " +
-                               std::to_string(a->slot) + " in epoch " +
-                               std::to_string(a->epoch));
-    }
+    observe_accept(*a);
+  } else if (const auto* ab = msg.as<AcceptBatch>()) {
+    for (const Accept& item : ab->items) observe_accept(item);
   } else if (const auto* aa = msg.as<AcceptAck>()) {
-    // Inv 3: no ACCEPT_ACK below an acknowledged PROBE epoch.
-    auto pit = probe_acked_.find(from);
-    if (pit != probe_acked_.end() && aa->epoch < pit->second) {
-      report("Invariant3", process_name(from) + " acked ACCEPT at epoch " +
-                               std::to_string(aa->epoch) + " after promising epoch " +
-                               std::to_string(pit->second));
-    }
-    AcceptKey key{aa->shard, aa->epoch, aa->slot};
-    auto it = acceptances_.find(key);
-    if (it != acceptances_.end() && it->second.txn == aa->txn) {
-      // Inv 1: the follower's prefix matches the leader snapshot.
-      Replica* follower = replica_of(from);
-      if (follower != nullptr) {
-        check_prefix_against_leader(*follower, it->second, "Invariant1");
-      }
-      it->second.acks.insert(from);
-      maybe_complete(it->second);
-    }
+    observe_accept_ack(from, *aa);
+  } else if (const auto* aab = msg.as<AcceptAckBatch>()) {
+    for (const AcceptAck& item : aab->items) observe_accept_ack(from, item);
   } else if (const auto* pr = msg.as<ProbeAck>()) {
     Epoch& e = probe_acked_[from];
     e = std::max(e, pr->epoch);

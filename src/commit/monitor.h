@@ -108,6 +108,10 @@ class Monitor : public sim::NetworkObserver {
 
   Replica* replica_of(ProcessId pid) const;
   ShardId shard_of(ProcessId pid) const;
+  /// Scalar observation bodies, shared by the scalar and batched wire forms.
+  void observe_prepare_ack(ProcessId from, const PrepareAck& pa);
+  void observe_accept(const Accept& a);
+  void observe_accept_ack(ProcessId from, const AcceptAck& aa);
   const configsvc::ShardConfig* config_of(ShardId shard, Epoch epoch) const;
   void maybe_complete(Acceptance& acc);
   void check_prefix_against_leader(const Replica& replica, const Acceptance& acc,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 
 #include "commit/monitor.h"
 #include "common/log.h"
@@ -95,7 +96,56 @@ void Replica::start_certification(TxnMeta meta, const tcs::Payload* full_payload
   }
 }
 
-void Replica::redrive_coordinations() {
+void Replica::certify_batch_local(
+    const std::vector<std::pair<TxnId, tcs::Payload>>& batch,
+    std::function<void(TxnId, tcs::Decision)> cb) {
+  if (batch.size() == 1) {
+    TxnId txn = batch.front().first;
+    certify_local(txn, batch.front().second,
+                  [cb, txn](Decision d) { cb(txn, d); });
+    return;
+  }
+  // Same per-transaction coordinator state as start_certification, but the
+  // PREPAREs of the whole batch are grouped into one message per shard
+  // leader (and one run of consecutive log appends there).
+  std::map<ShardId, PrepareBatch> per_shard;
+  for (const auto& [txn, payload] : batch) {
+    TxnMeta meta;
+    meta.txn = txn;
+    meta.participants = options_.shard_map->shards_of(payload);
+    meta.client = kNoProcess;
+    if (meta.participants.empty()) {
+      if (monitor_) monitor_->on_local_decision(txn, Decision::kCommit);
+      cb(txn, Decision::kCommit);
+      continue;
+    }
+    CoordState& c = coord_[txn];
+    if (c.decided) continue;
+    undecided_coords_.insert(txn);
+    c.meta = meta;
+    c.local_cb = [cb, txn](Decision d) { cb(txn, d); };
+    c.last_driven = sim().now();
+    for (ShardId s : meta.participants) {
+      Prepare p;
+      p.txn = txn;
+      p.has_payload = true;
+      p.payload = options_.shard_map->project(payload, s);
+      c.shard_payloads[s] = p.payload;
+      p.meta = meta;
+      per_shard[s].items.push_back(std::move(p));
+    }
+  }
+  for (auto& [s, pb] : per_shard) {
+    if (pb.items.size() == 1) {
+      // A lone prepare keeps the scalar vocabulary (and the scalar trace).
+      net_.send_msg(id(), view(s).leader, std::move(pb.items.front()));
+    } else {
+      net_.send_msg(id(), view(s).leader, std::move(pb));
+    }
+  }
+}
+
+void Replica::redrive_coordinations(const std::set<TxnId>& driven_this_tick) {
   // A PREPARE sent to a leader that crashed before certifying leaves no
   // prepared witness anywhere, so the line-70 retry path can never find it:
   // without this re-drive the transaction stays undecided forever (the
@@ -103,10 +153,16 @@ void Replica::redrive_coordinations() {
   // coordinator still holds the projections, so it re-sends the PREPAREs to
   // the *current* leaders; leaders that already certified the transaction
   // just re-send their stored result (lines 6-7), making this idempotent.
+  (void)driven_this_tick;  // only read by the assert below
   Time now = sim().now();
   for (TxnId txn : undecided_coords_) {
     CoordState& c = coord_.at(txn);
     if (now - c.last_driven < options_.retry_timeout) continue;
+    // A transaction the slot-retry pass just re-drove has last_driven == now
+    // and was skipped above; this pins that no coordination is driven twice
+    // within one timer tick.
+    assert(driven_this_tick.count(txn) == 0 &&
+           "coordination re-driven twice in one retry tick");
     c.last_driven = now;
     for (ShardId s : c.meta.participants) {
       Prepare p;
@@ -141,7 +197,7 @@ void Replica::handle_prepare(ProcessId from, const Prepare& m) {
   prepare_and_ack(from, m);
 }
 
-void Replica::prepare_and_ack(ProcessId coordinator, const Prepare& m) {
+PrepareAck Replica::prepare_txn(const Prepare& m) {
   Slot existing = log_.slot_of(m.txn);
   PrepareAck ack;
   ack.epoch = view(options_.shard).epoch;
@@ -167,38 +223,77 @@ void Replica::prepare_and_ack(ProcessId coordinator, const Prepare& m) {
     } else {
       e.vote = Decision::kAbort;     // line 15
       e.payload = tcs::empty_payload();  // line 16
-      if (monitor_) {
+      if (monitor_ || options_.check_certifier_index) {
         // Report the same witness sets a real vote computation would use:
         // constraint (10) of Fig. 6 pins T_s exactly even for abort votes.
-        Witnesses w = collect_witnesses(next_);
-        monitor_->on_vote_computed(options_.shard, view(options_.shard).epoch, next_,
-                                   m.txn, e.vote, e.payload, std::move(w.committed),
-                                   std::move(w.prepared));
+        // The vote itself is line 15's protocol constant, not an index
+        // computation, so only the sets are cross-checked against the flat
+        // scan (the flat vote over the empty payload trivially commits).
+        WitnessIndex::Witnesses w = index_.collect(log_, next_);
+        check_index_sets_against_flat(next_, w);
+        if (monitor_) {
+          monitor_->on_vote_computed(options_.shard, view(options_.shard).epoch,
+                                     next_, m.txn, e.vote, e.payload,
+                                     std::move(w.committed),
+                                     std::move(w.prepared));
+        }
       }
     }
     prepared_at_[next_] = sim().now();
+    // The slot's vote and payload are final for its prepared life: index it
+    // (no-op for abort votes, which never enter L2).
+    index_.on_prepared(log_, next_);
     ack.slot = next_;
     ack.payload = e.payload;
     ack.vote = e.vote;
     ack.meta = e.meta;
   }
+  return ack;
+}
+
+static Accept make_accept(const PrepareAck& ack, ProcessId coordinator) {
+  Accept acc;
+  acc.epoch = ack.epoch;
+  acc.shard = ack.shard;
+  acc.slot = ack.slot;
+  acc.txn = ack.txn;
+  acc.payload = ack.payload;
+  acc.vote = ack.vote;
+  acc.meta = ack.meta;
+  acc.coordinator = coordinator;
+  return acc;
+}
+
+void Replica::prepare_and_ack(ProcessId coordinator, const Prepare& m) {
+  PrepareAck ack = prepare_txn(m);
   net_.send_msg(id(), coordinator, ack);
   if (options_.leader_ships_accepts) {
     // Ablation: leader-driven replication — the leader fans the ACCEPT out
     // itself; followers acknowledge to the coordinator.
-    Accept acc;
-    acc.epoch = ack.epoch;
-    acc.shard = ack.shard;
-    acc.slot = ack.slot;
-    acc.txn = ack.txn;
-    acc.payload = ack.payload;
-    acc.vote = ack.vote;
-    acc.meta = ack.meta;
-    acc.coordinator = coordinator;
+    Accept acc = make_accept(ack, coordinator);
     for (ProcessId f : view(options_.shard).followers()) {
       net_.send_msg(id(), f, acc);
     }
   }
+}
+
+void Replica::handle_prepare_batch(ProcessId from, const PrepareBatch& m) {
+  if (status_ != Status::kLeader) return;  // line 5 pre, once for the batch
+  PrepareAckBatch acks;
+  acks.items.reserve(m.items.size());
+  std::map<ProcessId, AcceptBatch> ship;  // leader-driven ablation only
+  for (const Prepare& p : m.items) {
+    PrepareAck ack = prepare_txn(p);
+    if (options_.leader_ships_accepts) {
+      Accept acc = make_accept(ack, from);
+      for (ProcessId f : view(options_.shard).followers()) {
+        ship[f].items.push_back(acc);
+      }
+    }
+    acks.items.push_back(std::move(ack));
+  }
+  net_.send_msg(id(), from, std::move(acks));
+  for (auto& [f, batch] : ship) net_.send_msg(id(), f, std::move(batch));
 }
 
 Replica::Witnesses Replica::collect_witnesses(Slot slot) const {
@@ -220,10 +315,41 @@ Replica::Witnesses Replica::collect_witnesses(Slot slot) const {
   return w;
 }
 
+void Replica::check_index_against_flat(Slot slot, tcs::Decision indexed_vote,
+                                       const tcs::Payload& l,
+                                       const WitnessIndex::Witnesses& w) const {
+  if (!options_.check_certifier_index) return;
+  // Deliberately not assert(): the cross-check must fire in RelWithDebInfo
+  // sweeps too, not only in -UNDEBUG builds.
+  Witnesses flat = collect_witnesses(slot);
+  Decision flat_vote = options_.certifier->vote(flat.l1, flat.l2, l);
+  if (indexed_vote != flat_vote) {
+    RATC_ERROR(name() << " witness index vote diverged at slot " << slot << ": indexed="
+                      << tcs::to_string(indexed_vote) << " flat=" << tcs::to_string(flat_vote));
+    std::abort();
+  }
+  check_index_sets_against_flat(slot, w);
+}
+
+void Replica::check_index_sets_against_flat(
+    Slot slot, const WitnessIndex::Witnesses& w) const {
+  if (!options_.check_certifier_index) return;
+  Witnesses flat = collect_witnesses(slot);
+  if (flat.committed != w.committed || flat.prepared != w.prepared) {
+    RATC_ERROR(name() << " witness index T_s/P_s sets diverged at slot " << slot);
+    std::abort();
+  }
+}
+
 tcs::Decision Replica::compute_vote(Slot slot, const tcs::Payload& l) {
-  // Line 12: vote = f_s(L1, l) ⊓ g_s(L2, l).
-  Witnesses w = collect_witnesses(slot);
-  Decision vote = options_.certifier->vote(w.l1, w.l2, l);
+  // Line 12: vote = f_s(L1, l) ⊓ g_s(L2, l), through the witness index — a
+  // vote touches only payloads sharing an object with l instead of the whole
+  // log.  The voting slot itself is not indexed yet (on_prepared runs after
+  // the vote lands in the entry), so the index covers exactly slots < slot.
+  Decision vote = index_.vote(*options_.certifier, log_, l);
+  WitnessIndex::Witnesses w;
+  if (monitor_ || options_.check_certifier_index) w = index_.collect(log_, slot);
+  check_index_against_flat(slot, vote, l, w);
   if (monitor_) {
     monitor_->on_vote_computed(options_.shard, view(options_.shard).epoch, slot,
                                log_.find(slot)->txn, vote, l, std::move(w.committed),
@@ -232,12 +358,11 @@ tcs::Decision Replica::compute_vote(Slot slot, const tcs::Payload& l) {
   return vote;
 }
 
-void Replica::handle_prepare_ack(ProcessId from, const PrepareAck& m) {
-  (void)from;
+bool Replica::note_prepare_ack(const PrepareAck& m, Accept* accept) {
   // Line 19 pre: epoch[s] = e (the coordinator's view matches the ack).
-  if (view(m.shard).epoch != m.epoch) return;
+  if (view(m.shard).epoch != m.epoch) return false;
   auto it = coord_.find(m.txn);
-  if (it == coord_.end() || it->second.decided) return;
+  if (it == coord_.end() || it->second.decided) return false;
   CoordState& c = it->second;
   ShardProgress& pr = c.progress[m.shard];
   if (pr.have_prepare_ack && pr.epoch == m.epoch && pr.slot == m.slot) {
@@ -249,18 +374,24 @@ void Replica::handle_prepare_ack(ProcessId from, const PrepareAck& m) {
     pr.vote = m.vote;
     pr.follower_acks.clear();
   }
+  accept->epoch = m.epoch;
+  accept->shard = m.shard;
+  accept->slot = m.slot;
+  accept->txn = m.txn;
+  accept->payload = m.payload;
+  accept->vote = m.vote;
+  accept->meta = m.meta;
+  return true;
+}
+
+void Replica::handle_prepare_ack(ProcessId from, const PrepareAck& m) {
+  (void)from;
+  Accept acc;
+  if (!note_prepare_ack(m, &acc)) return;
   // Line 20: delegate replication to the coordinator — ship the leader's
   // result to the followers.  (Suppressed in the leader-driven ablation,
   // where the leader already fanned the ACCEPT out.)
   if (!options_.leader_ships_accepts) {
-    Accept acc;
-    acc.epoch = m.epoch;
-    acc.shard = m.shard;
-    acc.slot = m.slot;
-    acc.txn = m.txn;
-    acc.payload = m.payload;
-    acc.vote = m.vote;
-    acc.meta = m.meta;
     for (ProcessId f : view(m.shard).followers()) {
       net_.send_msg(id(), f, acc);
     }
@@ -268,11 +399,36 @@ void Replica::handle_prepare_ack(ProcessId from, const PrepareAck& m) {
   check_coordination(m.txn);  // zero-follower shards complete immediately
 }
 
-void Replica::handle_accept(ProcessId from, const Accept& m) {
+void Replica::handle_prepare_ack_batch(ProcessId from, const PrepareAckBatch& m) {
+  (void)from;
+  // One AcceptBatch per follower carries the whole batch's replication
+  // writes; the items all come from one leader, so the follower sets agree.
+  std::map<ProcessId, AcceptBatch> ship;
+  for (const PrepareAck& item : m.items) {
+    Accept acc;
+    if (!note_prepare_ack(item, &acc)) continue;
+    if (!options_.leader_ships_accepts) {
+      for (ProcessId f : view(item.shard).followers()) {
+        ship[f].items.push_back(acc);
+      }
+    }
+    check_coordination(item.txn);  // zero-follower shards complete immediately
+  }
+  for (auto& [f, batch] : ship) {
+    if (batch.items.size() == 1) {
+      net_.send_msg(id(), f, std::move(batch.items.front()));
+    } else {
+      net_.send_msg(id(), f, std::move(batch));
+    }
+  }
+}
+
+bool Replica::apply_accept(ProcessId from, const Accept& m, AcceptAck* ack,
+                           ProcessId* coordinator) {
   // Line 22 pre: status = follower ∧ epoch[s0] = e.  This guard is what the
   // RDMA variant loses (Sec. 5) — see rdma/replica.cc.
-  if (status_ != Status::kFollower) return;
-  if (view(options_.shard).epoch != m.epoch) return;
+  if (status_ != Status::kFollower) return false;
+  if (view(options_.shard).epoch != m.epoch) return false;
   LogEntry& e = log_.at(m.slot);
   if (e.phase == Phase::kStart) {
     // Line 24 (the paper writes `next`; the intended index is k).
@@ -282,12 +438,41 @@ void Replica::handle_accept(ProcessId from, const Accept& m) {
     e.phase = Phase::kPrepared;
     e.meta = m.meta;
     prepared_at_[m.slot] = sim().now();
+    index_.on_prepared(log_, m.slot);
   }
   // Line 25: acknowledge to the coordinator (which in the leader-driven
   // ablation is not the sender).
-  ProcessId coordinator = m.coordinator != kNoProcess ? m.coordinator : from;
-  net_.send_msg(id(), coordinator,
-                AcceptAck{options_.shard, m.epoch, m.slot, m.txn, m.vote});
+  *coordinator = m.coordinator != kNoProcess ? m.coordinator : from;
+  *ack = AcceptAck{options_.shard, m.epoch, m.slot, m.txn, m.vote};
+  return true;
+}
+
+void Replica::handle_accept(ProcessId from, const Accept& m) {
+  AcceptAck ack;
+  ProcessId coordinator = kNoProcess;
+  if (!apply_accept(from, m, &ack, &coordinator)) return;
+  net_.send_msg(id(), coordinator, ack);
+}
+
+void Replica::handle_accept_batch(ProcessId from, const AcceptBatch& m) {
+  std::map<ProcessId, AcceptAckBatch> replies;
+  for (const Accept& item : m.items) {
+    AcceptAck ack;
+    ProcessId coordinator = kNoProcess;
+    if (!apply_accept(from, item, &ack, &coordinator)) continue;
+    replies[coordinator].items.push_back(ack);
+  }
+  for (auto& [coordinator, batch] : replies) {
+    if (batch.items.size() == 1) {
+      net_.send_msg(id(), coordinator, std::move(batch.items.front()));
+    } else {
+      net_.send_msg(id(), coordinator, std::move(batch));
+    }
+  }
+}
+
+void Replica::handle_accept_ack_batch(ProcessId from, const AcceptAckBatch& m) {
+  for (const AcceptAck& item : m.items) handle_accept_ack(from, item);
 }
 
 void Replica::handle_accept_ack(ProcessId from, const AcceptAck& m) {
@@ -358,6 +543,7 @@ void Replica::handle_decision(ProcessId from, const DecisionMsg& m) {
   e.dec = m.decision;
   e.phase = Phase::kDecided;
   prepared_at_.erase(m.slot);
+  index_.on_decided(log_, m.slot);
 }
 
 // --- reconfiguration ----------------------------------------------------------
@@ -447,6 +633,16 @@ void Replica::handle_new_config(ProcessId from, const NewConfig& m) {
   v.leader = id();
   // Line 59.
   next_ = log_.max_filled();
+  // Leadership takeover: the log may hold entries this process never saw
+  // individually (earlier NEW_STATE transfers), so reindex wholesale and
+  // make sure every still-prepared slot has live retry bookkeeping.
+  index_.rebuild(log_);
+  for (Slot k = 1; k <= log_.size(); ++k) {
+    const LogEntry* e = log_.find(k);
+    if (e != nullptr && e->phase == Phase::kPrepared && prepared_at_.count(k) == 0) {
+      prepared_at_[k] = sim().now();
+    }
+  }
   if (monitor_) monitor_->on_epoch_installed(*this);
   // Line 60: transfer state to the followers.
   NewState ns;
@@ -471,7 +667,16 @@ void Replica::handle_new_state(ProcessId from, const NewState& m) {
   v.members = m.members;
   v.leader = from;
   log_ = m.log;
+  index_.rebuild(log_);
+  // Re-arm the retry bookkeeping for slots still prepared in the new epoch:
+  // clearing prepared_at_ wholesale here used to drop them from the line-70
+  // retry contract entirely — if their coordinator died mid-2PC, no replica
+  // ever re-drove them and they stayed undecided forever.
   prepared_at_.clear();
+  for (Slot k = 1; k <= log_.size(); ++k) {
+    const LogEntry* e = log_.find(k);
+    if (e != nullptr && e->phase == Phase::kPrepared) prepared_at_[k] = sim().now();
+  }
   if (monitor_) monitor_->on_epoch_installed(*this);
   RATC_DEBUG(name() << " follows " << process_name(from) << " in s" << options_.shard
                     << " at epoch " << m.epoch);
@@ -490,22 +695,41 @@ void Replica::handle_config_change(const configsvc::ConfigChange& m) {
 void Replica::arm_retry_timer() {
   if (options_.retry_timeout == 0) return;
   sim().schedule_for(id(), options_.retry_timeout, [this] {
-    Time now = sim().now();
-    std::vector<Slot> stale;
-    for (const auto& [slot, since] : prepared_at_) {
-      const LogEntry* e = log_.find(slot);
-      if (e != nullptr && e->phase == Phase::kPrepared &&
-          now - since >= options_.retry_timeout) {
-        stale.push_back(slot);
-      }
-    }
-    for (Slot k : stale) {
-      prepared_at_[k] = now;  // rate-limit further retries
-      retry(k);
-    }
-    redrive_coordinations();
+    run_retry_tick();
     arm_retry_timer();
   });
+}
+
+void Replica::run_retry_tick() {
+  Time now = sim().now();
+  // Pass 1 — collect.  retry() re-enters coordination state and the
+  // rate-limit updates of pass 2 write prepared_at_, so nothing may mutate
+  // the map while it is iterated.
+  std::vector<Slot> stale;
+  for (const auto& [slot, since] : prepared_at_) {
+    const LogEntry* e = log_.find(slot);
+    if (e != nullptr && e->phase == Phase::kPrepared &&
+        now - since >= options_.retry_timeout) {
+      stale.push_back(slot);
+    }
+  }
+  // Pass 2 — act.  Both passes run in the same synchronous event, so a
+  // collected slot cannot have left the prepared phase in between (nothing
+  // is silently skipped), and the driven set pins that no transaction is
+  // re-driven twice within the tick (a replica's log holds each transaction
+  // in at most one slot).
+  std::set<TxnId> driven;
+  for (Slot k : stale) {
+    prepared_at_[k] = now;  // rate-limit further retries
+    const LogEntry* e = log_.find(k);
+    assert(e != nullptr && e->phase == Phase::kPrepared &&
+           "stale slot silently skipped within one retry tick");
+    bool first = driven.insert(e->txn).second;
+    (void)first;
+    assert(first && "slot retry duplicated within one retry tick");
+    retry(k);
+  }
+  redrive_coordinations(driven);
 }
 
 // --- dispatch ----------------------------------------------------------------
@@ -521,12 +745,20 @@ void Replica::on_message(ProcessId from, const sim::AnyMessage& msg) {
     start_certification(std::move(meta), &m->payload, nullptr);
   } else if (const auto* p = msg.as<Prepare>()) {
     handle_prepare(from, *p);
+  } else if (const auto* pb = msg.as<PrepareBatch>()) {
+    handle_prepare_batch(from, *pb);
   } else if (const auto* pa = msg.as<PrepareAck>()) {
     handle_prepare_ack(from, *pa);
+  } else if (const auto* pab = msg.as<PrepareAckBatch>()) {
+    handle_prepare_ack_batch(from, *pab);
   } else if (const auto* a = msg.as<Accept>()) {
     handle_accept(from, *a);
+  } else if (const auto* ab = msg.as<AcceptBatch>()) {
+    handle_accept_batch(from, *ab);
   } else if (const auto* aa = msg.as<AcceptAck>()) {
     handle_accept_ack(from, *aa);
+  } else if (const auto* aab = msg.as<AcceptAckBatch>()) {
+    handle_accept_ack_batch(from, *aab);
   } else if (const auto* d = msg.as<DecisionMsg>()) {
     handle_decision(from, *d);
   } else if (const auto* pr = msg.as<Probe>()) {

@@ -17,10 +17,12 @@
 #include <functional>
 #include <map>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "commit/log.h"
 #include "commit/messages.h"
+#include "commit/witness_index.h"
 #include "configsvc/client.h"
 #include "configsvc/config.h"
 #include "fd/failure_detector.h"
@@ -87,6 +89,11 @@ class Replica : public sim::Process, private recon::StackHooks {
     /// delay faster, but concentrates the replication fan-out on the
     /// leader — the design trade-off Sec. 3 discusses.
     bool leader_ships_accepts = false;
+    /// Debug cross-check: recompute every vote with the flat L1/L2 log scan
+    /// and abort on any divergence from the witness index (decision or
+    /// witness sets).  Works in every build type, not just -DNDEBUG-less
+    /// ones; sweeps and the randomized suites turn it on.
+    bool check_certifier_index = false;
     Monitor* monitor = nullptr;
   };
 
@@ -109,6 +116,17 @@ class Replica : public sim::Process, private recon::StackHooks {
   /// coordinator").
   void certify_local(TxnId txn, const tcs::Payload& payload,
                      std::function<void(tcs::Decision)> cb);
+
+  /// Batched certify with this replica as coordinator of every item: the
+  /// batch is grouped into one PREPARE_BATCH per participant shard (one
+  /// message, one ordered run of log appends at the leader).  Decisions are
+  /// delivered per transaction through `cb`; the items' 2PC instances stay
+  /// independent (distributivity is what makes the grouping sound, not a
+  /// change to the decision rule).  A batch of one degenerates to
+  /// certify_local.
+  void certify_batch_local(
+      const std::vector<std::pair<TxnId, tcs::Payload>>& batch,
+      std::function<void(TxnId, tcs::Decision)> cb);
 
   // --- recovery API -------------------------------------------------------------
 
@@ -163,6 +181,13 @@ class Replica : public sim::Process, private recon::StackHooks {
   void handle_accept(ProcessId from, const Accept& m);              // line 21
   void handle_accept_ack(ProcessId from, const AcceptAck& m);       // line 26
   void handle_decision(ProcessId from, const DecisionMsg& m);       // line 30
+
+  // Batched variants: apply the items in order through the scalar logic,
+  // then coalesce the outbound messages (one ack batch per destination).
+  void handle_prepare_batch(ProcessId from, const PrepareBatch& m);
+  void handle_prepare_ack_batch(ProcessId from, const PrepareAckBatch& m);
+  void handle_accept_batch(ProcessId from, const AcceptBatch& m);
+  void handle_accept_ack_batch(ProcessId from, const AcceptAckBatch& m);
   void handle_probe(ProcessId from, const Probe& m);                // line 40
   void handle_new_config(ProcessId from, const NewConfig& m);       // line 56
   void handle_new_state(ProcessId from, const NewState& m);         // line 61
@@ -188,26 +213,62 @@ class Replica : public sim::Process, private recon::StackHooks {
   /// (lines 6-17).
   void prepare_and_ack(ProcessId coordinator, const Prepare& m);
 
+  /// Lines 6-17 without the sends: appends (or re-reads) the slot and
+  /// returns the ack to ship.  Shared by the scalar and batched paths.
+  PrepareAck prepare_txn(const Prepare& m);
+
+  /// Lines 19-20's bookkeeping without the sends: records the ack against
+  /// the coordination and fills *accept for replication.  Returns false if
+  /// the line-19 guard rejects the ack (stale epoch, unknown or decided
+  /// coordination).
+  bool note_prepare_ack(const PrepareAck& m, Accept* accept);
+
+  /// Lines 22-25 without the send: applies the ACCEPT and fills *ack plus
+  /// the coordinator it must go to.  Returns false if the line-22 guard
+  /// rejects it.
+  bool apply_accept(ProcessId from, const Accept& m, AcceptAck* ack,
+                    ProcessId* coordinator);
+
   struct Witnesses {
     std::vector<const tcs::Payload*> l1, l2;
     std::vector<TxnId> committed, prepared;
   };
-  /// The L1/L2 sets (and their transaction ids) for a vote at `slot`.
+  /// The L1/L2 sets (and their transaction ids) for a vote at `slot` by
+  /// flat log scan — kept as the reference implementation the witness index
+  /// is cross-checked against (Options::check_certifier_index).
   Witnesses collect_witnesses(Slot slot) const;
 
-  /// Computes the vote for the freshly appended slot (line 12), reporting
-  /// the witness sets to the monitor.
+  /// Computes the vote for the freshly appended slot (line 12) through the
+  /// witness index, reporting the witness sets to the monitor.
   tcs::Decision compute_vote(Slot slot, const tcs::Payload& l);
+
+  /// Aborts the process if the index's vote/witnesses for `slot` diverge
+  /// from the flat scan (no-op unless check_certifier_index).
+  void check_index_against_flat(Slot slot, tcs::Decision indexed_vote,
+                                const tcs::Payload& l,
+                                const WitnessIndex::Witnesses& w) const;
+
+  /// Sets-only variant for forced-abort slots (Fig. 1 line 15): the vote is
+  /// a protocol constant there, so only T_s/P_s are comparable to the flat
+  /// scan (no-op unless check_certifier_index).
+  void check_index_sets_against_flat(Slot slot,
+                                     const WitnessIndex::Witnesses& w) const;
 
   /// Line 26's standing "when" condition, evaluated after every relevant
   /// event for the given transaction.
   void check_coordination(TxnId txn);
 
   void arm_retry_timer();
+  /// One retry-timer firing: collect the stale prepared slots, then
+  /// rate-limit and re-drive each exactly once (line 70), then re-drive
+  /// undecided coordinations.  Collect-then-act so nothing mutates
+  /// prepared_at_ while it is being iterated.
+  void run_retry_tick();
   /// Re-sends PREPAREs of undecided coordinated transactions to the current
   /// leaders (see the definition for why the line-70 retry cannot cover
-  /// them).  Runs on the retry timer.
-  void redrive_coordinations();
+  /// them).  `driven_this_tick` holds the transactions the slot-retry pass
+  /// of the same tick already re-drove, to assert none is driven twice.
+  void redrive_coordinations(const std::set<TxnId>& driven_this_tick);
 
   Options options_;
   sim::Network& net_;
@@ -225,6 +286,9 @@ class Replica : public sim::Process, private recon::StackHooks {
   std::map<ShardId, configsvc::ShardConfig> views_;  // epoch/members/leader arrays
   ReplicaLog log_;
   Slot next_ = 0;
+  /// Object-indexed view of log_ (the certification hot path); maintained on
+  /// every prepare/decide, rebuilt on log replacement and leader takeover.
+  WitnessIndex index_;
 
   // Coordinator state.  Decided entries stay as slim tombstones (so a late
   // retry cannot re-coordinate); the index below keeps the re-drive scan

@@ -1,0 +1,134 @@
+#include "commit/witness_index.h"
+
+#include <algorithm>
+
+namespace ratc::commit {
+
+using tcs::Decision;
+
+void WitnessIndex::clear() {
+  committed_.clear();
+  prepared_.clear();
+  committed_writer_.clear();
+  prepared_readers_.clear();
+  prepared_writers_.clear();
+}
+
+void WitnessIndex::rebuild(const ReplicaLog& log) {
+  clear();
+  for (Slot k = 1; k <= log.size(); ++k) {
+    const LogEntry* e = log.find(k);
+    if (e == nullptr || !e->filled()) continue;
+    if (e->phase == Phase::kPrepared) {
+      on_prepared(log, k);
+    } else {
+      on_decided(log, k);
+    }
+  }
+}
+
+void WitnessIndex::index_prepared_objects(Slot k, const tcs::Payload& p) {
+  for (const auto& r : p.reads) prepared_readers_[r.object].insert(k);
+  for (const auto& w : p.writes) prepared_writers_[w.object].insert(k);
+}
+
+void WitnessIndex::unindex_prepared_objects(Slot k, const tcs::Payload& p) {
+  for (const auto& r : p.reads) {
+    auto it = prepared_readers_.find(r.object);
+    if (it == prepared_readers_.end()) continue;
+    it->second.erase(k);
+    if (it->second.empty()) prepared_readers_.erase(it);
+  }
+  for (const auto& w : p.writes) {
+    auto it = prepared_writers_.find(w.object);
+    if (it == prepared_writers_.end()) continue;
+    it->second.erase(k);
+    if (it->second.empty()) prepared_writers_.erase(it);
+  }
+}
+
+void WitnessIndex::index_committed_writer(Slot k, const tcs::Payload& p) {
+  for (const auto& w : p.writes) {
+    CommittedWriter& top = committed_writer_[w.object];
+    // Highest commit version wins; among equals, the later slot (any one of
+    // them decides the pairwise check identically — see header).
+    if (top.slot == kNoSlot || p.commit_version > top.version ||
+        (p.commit_version == top.version && k > top.slot)) {
+      top.version = p.commit_version;
+      top.slot = k;
+    }
+  }
+}
+
+void WitnessIndex::on_prepared(const ReplicaLog& log, Slot k) {
+  const LogEntry* e = log.find(k);
+  if (e == nullptr || e->phase != Phase::kPrepared) return;
+  if (e->vote != Decision::kCommit) return;  // only commit votes enter L2
+  if (!prepared_.emplace(k, e->txn).second) return;  // duplicate notification
+  index_prepared_objects(k, e->payload);
+}
+
+void WitnessIndex::on_decided(const ReplicaLog& log, Slot k) {
+  const LogEntry* e = log.find(k);
+  if (e == nullptr || e->phase != Phase::kDecided) return;
+  // Leave L2 regardless of the outcome.
+  if (prepared_.erase(k) > 0) unindex_prepared_objects(k, e->payload);
+  if (e->dec != Decision::kCommit) return;
+  if (!committed_.emplace(k, e->txn).second) return;  // duplicate notification
+  index_committed_writer(k, e->payload);
+}
+
+tcs::Decision WitnessIndex::vote(const tcs::Certifier& certifier, const ReplicaLog& log,
+                                 const tcs::Payload& l) const {
+  // f_s(L1, l): per object of l, only the highest-version committed writer
+  // can flip the monotone pairwise check.
+  std::set<Slot> committed_candidates;
+  auto add_committed = [&](ObjectId obj) {
+    auto it = committed_writer_.find(obj);
+    if (it != committed_writer_.end()) committed_candidates.insert(it->second.slot);
+  };
+  for (const auto& r : l.reads) add_committed(r.object);
+  for (const auto& w : l.writes) add_committed(w.object);
+  for (Slot k : committed_candidates) {
+    if (certifier.against_committed(log.find(k)->payload, l) == Decision::kAbort) {
+      return Decision::kAbort;
+    }
+  }
+  // g_s(L2, l): any prepared payload sharing an object with l.
+  std::set<Slot> prepared_candidates;
+  auto add_prepared = [&](ObjectId obj) {
+    auto rit = prepared_readers_.find(obj);
+    if (rit != prepared_readers_.end()) {
+      prepared_candidates.insert(rit->second.begin(), rit->second.end());
+    }
+    auto wit = prepared_writers_.find(obj);
+    if (wit != prepared_writers_.end()) {
+      prepared_candidates.insert(wit->second.begin(), wit->second.end());
+    }
+  };
+  for (const auto& r : l.reads) add_prepared(r.object);
+  for (const auto& w : l.writes) add_prepared(w.object);
+  for (Slot k : prepared_candidates) {
+    if (certifier.against_prepared(log.find(k)->payload, l) == Decision::kAbort) {
+      return Decision::kAbort;
+    }
+  }
+  return Decision::kCommit;
+}
+
+WitnessIndex::Witnesses WitnessIndex::collect(const ReplicaLog& log, Slot slot) const {
+  Witnesses w;
+  for (const auto& [k, txn] : committed_) {
+    if (k >= slot) break;
+    w.l1.push_back(&log.find(k)->payload);
+    w.committed.push_back(txn);
+  }
+  for (const auto& [k, txn] : prepared_) {
+    if (k >= slot) break;
+    w.l2.push_back(&log.find(k)->payload);
+    w.prepared.push_back(txn);
+  }
+  return w;
+}
+
+}  // namespace ratc::commit

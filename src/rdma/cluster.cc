@@ -90,6 +90,7 @@ Cluster::Cluster(Options options)
     ropt.probe_patience = options_.probe_patience;
     ropt.retry_timeout = options_.retry_timeout;
     ropt.ablate_flush = options_.ablate_flush;
+    ropt.check_certifier_index = options_.check_certifier_index;
     ropt.monitor = monitor_.get();
     ropt.placement_policy = options_.placement_policy;
     ropt.placement_context = [this](ShardId shard) {

@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "configsvc/simple_service.h"
@@ -38,6 +39,19 @@ class Client : public sim::Process {
     history_->record_certify(sim().now(), txn, payload);
     sent_[txn] = sim().now();
     coordinator.certify_local(txn, payload, [this, txn](tcs::Decision d) {
+      record_decision(txn, d);
+    });
+  }
+
+  /// Batched co-located submission (see commit::Client).
+  void certify_batch_colocated(
+      Replica& coordinator,
+      const std::vector<std::pair<TxnId, tcs::Payload>>& batch) {
+    for (const auto& [txn, payload] : batch) {
+      history_->record_certify(sim().now(), txn, payload);
+      sent_[txn] = sim().now();
+    }
+    coordinator.certify_batch_local(batch, [this](TxnId txn, tcs::Decision d) {
       record_decision(txn, d);
     });
   }
@@ -125,6 +139,9 @@ class Cluster {
     recon::PlacementPolicy* placement_policy = nullptr;
     /// Synthetic zone labels as in commit::Cluster::Options::num_zones.
     std::size_t num_zones = 0;
+    /// Debug cross-check of the witness index against the flat log scan
+    /// (see rdma::Replica::Options); aborts on divergence.
+    bool check_certifier_index = false;
   };
 
   explicit Cluster(Options options);

@@ -32,6 +32,16 @@ struct RAccept {
   }
 };
 
+/// One one-sided write carrying a whole batch's ACCEPTs for one follower
+/// (the batched certification path).  Semantically the items land in order
+/// as if written back-to-back; the NIC acknowledges once for the batch.
+/// Batches of one are never sent — the scalar RAccept is used instead.
+struct RAcceptBatch {
+  static constexpr const char* kName = "ACCEPT_BATCH";
+  std::vector<RAccept> items;
+  std::size_t wire_size() const { return commit::detail::batch_wire_size(items); }
+};
+
 /// DECISION written via send-rdma to shard members (Fig. 7 line 100).
 struct RDecision {
   static constexpr const char* kName = "DECISION";

@@ -144,19 +144,11 @@ class RdmaMonitor : public sim::NetworkObserver, public FabricObserver {
       }
       check_decision(d->txn, d->decision);
     } else if (const auto* a = msg.as<RAccept>()) {
-      AcceptKey key{a->shard, a->epoch, a->slot};
-      auto it = acceptances_.find(key);
-      if (it == acceptances_.end()) {
-        Acceptance acc;
-        acc.shard = a->shard;
-        acc.epoch = a->epoch;
-        acc.slot = a->slot;
-        acc.txn = a->txn;
-        acc.payload = a->payload;
-        acc.vote = a->vote;
-        it = acceptances_.emplace(key, std::move(acc)).first;
-        maybe_complete(it->second);  // zero-follower configurations
-      }
+      on_write_accept(*a);
+    } else if (const auto* ab = msg.as<RAcceptBatch>()) {
+      // A batched write is the back-to-back landing of its items: each is
+      // checked exactly as if it had been written alone.
+      for (const RAccept& item : ab->items) on_write_accept(item);
     }
   }
 
@@ -164,27 +156,10 @@ class RdmaMonitor : public sim::NetworkObserver, public FabricObserver {
                  const sim::AnyMessage& msg) override {
     (void)now;
     (void)from;
-    const auto* a = msg.as<RAccept>();
-    if (a == nullptr) return;
-    auto it = replicas_.find(to);
-    if (it == replicas_.end()) return;
-    Epoch receiver_epoch = it->second->epoch();
-    // Property (*): the landing epoch equals the epoch the leader prepared
-    // the transaction at.  Self-writes are synchronous local stores (the
-    // fabric lands them immediately), so the check applies to every
-    // landing — remote or local — without exemption.
-    if (receiver_epoch != a->epoch) {
-      report("Invariant13",
-             "ACCEPT for txn" + std::to_string(a->txn) + " prepared at epoch " +
-                 std::to_string(a->epoch) + " landed at " + process_name(to) +
-                 " in epoch " + std::to_string(receiver_epoch));
-    }
-    // Landing == the receiver's NIC acknowledged == the paper's "responded":
-    // track acceptance completion.
-    auto ait = acceptances_.find(AcceptKey{a->shard, a->epoch, a->slot});
-    if (ait != acceptances_.end() && ait->second.txn == a->txn) {
-      ait->second.acks.insert(to);
-      maybe_complete(ait->second);
+    if (const auto* a = msg.as<RAccept>()) {
+      on_landed_accept(to, *a);
+    } else if (const auto* ab = msg.as<RAcceptBatch>()) {
+      for (const RAccept& item : ab->items) on_landed_accept(to, item);
     }
   }
 
@@ -209,6 +184,45 @@ class RdmaMonitor : public sim::NetworkObserver, public FabricObserver {
     std::vector<TxnId> prepared_against;
   };
   using AcceptKey = std::tuple<ShardId, Epoch, Slot>;
+
+  void on_write_accept(const RAccept& a) {
+    AcceptKey key{a.shard, a.epoch, a.slot};
+    auto it = acceptances_.find(key);
+    if (it == acceptances_.end()) {
+      Acceptance acc;
+      acc.shard = a.shard;
+      acc.epoch = a.epoch;
+      acc.slot = a.slot;
+      acc.txn = a.txn;
+      acc.payload = a.payload;
+      acc.vote = a.vote;
+      it = acceptances_.emplace(key, std::move(acc)).first;
+      maybe_complete(it->second);  // zero-follower configurations
+    }
+  }
+
+  void on_landed_accept(ProcessId to, const RAccept& a) {
+    auto it = replicas_.find(to);
+    if (it == replicas_.end()) return;
+    Epoch receiver_epoch = it->second->epoch();
+    // Property (*): the landing epoch equals the epoch the leader prepared
+    // the transaction at.  Self-writes are synchronous local stores (the
+    // fabric lands them immediately), so the check applies to every
+    // landing — remote or local — without exemption.
+    if (receiver_epoch != a.epoch) {
+      report("Invariant13",
+             "ACCEPT for txn" + std::to_string(a.txn) + " prepared at epoch " +
+                 std::to_string(a.epoch) + " landed at " + process_name(to) +
+                 " in epoch " + std::to_string(receiver_epoch));
+    }
+    // Landing == the receiver's NIC acknowledged == the paper's "responded":
+    // track acceptance completion.
+    auto ait = acceptances_.find(AcceptKey{a.shard, a.epoch, a.slot});
+    if (ait != acceptances_.end() && ait->second.txn == a.txn) {
+      ait->second.acks.insert(to);
+      maybe_complete(ait->second);
+    }
+  }
 
   void maybe_complete(Acceptance& acc) {
     if (acc.complete) return;

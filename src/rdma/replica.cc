@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 
 #include "common/log.h"
 #include "ctrl/messages.h"
@@ -149,15 +150,65 @@ void Replica::start_certification(commit::TxnMeta meta, const tcs::Payload* full
   }
 }
 
-void Replica::redrive_coordinations() {
+void Replica::certify_batch_local(
+    const std::vector<std::pair<TxnId, tcs::Payload>>& batch,
+    std::function<void(TxnId, tcs::Decision)> cb) {
+  if (batch.size() == 1) {
+    TxnId txn = batch.front().first;
+    certify_local(txn, batch.front().second,
+                  [cb, txn](Decision d) { cb(txn, d); });
+    return;
+  }
+  // One PREPARE_BATCH per shard leader; per-transaction coordinator state
+  // identical to start_certification (see commit::Replica).
+  std::map<ShardId, commit::PrepareBatch> per_shard;
+  for (const auto& [txn, payload] : batch) {
+    commit::TxnMeta meta;
+    meta.txn = txn;
+    meta.participants = options_.shard_map->shards_of(payload);
+    meta.client = kNoProcess;
+    if (meta.participants.empty()) {
+      if (monitor_) monitor_->on_local_decision(txn, Decision::kCommit);
+      cb(txn, Decision::kCommit);
+      continue;
+    }
+    CoordState& c = coord_[txn];
+    if (c.decided) continue;
+    undecided_coords_.insert(txn);
+    c.meta = meta;
+    c.local_cb = [cb, txn](Decision d) { cb(txn, d); };
+    c.last_driven = sim().now();
+    for (ShardId s : meta.participants) {
+      commit::Prepare p;
+      p.txn = txn;
+      p.has_payload = true;
+      p.payload = options_.shard_map->project(payload, s);
+      c.shard_payloads[s] = p.payload;
+      p.meta = meta;
+      per_shard[s].items.push_back(std::move(p));
+    }
+  }
+  for (auto& [s, pb] : per_shard) {
+    if (pb.items.size() == 1) {
+      net_.send_msg(id(), leader_of(s), std::move(pb.items.front()));
+    } else {
+      net_.send_msg(id(), leader_of(s), std::move(pb));
+    }
+  }
+}
+
+void Replica::redrive_coordinations(const std::set<TxnId>& driven_this_tick) {
   // Same availability hole as the message-passing stack (see
   // commit::Replica::redrive_coordinations): a PREPARE that died with a
   // crashed leader leaves no prepared witness, so only its coordinator can
   // re-drive the transaction once reconfiguration installs a new leader.
+  (void)driven_this_tick;  // only read by the assert below
   Time now = sim().now();
   for (TxnId txn : undecided_coords_) {
     CoordState& c = coord_.at(txn);
     if (now - c.last_driven < options_.retry_timeout) continue;
+    assert(driven_this_tick.count(txn) == 0 &&
+           "coordination re-driven twice in one retry tick");
     c.last_driven = now;
     for (ShardId s : c.meta.participants) {
       commit::Prepare p;
@@ -188,7 +239,7 @@ void Replica::handle_prepare(ProcessId from, const commit::Prepare& m) {
   prepare_and_ack(from, m);
 }
 
-void Replica::prepare_and_ack(ProcessId coordinator, const commit::Prepare& m) {
+commit::PrepareAck Replica::prepare_txn(const commit::Prepare& m) {
   Slot existing = log_.slot_of(m.txn);
   commit::PrepareAck ack;
   ack.epoch = view_epoch(options_.shard);
@@ -214,63 +265,106 @@ void Replica::prepare_and_ack(ProcessId coordinator, const commit::Prepare& m) {
     } else {
       e.vote = Decision::kAbort;
       e.payload = tcs::empty_payload();
-      if (monitor_) {
+      if (monitor_ || options_.check_certifier_index) {
         // Report the abort's witness sets too: TCS-LL's (10) pins T_s even
-        // for abort votes (see commit/replica.cc).
-        std::vector<TxnId> t_set, p_set;
-        for (Slot k = 1; k < next_; ++k) {
-          const commit::LogEntry* prev = log_.find(k);
-          if (prev == nullptr || !prev->filled()) continue;
-          if (prev->phase == commit::Phase::kDecided && prev->dec == Decision::kCommit) {
-            t_set.push_back(prev->txn);
-          } else if (prev->phase == commit::Phase::kPrepared &&
-                     prev->vote == Decision::kCommit) {
-            p_set.push_back(prev->txn);
-          }
+        // for abort votes.  The vote is the protocol's forced abort, not an
+        // index computation, so only the sets are cross-checked (see
+        // commit/replica.cc).
+        commit::WitnessIndex::Witnesses w = index_.collect(log_, next_);
+        check_index_sets_against_flat(next_, w);
+        if (monitor_) {
+          monitor_->on_vote_computed(options_.shard, view_epoch(options_.shard),
+                                     next_, m.txn, e.vote, e.payload,
+                                     std::move(w.committed),
+                                     std::move(w.prepared));
         }
-        monitor_->on_vote_computed(options_.shard, view_epoch(options_.shard), next_,
-                                   m.txn, e.vote, e.payload, std::move(t_set),
-                                   std::move(p_set));
       }
     }
     prepared_at_[next_] = sim().now();
+    index_.on_prepared(log_, next_);
     ack.slot = next_;
     ack.payload = e.payload;
     ack.vote = e.vote;
     ack.meta = e.meta;
   }
-  net_.send_msg(id(), coordinator, ack);
+  return ack;
 }
 
-tcs::Decision Replica::compute_vote(Slot slot, const tcs::Payload& l) {
+void Replica::prepare_and_ack(ProcessId coordinator, const commit::Prepare& m) {
+  net_.send_msg(id(), coordinator, prepare_txn(m));
+}
+
+void Replica::handle_prepare_batch(ProcessId from, const commit::PrepareBatch& m) {
+  if (status_ != Status::kLeader) return;  // line 78 pre, once for the batch
+  commit::PrepareAckBatch acks;
+  acks.items.reserve(m.items.size());
+  for (const commit::Prepare& p : m.items) acks.items.push_back(prepare_txn(p));
+  net_.send_msg(id(), from, std::move(acks));
+}
+
+void Replica::check_index_against_flat(
+    Slot slot, tcs::Decision indexed_vote, const tcs::Payload& l,
+    const commit::WitnessIndex::Witnesses& w) const {
+  if (!options_.check_certifier_index) return;
   std::vector<const tcs::Payload*> l1, l2;
-  std::vector<TxnId> t_set, p_set;
   for (Slot k = 1; k < slot; ++k) {
     const commit::LogEntry* e = log_.find(k);
     if (e == nullptr || !e->filled()) continue;
     if (e->phase == commit::Phase::kDecided && e->dec == Decision::kCommit) {
       l1.push_back(&e->payload);
-      t_set.push_back(e->txn);
     } else if (e->phase == commit::Phase::kPrepared && e->vote == Decision::kCommit) {
       l2.push_back(&e->payload);
+    }
+  }
+  Decision flat_vote = options_.certifier->vote(l1, l2, l);
+  // Not assert(): must fire in RelWithDebInfo sweeps too.
+  if (indexed_vote != flat_vote) {
+    RATC_ERROR(name() << " witness index vote diverged at slot " << slot << ": indexed="
+                      << tcs::to_string(indexed_vote) << " flat=" << tcs::to_string(flat_vote));
+    std::abort();
+  }
+  check_index_sets_against_flat(slot, w);
+}
+
+void Replica::check_index_sets_against_flat(
+    Slot slot, const commit::WitnessIndex::Witnesses& w) const {
+  if (!options_.check_certifier_index) return;
+  std::vector<TxnId> t_set, p_set;
+  for (Slot k = 1; k < slot; ++k) {
+    const commit::LogEntry* e = log_.find(k);
+    if (e == nullptr || !e->filled()) continue;
+    if (e->phase == commit::Phase::kDecided && e->dec == Decision::kCommit) {
+      t_set.push_back(e->txn);
+    } else if (e->phase == commit::Phase::kPrepared && e->vote == Decision::kCommit) {
       p_set.push_back(e->txn);
     }
   }
-  Decision vote = options_.certifier->vote(l1, l2, l);  // line 85
+  if (t_set != w.committed || p_set != w.prepared) {
+    RATC_ERROR(name() << " witness index T_s/P_s sets diverged at slot " << slot);
+    std::abort();
+  }
+}
+
+tcs::Decision Replica::compute_vote(Slot slot, const tcs::Payload& l) {
+  // Line 85 through the witness index (see commit::Replica::compute_vote).
+  Decision vote = index_.vote(*options_.certifier, log_, l);
+  commit::WitnessIndex::Witnesses w;
+  if (monitor_ || options_.check_certifier_index) w = index_.collect(log_, slot);
+  check_index_against_flat(slot, vote, l, w);
   if (monitor_) {
     monitor_->on_vote_computed(options_.shard, view_epoch(options_.shard), slot,
-                               log_.find(slot)->txn, vote, l, std::move(t_set),
-                               std::move(p_set));
+                               log_.find(slot)->txn, vote, l, std::move(w.committed),
+                               std::move(w.prepared));
   }
   return vote;
 }
 
-void Replica::handle_prepare_ack(const commit::PrepareAck& m) {
+bool Replica::note_prepare_ack(const commit::PrepareAck& m, RAccept* accept) {
   // Line 92 pre: e = epoch (the coordinator's current epoch; per-shard view
   // in the unsafe variant).
-  if (view_epoch(m.shard) != m.epoch) return;
+  if (view_epoch(m.shard) != m.epoch) return false;
   auto it = coord_.find(m.txn);
-  if (it == coord_.end() || it->second.decided) return;
+  if (it == coord_.end() || it->second.decided) return false;
   CoordState& c = it->second;
   ShardProgress& pr = c.progress[m.shard];
   if (!(pr.have_prepare_ack && pr.epoch == m.epoch && pr.slot == m.slot)) {
@@ -280,37 +374,68 @@ void Replica::handle_prepare_ack(const commit::PrepareAck& m) {
     pr.vote = m.vote;
     pr.acked.clear();
   }
-  // Line 93: one-sided writes to the followers.
+  accept->epoch = m.epoch;
+  accept->shard = m.shard;
+  accept->slot = m.slot;
+  accept->txn = m.txn;
+  accept->payload = m.payload;
+  accept->vote = m.vote;
+  accept->meta = m.meta;
+  return true;
+}
+
+void Replica::handle_prepare_ack(const commit::PrepareAck& m) {
   RAccept acc;
-  acc.epoch = m.epoch;
-  acc.shard = m.shard;
-  acc.slot = m.slot;
-  acc.txn = m.txn;
-  acc.payload = m.payload;
-  acc.vote = m.vote;
-  acc.meta = m.meta;
-  std::vector<ProcessId> followers;
-  for (ProcessId p : members_of(m.shard)) {
-    if (p != leader_of(m.shard)) followers.push_back(p);
-  }
-  for (ProcessId f : followers) {
+  if (!note_prepare_ack(m, &acc)) return;
+  // Line 93: one-sided writes to the followers.
+  for (ProcessId f : members_of(m.shard)) {
+    if (f == leader_of(m.shard)) continue;
     std::uint64_t token = fabric_.send_rdma(id(), f, sim::AnyMessage(acc));
-    write_tokens_[token] = {m.txn, m.shard, f};
+    write_tokens_[token] = {{m.txn, m.shard, f}};
   }
   check_coordination(m.txn);
+}
+
+void Replica::handle_prepare_ack_batch(const commit::PrepareAckBatch& m) {
+  // One batched one-sided write per follower carries the whole batch's
+  // ACCEPTs; its single NIC ack fans out to every item (write_tokens_).
+  std::map<ProcessId, RAcceptBatch> ship;
+  for (const commit::PrepareAck& item : m.items) {
+    RAccept acc;
+    if (!note_prepare_ack(item, &acc)) continue;
+    for (ProcessId f : members_of(item.shard)) {
+      if (f == leader_of(item.shard)) continue;
+      ship[f].items.push_back(acc);
+    }
+    check_coordination(item.txn);  // zero-follower shards complete immediately
+  }
+  for (auto& [f, batch] : ship) {
+    std::vector<std::tuple<TxnId, ShardId, ProcessId>> entries;
+    entries.reserve(batch.items.size());
+    for (const RAccept& a : batch.items) entries.emplace_back(a.txn, a.shard, f);
+    std::uint64_t token;
+    if (batch.items.size() == 1) {
+      token = fabric_.send_rdma(id(), f, sim::AnyMessage(batch.items.front()));
+    } else {
+      token = fabric_.send_rdma(id(), f, sim::AnyMessage(std::move(batch)));
+    }
+    write_tokens_[token] = std::move(entries);
+  }
 }
 
 void Replica::handle_rdma_ack(const RdmaAck& ack) {
   auto it = write_tokens_.find(ack.token);
   if (it == write_tokens_.end()) return;  // a DECISION write; nothing to track
-  auto [txn, s, follower] = it->second;
+  std::vector<std::tuple<TxnId, ShardId, ProcessId>> entries = std::move(it->second);
   write_tokens_.erase(it);
-  auto cit = coord_.find(txn);
-  if (cit == coord_.end() || cit->second.decided) return;
-  auto pit = cit->second.progress.find(s);
-  if (pit == cit->second.progress.end()) return;
-  pit->second.acked.insert(follower);
-  check_coordination(txn);
+  for (const auto& [txn, s, follower] : entries) {
+    auto cit = coord_.find(txn);
+    if (cit == coord_.end() || cit->second.decided) continue;
+    auto pit = cit->second.progress.find(s);
+    if (pit == cit->second.progress.end()) continue;
+    pit->second.acked.insert(follower);
+    check_coordination(txn);
+  }
 }
 
 void Replica::check_coordination(TxnId txn) {
@@ -360,24 +485,37 @@ void Replica::check_coordination(TxnId txn) {
   undecided_coords_.erase(txn);
 }
 
+void Replica::apply_raccept(const RAccept& a) {
+  // Line 95: no guard — the write already landed; the CPU just records it.
+  commit::LogEntry& e = log_.at(a.slot);
+  e.txn = a.txn;
+  e.payload = a.payload;
+  e.vote = a.vote;
+  e.phase = commit::Phase::kPrepared;
+  e.meta = a.meta;
+  prepared_at_[a.slot] = sim().now();
+  index_.on_prepared(log_, a.slot);
+}
+
+void Replica::apply_rdecision(const RDecision& d) {
+  // Line 102.
+  commit::LogEntry& e = log_.at(d.slot);
+  if (e.phase == commit::Phase::kStart) e.txn = d.txn;
+  e.dec = d.decision;
+  e.phase = commit::Phase::kDecided;
+  prepared_at_.erase(d.slot);
+  index_.on_decided(log_, d.slot);
+}
+
 void Replica::deliver_rdma(ProcessId from, const sim::AnyMessage& msg) {
   (void)from;
   if (const auto* a = msg.as<RAccept>()) {
-    // Line 95: no guard — the write already landed; the CPU just records it.
-    commit::LogEntry& e = log_.at(a->slot);
-    e.txn = a->txn;
-    e.payload = a->payload;
-    e.vote = a->vote;
-    e.phase = commit::Phase::kPrepared;
-    e.meta = a->meta;
-    prepared_at_[a->slot] = sim().now();
+    apply_raccept(*a);
+  } else if (const auto* ab = msg.as<RAcceptBatch>()) {
+    // The batched write lands its items back-to-back, in order.
+    for (const RAccept& item : ab->items) apply_raccept(item);
   } else if (const auto* d = msg.as<RDecision>()) {
-    // Line 102.
-    commit::LogEntry& e = log_.at(d->slot);
-    if (e.phase == commit::Phase::kStart) e.txn = d->txn;
-    e.dec = d->decision;
-    e.phase = commit::Phase::kDecided;
-    prepared_at_.erase(d->slot);
+    apply_rdecision(*d);
   }
 }
 
@@ -561,6 +699,16 @@ void Replica::handle_new_config(const RNewConfig& m) {
   new_epoch_ = m.epoch;
   config_ = pending_config_;
   next_ = log_.max_filled();  // line 145
+  // Leadership takeover: reindex the (possibly transferred) log and make
+  // sure every still-prepared slot has live retry bookkeeping.
+  index_.rebuild(log_);
+  for (Slot k = 1; k <= log_.size(); ++k) {
+    const commit::LogEntry* e = log_.find(k);
+    if (e != nullptr && e->phase == commit::Phase::kPrepared &&
+        prepared_at_.count(k) == 0) {
+      prepared_at_[k] = sim().now();
+    }
+  }
   RNewState ns;
   ns.epoch = epoch_;
   ns.log = log_;
@@ -582,7 +730,18 @@ void Replica::handle_new_state(ProcessId from, const RNewState& m) {
   initialized_ = true;
   config_ = pending_config_;
   log_ = m.log;
+  index_.rebuild(log_);
+  // Re-arm retry bookkeeping for slots still prepared in the new epoch
+  // instead of clearing it wholesale — dropping them orphaned the line-168
+  // retry for transactions whose coordinator died mid-2PC (see
+  // commit::Replica::handle_new_state).
   prepared_at_.clear();
+  for (Slot k = 1; k <= log_.size(); ++k) {
+    const commit::LogEntry* e = log_.find(k);
+    if (e != nullptr && e->phase == commit::Phase::kPrepared) {
+      prepared_at_[k] = sim().now();
+    }
+  }
   // Line 153 sends CONNECT only to other shards' members; we connect to all
   // members so same-shard followers can serve as coordinators for each
   // other too (see DESIGN.md Sec. 2).
@@ -640,6 +799,14 @@ void Replica::handle_new_config_unsafe(const commit::NewConfig& m) {
   v.members = m.members;
   v.leader = id();
   next_ = log_.max_filled();
+  index_.rebuild(log_);
+  for (Slot k = 1; k <= log_.size(); ++k) {
+    const commit::LogEntry* e = log_.find(k);
+    if (e != nullptr && e->phase == commit::Phase::kPrepared &&
+        prepared_at_.count(k) == 0) {
+      prepared_at_[k] = sim().now();
+    }
+  }
   commit::NewState ns;
   ns.epoch = m.epoch;
   ns.members = m.members;
@@ -659,7 +826,16 @@ void Replica::handle_new_state_unsafe(ProcessId from, const commit::NewState& m)
   v.members = m.members;
   v.leader = from;
   log_ = m.log;
+  index_.rebuild(log_);
+  // Same re-arm as the safe mode's handle_new_state: surviving prepared
+  // slots keep their retry bookkeeping.
   prepared_at_.clear();
+  for (Slot k = 1; k <= log_.size(); ++k) {
+    const commit::LogEntry* e = log_.find(k);
+    if (e != nullptr && e->phase == commit::Phase::kPrepared) {
+      prepared_at_[k] = sim().now();
+    }
+  }
 }
 
 void Replica::handle_config_change(const configsvc::ConfigChange& m) {
@@ -674,22 +850,36 @@ void Replica::handle_config_change(const configsvc::ConfigChange& m) {
 void Replica::arm_retry_timer() {
   if (options_.retry_timeout == 0) return;
   sim().schedule_for(id(), options_.retry_timeout, [this] {
-    Time now = sim().now();
-    std::vector<Slot> stale;
-    for (const auto& [slot, since] : prepared_at_) {
-      const commit::LogEntry* e = log_.find(slot);
-      if (e != nullptr && e->phase == commit::Phase::kPrepared &&
-          now - since >= options_.retry_timeout) {
-        stale.push_back(slot);
-      }
-    }
-    for (Slot k : stale) {
-      prepared_at_[k] = now;
-      retry(k);
-    }
-    redrive_coordinations();
+    run_retry_tick();
     arm_retry_timer();
   });
+}
+
+void Replica::run_retry_tick() {
+  // Collect-then-act, mirroring commit::Replica::run_retry_tick: pass 1
+  // iterates prepared_at_, pass 2 mutates it (rate-limit stamps) and
+  // re-enters coordination state via retry().
+  Time now = sim().now();
+  std::vector<Slot> stale;
+  for (const auto& [slot, since] : prepared_at_) {
+    const commit::LogEntry* e = log_.find(slot);
+    if (e != nullptr && e->phase == commit::Phase::kPrepared &&
+        now - since >= options_.retry_timeout) {
+      stale.push_back(slot);
+    }
+  }
+  std::set<TxnId> driven;
+  for (Slot k : stale) {
+    prepared_at_[k] = now;  // rate-limit further retries
+    const commit::LogEntry* e = log_.find(k);
+    assert(e != nullptr && e->phase == commit::Phase::kPrepared &&
+           "stale slot silently skipped within one retry tick");
+    bool first = driven.insert(e->txn).second;
+    (void)first;
+    assert(first && "slot retry duplicated within one retry tick");
+    retry(k);
+  }
+  redrive_coordinations(driven);
 }
 
 void Replica::on_message(ProcessId from, const sim::AnyMessage& msg) {
@@ -705,8 +895,12 @@ void Replica::on_message(ProcessId from, const sim::AnyMessage& msg) {
     start_certification(std::move(meta), &c->payload, nullptr);
   } else if (const auto* p = msg.as<commit::Prepare>()) {
     handle_prepare(from, *p);
+  } else if (const auto* pb = msg.as<commit::PrepareBatch>()) {
+    handle_prepare_batch(from, *pb);
   } else if (const auto* pa = msg.as<commit::PrepareAck>()) {
     handle_prepare_ack(*pa);
+  } else if (const auto* pab = msg.as<commit::PrepareAckBatch>()) {
+    handle_prepare_ack_batch(*pab);
   } else if (const auto* pr = msg.as<commit::Probe>()) {
     handle_probe(from, *pr);
   } else if (const auto* pra = msg.as<commit::ProbeAck>()) {

@@ -21,10 +21,12 @@
 #include <functional>
 #include <map>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "commit/log.h"
 #include "commit/messages.h"
+#include "commit/witness_index.h"
 #include "configsvc/client.h"
 #include "configsvc/config.h"
 #include "fd/failure_detector.h"
@@ -74,6 +76,9 @@ class Replica : public sim::Process, private recon::StackHooks {
     /// state transfer even though coordinators may have externalized
     /// decisions based on those acknowledgements.
     bool ablate_flush = false;
+    /// Debug cross-check: recompute every vote with the flat L1/L2 log scan
+    /// and abort on divergence from the witness index (see commit::Replica).
+    bool check_certifier_index = false;
     RdmaMonitor* monitor = nullptr;
   };
 
@@ -87,6 +92,13 @@ class Replica : public sim::Process, private recon::StackHooks {
 
   void certify_local(TxnId txn, const tcs::Payload& payload,
                      std::function<void(tcs::Decision)> cb);
+
+  /// Batched certify with this replica as coordinator of every item (see
+  /// commit::Replica::certify_batch_local): one PREPARE_BATCH per shard
+  /// leader, one batched one-sided ACCEPT write per follower.
+  void certify_batch_local(
+      const std::vector<std::pair<TxnId, tcs::Payload>>& batch,
+      std::function<void(TxnId, tcs::Decision)> cb);
 
   /// Global reconfiguration (safe mode, Fig. 8 line 103).
   void reconfigure();
@@ -133,9 +145,28 @@ class Replica : public sim::Process, private recon::StackHooks {
                            std::function<void(tcs::Decision)> local_cb);
   void handle_prepare(ProcessId from, const commit::Prepare& m);
   void prepare_and_ack(ProcessId coordinator, const commit::Prepare& m);
+  void handle_prepare_batch(ProcessId from, const commit::PrepareBatch& m);
+  /// Fig. 7 lines 78-90 without the send; shared by the scalar and batched
+  /// paths.
+  commit::PrepareAck prepare_txn(const commit::Prepare& m);
   tcs::Decision compute_vote(Slot slot, const tcs::Payload& l);
+  /// Aborts on divergence between the witness index and the flat scan
+  /// (no-op unless check_certifier_index).
+  void check_index_against_flat(Slot slot, tcs::Decision indexed_vote,
+                                const tcs::Payload& l,
+                                const commit::WitnessIndex::Witnesses& w) const;
+  /// Sets-only variant for forced-abort slots, where the vote is a protocol
+  /// constant rather than an index computation.
+  void check_index_sets_against_flat(
+      Slot slot, const commit::WitnessIndex::Witnesses& w) const;
   void handle_prepare_ack(const commit::PrepareAck& m);
+  void handle_prepare_ack_batch(const commit::PrepareAckBatch& m);
+  /// Line 92's bookkeeping without the one-sided writes: records the ack
+  /// and fills *accept; false if the guard rejects it.
+  bool note_prepare_ack(const commit::PrepareAck& m, RAccept* accept);
   void deliver_rdma(ProcessId from, const sim::AnyMessage& msg);
+  void apply_raccept(const RAccept& a);    // line 95
+  void apply_rdecision(const RDecision& d);  // line 102
   void handle_rdma_ack(const RdmaAck& ack);
   void check_coordination(TxnId txn);
 
@@ -161,9 +192,12 @@ class Replica : public sim::Process, private recon::StackHooks {
   void handle_config_change(const configsvc::ConfigChange& m);
 
   void arm_retry_timer();
+  /// One retry-timer firing, collect-then-act (see commit::Replica).
+  void run_retry_tick();
   /// Re-sends PREPAREs of undecided coordinated transactions to the current
-  /// leaders; runs on the retry timer.
-  void redrive_coordinations();
+  /// leaders; runs on the retry timer.  `driven_this_tick` asserts no
+  /// transaction is re-driven twice within one tick.
+  void redrive_coordinations(const std::set<TxnId>& driven_this_tick);
   Epoch view_epoch(ShardId s) const;
 
   // recon::StackHooks.
@@ -199,6 +233,9 @@ class Replica : public sim::Process, private recon::StackHooks {
   std::map<ShardId, configsvc::ShardConfig> views_;
   commit::ReplicaLog log_;
   Slot next_ = 0;
+  /// Object-indexed view of log_ (see commit::WitnessIndex); rebuilt on log
+  /// replacement and leadership takeover.
+  commit::WitnessIndex index_;
   std::set<ProcessId> connections_;
 
   // Reconfigurer: the probe/descend/CAS core is engine_; what remains here
@@ -212,8 +249,11 @@ class Replica : public sim::Process, private recon::StackHooks {
   // index bounds the re-drive scan (see commit::Replica).
   std::map<TxnId, CoordState> coord_;
   std::set<TxnId> undecided_coords_;
-  /// RDMA write tokens -> (txn, shard, follower) for ack matching.
-  std::map<std::uint64_t, std::tuple<TxnId, ShardId, ProcessId>> write_tokens_;
+  /// RDMA write tokens -> (txn, shard, follower) per batched item, for ack
+  /// matching (scalar writes hold one entry; a batched write's single NIC
+  /// ack fans out to every item it carried).
+  std::map<std::uint64_t, std::vector<std::tuple<TxnId, ShardId, ProcessId>>>
+      write_tokens_;
 
   std::map<Slot, Time> prepared_at_;
 };

@@ -3,6 +3,9 @@
 #pragma once
 
 #include <functional>
+#include <map>
+#include <utility>
+#include <vector>
 
 #include "baseline/cluster.h"
 #include "commit/cluster.h"
@@ -28,6 +31,15 @@ class CommitFrontend : public TcsFrontend {
     commit::Replica* coord = pick_coordinator();
     if (coord == nullptr) return;  // no live coordinator: stays undecided
     client_.certify_colocated(*coord, txn, payload);
+  }
+
+  /// One coordinator drives the whole batch: one PREPARE_BATCH per shard
+  /// leader instead of one PREPARE per transaction each.
+  void submit_batch(
+      const std::vector<std::pair<TxnId, tcs::Payload>>& batch) override {
+    commit::Replica* coord = pick_coordinator();
+    if (coord == nullptr) return;
+    client_.certify_batch_colocated(*coord, batch);
   }
 
  private:
@@ -69,6 +81,13 @@ class RdmaFrontend : public TcsFrontend {
     client_.certify_colocated(*coord, txn, payload);
   }
 
+  void submit_batch(
+      const std::vector<std::pair<TxnId, tcs::Payload>>& batch) override {
+    rdma::Replica* coord = pick_coordinator();
+    if (coord == nullptr) return;
+    client_.certify_batch_colocated(*coord, batch);
+  }
+
  private:
   rdma::Replica* pick_coordinator() {
     for (std::uint32_t attempts = 0; attempts < 4 * shard_count(); ++attempts) {
@@ -108,6 +127,21 @@ class BaselineFrontend : public TcsFrontend {
 
   void submit(TxnId txn, const tcs::Payload& payload) override {
     client_.certify(cluster_.coordinator_for(payload), txn, payload);
+  }
+
+  /// The baseline routes each transaction to the leader of its first
+  /// participant shard, so a batch is re-grouped by coordinator; each group
+  /// becomes one B_CERTIFY_BATCH and (per participant shard) one Paxos
+  /// append.
+  void submit_batch(
+      const std::vector<std::pair<TxnId, tcs::Payload>>& batch) override {
+    std::map<ProcessId, std::vector<std::pair<TxnId, tcs::Payload>>> groups;
+    for (const auto& item : batch) {
+      groups[cluster_.coordinator_for(item.second)].push_back(item);
+    }
+    for (auto& [coordinator, group] : groups) {
+      client_.certify_batch(coordinator, group);
+    }
   }
 
  private:

@@ -1,6 +1,7 @@
 #include "store/stack_harness.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "checker/linearization.h"
 
@@ -43,6 +44,26 @@ bool submit_colocated(ClusterT& cluster, ClientT& client, Rng& rng,
     return true;
   }
   return false;  // no live coordinator: the transaction stays undecided
+}
+
+/// Batched variant of submit_colocated: the same seeded coordinator pick,
+/// but the whole batch rides one certify_batch_colocated call.
+template <typename ClusterT, typename ClientT>
+bool submit_batch_colocated(
+    ClusterT& cluster, ClientT& client, Rng& rng, std::uint32_t num_shards,
+    const std::vector<std::pair<TxnId, tcs::Payload>>& batch) {
+  for (int attempts = 0; attempts < 20; ++attempts) {
+    ShardId s = static_cast<ShardId>(rng.below(num_shards));
+    configsvc::ShardConfig cfg = cluster.current_config(s);
+    if (cfg.members.empty()) continue;
+    ProcessId pid = cfg.members[rng.below(cfg.members.size())];
+    if (cluster.sim().crashed(pid)) continue;
+    auto& r = cluster.replica_by_pid(pid);
+    if (r.epoch() != cfg.epoch) continue;
+    client.certify_batch_colocated(r, batch);
+    return true;
+  }
+  return false;
 }
 
 template <typename ClusterT>
@@ -88,7 +109,8 @@ CommitHarness::CommitHarness(std::uint64_t seed, const StackWorkload& w)
                 .enable_controller = w.autonomous_controller,
                 .controller_tuning = w.controller,
                 .placement_policy = select_placement(w, &zone_policy_),
-                .num_zones = w.num_zones}),
+                .num_zones = w.num_zones,
+                .check_certifier_index = w.check_certifier_index}),
       client_(&cluster_.add_client()) {}
 
 void CommitHarness::install_fault_injector(sim::FaultInjector* fi) {
@@ -101,6 +123,11 @@ void CommitHarness::set_on_decision(std::function<void(TxnId, tcs::Decision)> fn
 
 bool CommitHarness::submit(Rng& rng, TxnId txn, const tcs::Payload& payload) {
   return submit_colocated(cluster_, *client_, rng, w_.num_shards, txn, payload);
+}
+
+bool CommitHarness::submit_batch(
+    Rng& rng, const std::vector<std::pair<TxnId, tcs::Payload>>& batch) {
+  return submit_batch_colocated(cluster_, *client_, rng, w_.num_shards, batch);
 }
 
 std::vector<ProcessId> CommitHarness::alive_members(ShardId s) {
@@ -172,7 +199,8 @@ RdmaHarness::RdmaHarness(std::uint64_t seed, const StackWorkload& w)
                 .enable_controller = w.autonomous_controller,
                 .controller_tuning = w.controller,
                 .placement_policy = select_placement(w, &zone_policy_),
-                .num_zones = w.num_zones}),
+                .num_zones = w.num_zones,
+                .check_certifier_index = w.check_certifier_index}),
       client_(&cluster_.add_client()) {}
 
 void RdmaHarness::install_fault_injector(sim::FaultInjector* fi) {
@@ -186,6 +214,11 @@ void RdmaHarness::set_on_decision(std::function<void(TxnId, tcs::Decision)> fn) 
 
 bool RdmaHarness::submit(Rng& rng, TxnId txn, const tcs::Payload& payload) {
   return submit_colocated(cluster_, *client_, rng, w_.num_shards, txn, payload);
+}
+
+bool RdmaHarness::submit_batch(
+    Rng& rng, const std::vector<std::pair<TxnId, tcs::Payload>>& batch) {
+  return submit_batch_colocated(cluster_, *client_, rng, w_.num_shards, batch);
 }
 
 std::vector<ProcessId> RdmaHarness::alive_members(ShardId s) {
@@ -265,6 +298,22 @@ bool BaselineHarness::submit(Rng& rng, TxnId txn, const tcs::Payload& payload) {
   if (cluster_.sim().crashed(coordinator)) return false;
   client_->certify(coordinator, txn, payload);
   return true;
+}
+
+bool BaselineHarness::submit_batch(
+    Rng& rng, const std::vector<std::pair<TxnId, tcs::Payload>>& batch) {
+  (void)rng;
+  std::map<ProcessId, std::vector<std::pair<TxnId, tcs::Payload>>> groups;
+  for (const auto& item : batch) {
+    groups[cluster_.coordinator_for(item.second)].push_back(item);
+  }
+  bool any = false;
+  for (auto& [coordinator, group] : groups) {
+    if (cluster_.sim().crashed(coordinator)) continue;
+    client_->certify_batch(coordinator, group);
+    any = true;
+  }
+  return any;
 }
 
 std::vector<ProcessId> BaselineHarness::alive_servers(ShardId s) {

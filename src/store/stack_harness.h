@@ -45,6 +45,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baseline/cluster.h"
@@ -101,6 +102,14 @@ struct StackWorkload {
   /// failover) is suppressed, making the crash events a pure crash-only
   /// nemesis — recovery, if any, is the controllers' job.
   bool harness_repair = true;
+  /// Transactions grouped into each submission round (1 = scalar submit,
+  /// bit-identical to the pre-batching driver).  Batches ride one CERTIFY
+  /// round per coordinator; see store::WorkloadRunner.
+  std::size_t batch_size = 1;
+  /// Debug cross-check: recompute every certification vote with the flat
+  /// L1/L2 log scan and abort on divergence from the witness index
+  /// (commit/rdma stacks; the baseline has no witness index and ignores it).
+  bool check_certifier_index = false;
 };
 
 /// Which end-of-run checkers apply to a stack.  monitor and tcsll are
@@ -167,6 +176,10 @@ class CommitHarness {
   void set_on_decision(std::function<void(TxnId, tcs::Decision)> fn);
   TxnId next_txn_id() { return cluster_.next_txn_id(); }
   bool submit(Rng& rng, TxnId txn, const tcs::Payload& payload);
+  /// Submits the whole batch through one live coordinator (one
+  /// PREPARE_BATCH per shard leader); false if no coordinator is live.
+  bool submit_batch(Rng& rng,
+                    const std::vector<std::pair<TxnId, tcs::Payload>>& batch);
   std::size_t decided_count() const { return client_->decided_count(); }
   std::size_t committed_count() { return cluster_.history().committed_count(); }
 
@@ -215,6 +228,8 @@ class RdmaHarness {
   void set_on_decision(std::function<void(TxnId, tcs::Decision)> fn);
   TxnId next_txn_id() { return cluster_.next_txn_id(); }
   bool submit(Rng& rng, TxnId txn, const tcs::Payload& payload);
+  bool submit_batch(Rng& rng,
+                    const std::vector<std::pair<TxnId, tcs::Payload>>& batch);
   std::size_t decided_count() const { return client_->decided_count(); }
   std::size_t committed_count() { return cluster_.history().committed_count(); }
 
@@ -264,6 +279,11 @@ class BaselineHarness {
   void set_on_decision(std::function<void(TxnId, tcs::Decision)> fn);
   TxnId next_txn_id() { return cluster_.next_txn_id(); }
   bool submit(Rng& rng, TxnId txn, const tcs::Payload& payload);
+  /// Groups the batch by 2PC coordinator (the leader of each transaction's
+  /// first shard) and sends one B_CERTIFY_BATCH per group; false if every
+  /// group's coordinator is crashed.
+  bool submit_batch(Rng& rng,
+                    const std::vector<std::pair<TxnId, tcs::Payload>>& batch);
   std::size_t decided_count() const { return client_->decided_count(); }
   std::size_t committed_count() { return cluster_.history().committed_count(); }
 

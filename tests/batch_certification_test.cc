@@ -1,0 +1,422 @@
+// Batched certification and the indexed certifier hot path.
+//
+// Four properties pin the batching/index PR:
+//   1. The witness index (commit/witness_index.h) computes the same vote
+//      and the same slot-ordered T_s/P_s sets as the flat L1/L2 log scan,
+//      on randomized logs, for both shipped certifiers, both via
+//      incremental maintenance and after rebuild().
+//   2. RunnerStats latency accounting: percentiles are nearest-rank over
+//      decided transactions only, and undecided transactions are reported
+//      as censored rather than silently averaged in.
+//   3. Batched runs stay a pure function of the seed across all three
+//      stacks, and batch_size > 1 genuinely changes the wire trace (the
+//      batch path is exercised, not silently degenerate).  With
+//      check_certifier_index set, every vote is cross-checked against the
+//      flat scan in-process — surviving the sweep IS the assertion, since
+//      divergence aborts.
+//   4. Regression for the prepared_at_ wholesale clear on NEW_STATE: a
+//      prepared-undecided slot whose coordinator died must still be
+//      re-driven by the line-70 retry after the log travels through two
+//      reconfigurations (every live holder received it via NEW_STATE).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "commit/cluster.h"
+#include "commit/log.h"
+#include "commit/witness_index.h"
+#include "common/random.h"
+#include "harness/schedule.h"
+#include "harness/sweep.h"
+#include "store/runner.h"
+#include "tcs/certifier.h"
+
+namespace ratc {
+namespace {
+
+using commit::LogEntry;
+using commit::Phase;
+using commit::ReplicaLog;
+using commit::WitnessIndex;
+using tcs::Decision;
+using tcs::Payload;
+
+// --- 1. witness index == flat scan, randomized ------------------------------
+
+/// The flat collect of Fig. 1's L1/L2 (what commit::Replica::collect_witnesses
+/// does), reproduced here as the independent oracle.
+WitnessIndex::Witnesses flat_collect(const ReplicaLog& log, Slot slot) {
+  WitnessIndex::Witnesses w;
+  for (Slot k = 1; k < slot; ++k) {
+    const LogEntry* e = log.find(k);
+    if (e == nullptr || !e->filled()) continue;
+    if (e->phase == Phase::kDecided && e->dec == Decision::kCommit) {
+      w.l1.push_back(&e->payload);
+      w.committed.push_back(e->txn);
+    } else if (e->phase == Phase::kPrepared && e->vote == Decision::kCommit) {
+      w.l2.push_back(&e->payload);
+      w.prepared.push_back(e->txn);
+    }
+  }
+  return w;
+}
+
+/// Random well-formed payload over a small object universe (contended, so
+/// aborts actually happen and the committed-writer threshold is exercised).
+Payload random_payload(Rng& rng, ObjectId universe) {
+  Payload p;
+  std::size_t n_reads = 1 + rng.below(3);
+  std::set<ObjectId> objects;
+  while (objects.size() < n_reads) objects.insert(static_cast<ObjectId>(rng.below(universe)));
+  Version max_read = 0;
+  for (ObjectId o : objects) {
+    Version v = static_cast<Version>(rng.below(6));
+    max_read = std::max(max_read, v);
+    p.reads.push_back({o, v});
+    if (rng.chance(0.6)) p.writes.push_back({o, static_cast<Value>(o)});
+  }
+  p.commit_version = max_read + 1 + static_cast<Version>(rng.below(3));
+  return p;
+}
+
+void expect_same_witnesses(const WitnessIndex::Witnesses& idx,
+                           const WitnessIndex::Witnesses& flat, Slot at) {
+  ASSERT_EQ(idx.committed, flat.committed) << "T_s diverged before slot " << at;
+  ASSERT_EQ(idx.prepared, flat.prepared) << "P_s diverged before slot " << at;
+  ASSERT_EQ(idx.l1.size(), flat.l1.size());
+  ASSERT_EQ(idx.l2.size(), flat.l2.size());
+  for (std::size_t i = 0; i < idx.l1.size(); ++i) {
+    EXPECT_EQ(*idx.l1[i], *flat.l1[i]) << "L1 payload " << i << " before slot " << at;
+  }
+  for (std::size_t i = 0; i < idx.l2.size(); ++i) {
+    EXPECT_EQ(*idx.l2[i], *flat.l2[i]) << "L2 payload " << i << " before slot " << at;
+  }
+}
+
+/// Grows a random log slot by slot the way a leader does — vote on the new
+/// payload first, then index it — while randomly deciding earlier prepared
+/// slots.  At every step the incremental index must agree with the flat
+/// scan on the vote and the witness sets.
+void run_index_equivalence(const tcs::Certifier& cert, std::uint64_t seed) {
+  Rng rng(seed);
+  ReplicaLog log;
+  WitnessIndex idx;
+  constexpr Slot kSlots = 120;
+  constexpr ObjectId kUniverse = 12;
+  std::vector<Slot> prepared_slots;
+  for (Slot k = 1; k <= kSlots; ++k) {
+    Payload l = random_payload(rng, kUniverse);
+    // Vote before the slot is indexed (the leader votes on the fresh top).
+    Decision indexed = idx.vote(cert, log, l);
+    WitnessIndex::Witnesses flat = flat_collect(log, k);
+    Decision expected = cert.vote(flat.l1, flat.l2, l);
+    ASSERT_EQ(indexed, expected)
+        << cert.name() << " vote diverged at slot " << k << " (seed " << seed << ")";
+    expect_same_witnesses(idx.collect(log, k), flat, k);
+
+    LogEntry& e = log.at(k);
+    e.txn = static_cast<TxnId>(k);
+    e.payload = l;
+    e.vote = indexed;
+    e.phase = Phase::kPrepared;
+    idx.on_prepared(log, k);
+    prepared_slots.push_back(k);
+
+    // Decide a random earlier prepared slot about half the time.  A commit
+    // decision requires a commit vote (the global decision is the meet of
+    // the shard votes); abort decisions may land on either.
+    if (!prepared_slots.empty() && rng.chance(0.5)) {
+      std::size_t pick = rng.below(prepared_slots.size());
+      Slot j = prepared_slots[pick];
+      prepared_slots.erase(prepared_slots.begin() + static_cast<std::ptrdiff_t>(pick));
+      LogEntry& d = log.at(j);
+      d.dec = (d.vote == Decision::kCommit && rng.chance(0.8)) ? Decision::kCommit
+                                                               : Decision::kAbort;
+      d.phase = Phase::kDecided;
+      idx.on_decided(log, j);
+    }
+  }
+
+  // rebuild() over the final log must agree with the incrementally
+  // maintained index (NEW_STATE / takeover path).
+  WitnessIndex rebuilt;
+  rebuilt.rebuild(log);
+  EXPECT_EQ(rebuilt.committed_size(), idx.committed_size());
+  EXPECT_EQ(rebuilt.prepared_size(), idx.prepared_size());
+  Slot top = static_cast<Slot>(log.size() + 1);
+  expect_same_witnesses(rebuilt.collect(log, top), flat_collect(log, top), top);
+  for (int probe = 0; probe < 20; ++probe) {
+    Payload l = random_payload(rng, kUniverse);
+    WitnessIndex::Witnesses flat = flat_collect(log, top);
+    Decision expected = cert.vote(flat.l1, flat.l2, l);
+    EXPECT_EQ(idx.vote(cert, log, l), expected) << "incremental probe " << probe;
+    EXPECT_EQ(rebuilt.vote(cert, log, l), expected) << "rebuilt probe " << probe;
+  }
+}
+
+TEST(WitnessIndexEquivalence, SerializabilityMatchesFlatScan) {
+  tcs::SerializabilityCertifier cert;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) run_index_equivalence(cert, seed);
+}
+
+TEST(WitnessIndexEquivalence, SnapshotIsolationMatchesFlatScan) {
+  tcs::SnapshotIsolationCertifier cert;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) run_index_equivalence(cert, seed);
+}
+
+// --- 2. RunnerStats: percentiles and censoring ------------------------------
+
+TEST(RunnerStats, NearestRankPercentilesOverDecidedOnly) {
+  store::RunnerStats s;
+  for (Duration d : {10u, 20u, 30u, 40u, 50u, 60u, 70u, 80u, 90u, 100u}) {
+    s.latency_samples.push_back(d);
+  }
+  s.submitted = 12;
+  s.committed = 8;
+  s.aborted = 2;
+  s.undecided = 2;
+  EXPECT_EQ(s.p50_latency(), 50u);
+  EXPECT_EQ(s.p99_latency(), 100u);
+  EXPECT_EQ(s.latency_percentile(0.0), 10u);
+  EXPECT_EQ(s.latency_percentile(1.0), 100u);
+  // The two stranded transactions are reported as censored, not averaged in.
+  EXPECT_EQ(s.latency_censored(), 2u);
+  EXPECT_DOUBLE_EQ(s.committed_fraction(), 8.0 / 12.0);
+}
+
+TEST(RunnerStats, EmptyAndDegenerateRunsDoNotDivide) {
+  store::RunnerStats s;
+  EXPECT_EQ(s.p50_latency(), 0u);
+  EXPECT_EQ(s.p99_latency(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean_latency(), 0.0);
+  EXPECT_DOUBLE_EQ(s.committed_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(s.throughput(), 0.0);
+  s.latency_samples = {7};
+  EXPECT_EQ(s.p50_latency(), 7u);
+  EXPECT_EQ(s.p99_latency(), 7u);
+}
+
+// --- 3. batched runs: deterministic and genuinely batched -------------------
+
+harness::ScheduleOptions batch_schedule() {
+  harness::ScheduleOptions s;
+  s.crashes = 1;
+  s.reconfigures = 1;
+  s.partitions = 1;
+  s.delay_windows = 1;
+  s.window_hi = 150;
+  return s;
+}
+
+TEST(BatchDeterminism, CommitSameSeedIdenticalTrace) {
+  harness::CommitWorkloadOptions w;
+  w.total_txns = 60;
+  w.drain = 4000;
+  w.batch_size = 4;
+  for (std::uint64_t seed : {3ULL, 11ULL}) {
+    Rng r1(seed), r2(seed);
+    harness::RunResult a =
+        run_commit_workload(seed, w, generate_schedule(r1, batch_schedule()));
+    harness::RunResult b =
+        run_commit_workload(seed, w, generate_schedule(r2, batch_schedule()));
+    EXPECT_EQ(a.fingerprint, b.fingerprint) << "seed " << seed;
+    EXPECT_EQ(a.decided, b.decided);
+    EXPECT_EQ(a.problems, b.problems);
+  }
+}
+
+TEST(BatchDeterminism, RdmaSameSeedIdenticalTrace) {
+  harness::RdmaWorkloadOptions w;
+  w.total_txns = 50;
+  w.drain = 4000;
+  w.batch_size = 4;
+  Rng r1(5), r2(5);
+  harness::RunResult a =
+      run_rdma_workload(5, w, generate_schedule(r1, batch_schedule()));
+  harness::RunResult b =
+      run_rdma_workload(5, w, generate_schedule(r2, batch_schedule()));
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.decided, b.decided);
+  EXPECT_EQ(a.problems, b.problems);
+}
+
+TEST(BatchDeterminism, BaselineSameSeedIdenticalTrace) {
+  harness::BaselineWorkloadOptions w;
+  w.total_txns = 50;
+  w.drain = 4000;
+  w.batch_size = 4;
+  Rng r1(5), r2(5);
+  harness::RunResult a =
+      run_baseline_workload(5, w, generate_schedule(r1, batch_schedule()));
+  harness::RunResult b =
+      run_baseline_workload(5, w, generate_schedule(r2, batch_schedule()));
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.decided, b.decided);
+  EXPECT_EQ(a.problems, b.problems);
+}
+
+TEST(BatchDeterminism, BatchingChangesTheTrace) {
+  // batch_size > 1 must actually take the batched wire path: the grouped
+  // CERTIFY/Paxos-append messages separate the trace from the scalar run.
+  // (batch_size == 1 IS the scalar path by construction — WorkloadRunner
+  // and FaultDriver fall back to submit() for singleton batches.)
+  harness::CommitWorkloadOptions scalar;
+  scalar.total_txns = 60;
+  scalar.drain = 4000;
+  harness::CommitWorkloadOptions batched = scalar;
+  batched.batch_size = 4;
+  Rng r1(7), r2(7);
+  harness::RunResult a =
+      run_commit_workload(7, scalar, generate_schedule(r1, batch_schedule()));
+  harness::RunResult b =
+      run_commit_workload(7, batched, generate_schedule(r2, batch_schedule()));
+  EXPECT_NE(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(b.submitted, static_cast<std::size_t>(batched.total_txns));
+}
+
+TEST(BatchDeterminism, IndexCrossCheckSurvivesBatchedSweeps) {
+  // check_certifier_index recomputes every vote with the flat scan and
+  // aborts the process on divergence — completing the runs is the
+  // assertion.  Exercised with batching and faults on both index-bearing
+  // stacks.
+  harness::CommitWorkloadOptions cw;
+  cw.total_txns = 60;
+  cw.drain = 4000;
+  cw.batch_size = 4;
+  cw.check_certifier_index = true;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng r(seed);
+    harness::RunResult res =
+        run_commit_workload(seed, cw, generate_schedule(r, batch_schedule()));
+    EXPECT_EQ(res.problems, "") << "commit seed " << seed;
+  }
+  harness::RdmaWorkloadOptions rw;
+  rw.total_txns = 50;
+  rw.drain = 4000;
+  rw.batch_size = 4;
+  rw.check_certifier_index = true;
+  // Batching widens the known coordinator-crash availability hole (see
+  // rdma::Replica::redrive_coordinations): one crashed coordinator now takes
+  // a whole batch of in-flight transactions with it.  This test asserts the
+  // index cross-check and the safety checkers, not the liveness fraction.
+  rw.min_decided_fraction = 0.8;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng r(seed);
+    harness::RunResult res =
+        run_rdma_workload(seed, rw, generate_schedule(r, batch_schedule()));
+    EXPECT_EQ(res.problems, "") << "rdma seed " << seed;
+  }
+}
+
+TEST(BatchDeterminism, BatchedClientFollowsScalarDecisions) {
+  // A conflicting batch through certify_batch_colocated (one CERTIFY round)
+  // must reach the same decisions as the same payloads submitted one by one
+  // — the sequential fold over the batch is the distributive vote of
+  // requirement (1).  check_certifier_index keeps the flat scan asserting
+  // along the way.
+  auto decisions = [](bool batched) {
+    commit::Cluster cluster({.seed = 21,
+                             .num_shards = 2,
+                             .shard_size = 2,
+                             .check_certifier_index = true});
+    commit::Client& client = cluster.add_client();
+    std::vector<std::pair<TxnId, Payload>> batch;
+    for (int i = 0; i < 6; ++i) {
+      Payload p;
+      // Pairs of transactions contend on the same object with the same
+      // read version: within each pair the second must abort.
+      ObjectId o = static_cast<ObjectId>(i / 2);
+      p.reads = {{o, 0}};
+      p.writes = {{o, static_cast<Value>(i)}};
+      p.commit_version = 1;
+      batch.emplace_back(cluster.next_txn_id(), p);
+    }
+    if (batched) {
+      client.certify_batch_colocated(cluster.replica(0, 1), batch);
+    } else {
+      for (const auto& [t, p] : batch) {
+        client.certify_colocated(cluster.replica(0, 1), t, p);
+      }
+    }
+    cluster.sim().run();
+    EXPECT_EQ(cluster.verify(), "");
+    std::vector<Decision> out;
+    for (const auto& [t, p] : batch) {
+      EXPECT_TRUE(client.decided(t));
+      out.push_back(client.decision(t).value_or(Decision::kAbort));
+    }
+    return out;
+  };
+  EXPECT_EQ(decisions(true), decisions(false));
+}
+
+// --- 4. regression: prepared_at_ survives NEW_STATE -------------------------
+
+TEST(RetryRearm, PreparedSlotRedrivenAfterDoubleReconfiguration) {
+  // A coordinator dies right after the shard-1 leader prepares its
+  // transaction; the slot is prepared-undecided and only the line-70 retry
+  // can finish it.  The log then travels through TWO reconfigurations, so
+  // every live holder of the slot received it via NEW_STATE — before the
+  // fix, handle_new_state cleared prepared_at_ wholesale and never
+  // re-armed, dropping the slot from the retry contract forever.
+  commit::Cluster cluster({.seed = 33,
+                           .num_shards = 2,
+                           .shard_size = 2,
+                           .spares_per_shard = 4,
+                           .retry_timeout = 200});
+  commit::Client& client = cluster.add_client();
+
+  // Object 1 lives on shard 1; the coordinator is shard 1's follower.
+  Payload p;
+  p.reads = {{1, 0}};
+  p.writes = {{1, 7}};
+  p.commit_version = 1;
+  TxnId t = cluster.next_txn_id();
+  commit::Replica& coordinator = cluster.replica(1, 1);
+  client.certify_colocated(coordinator, t, p);
+
+  // Run until the leader holds the transaction prepared, then kill the
+  // coordinator before it can collect the PREPARE_ACK and decide.
+  ProcessId r0 = cluster.leader_of(1);
+  ASSERT_TRUE(cluster.sim().run_until_pred([&] {
+    Slot k = cluster.replica_by_pid(r0).log().slot_of(t);
+    return k != kNoSlot &&
+           cluster.replica_by_pid(r0).log().find(k)->phase == Phase::kPrepared;
+  }));
+  cluster.crash(coordinator.id());
+
+  // Reconfiguration 1: the old leader carries the log; the joining spare
+  // learns the prepared slot only through NEW_STATE.
+  cluster.reconfigure(1, r0);
+  ASSERT_TRUE(cluster.await_active_epoch(1, 2));
+  configsvc::ShardConfig cfg2 = cluster.current_config(1);
+  ProcessId survivor = kNoProcess;
+  for (ProcessId m : cfg2.members) {
+    if (m != r0) survivor = m;
+  }
+  ASSERT_NE(survivor, kNoProcess);
+
+  // Reconfiguration 2: kill the last replica that prepared the slot
+  // natively.  From here on, every holder got it via NEW_STATE.
+  cluster.crash(r0);
+  cluster.reconfigure(1, survivor);
+  ASSERT_TRUE(cluster.await_active_epoch(1, 3));
+
+  // The re-armed retry timer must re-drive the orphaned slot to a decision
+  // on the current leader.  (The client callback died with the coordinator,
+  // so the replica log is the observable.)
+  ProcessId leader = cluster.leader_of(1);
+  bool decided = cluster.sim().run_until_pred(
+      [&] {
+        Slot k = cluster.replica_by_pid(leader).log().slot_of(t);
+        return k != kNoSlot &&
+               cluster.replica_by_pid(leader).log().find(k)->phase == Phase::kDecided;
+      },
+      2'000'000);
+  EXPECT_TRUE(decided) << "orphaned prepared slot was never re-driven";
+  EXPECT_EQ(cluster.verify(), "");
+}
+
+}  // namespace
+}  // namespace ratc

@@ -268,10 +268,16 @@ class FaultDriver {
              schedule_.events[next_fault].at <= frac) {
         apply_fault(schedule_.events[next_fault++]);
       }
-      submit_one();
+      if (batch_size() == 1) {
+        submit_one();  // scalar path: bit-identical to the pre-batching driver
+      } else {
+        queue_one();
+        if (pending_.size() >= batch_size()) flush_batch();
+      }
       harness_.sim().run_until(harness_.sim().now() +
                                workload_rng_.range(0, Harness::kPaceHi));
     }
+    flush_batch();  // partial tail (no-op when empty or unbatched)
     while (next_fault < schedule_.events.size()) {
       apply_fault(schedule_.events[next_fault++]);
     }
@@ -283,6 +289,16 @@ class FaultDriver {
   }
 
  private:
+  /// The workload's batch size when its options carry one (StackWorkload);
+  /// harnesses without the knob (PaxosHarness) stay scalar.
+  std::size_t batch_size() const {
+    if constexpr (requires { w_.batch_size; }) {
+      return w_.batch_size > 0 ? w_.batch_size : 1;
+    } else {
+      return 1;
+    }
+  }
+
   void submit_one() {
     Payload p = gen_.next();
     TxnId t = harness_.next_txn_id();
@@ -290,6 +306,27 @@ class FaultDriver {
     if (!harness_.submit(workload_rng_, t, p)) {
       payloads_.erase(t);  // no live coordinator: never submitted
     }
+  }
+
+  void queue_one() {
+    Payload p = gen_.next();
+    TxnId t = harness_.next_txn_id();
+    payloads_[t] = p;
+    pending_.emplace_back(t, std::move(p));
+  }
+
+  void flush_batch() {
+    if (pending_.empty()) return;
+    if constexpr (requires { harness_.submit_batch(workload_rng_, pending_); }) {
+      if (!harness_.submit_batch(workload_rng_, pending_)) {
+        for (const auto& [t, p] : pending_) payloads_.erase(t);
+      }
+    } else {
+      for (const auto& [t, p] : pending_) {
+        if (!harness_.submit(workload_rng_, t, p)) payloads_.erase(t);
+      }
+    }
+    pending_.clear();
   }
 
   void apply_fault(const FaultEvent& e) {
@@ -369,6 +406,8 @@ class FaultDriver {
   Rng fault_rng_;
   store::ContendedPayloadGen gen_;
   std::map<TxnId, Payload> payloads_;
+  /// Transactions queued for the next batched submission (batch_size > 1).
+  std::vector<std::pair<TxnId, Payload>> pending_;
   RunResult result_;
 };
 

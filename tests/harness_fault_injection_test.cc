@@ -43,6 +43,9 @@ TEST(CommitFaultSweep, CrashAndReconfigureSchedules) {
   opt.delay_windows = 0;
   CommitWorkloadOptions w;
   w.total_txns = 150;
+  // Every vote recomputed through the flat L1/L2 scan: divergence from the
+  // witness index aborts the run (tests/README.md "Batched certification").
+  w.check_certifier_index = true;
   SweepResult sweep =
       parallel_sweep_seeds(kFirstSeed, kSweepSeeds, [&](std::uint64_t seed) {
         return run_commit_workload(seed, w, schedule_for(seed, opt));
@@ -190,6 +193,8 @@ TEST(RdmaFaultSweep, CrashAndGlobalReconfiguration) {
   w.total_txns = 120;
   // Nightly 250-seed census worst seed: 0.84.
   w.min_decided_fraction = 0.8;
+  // Indexed certifier cross-checked against the flat scan on every vote.
+  w.check_certifier_index = true;
   SweepResult sweep =
       parallel_sweep_seeds(kFirstSeed, kSweepSeeds, [&](std::uint64_t seed) {
         return run_rdma_workload(seed, w, schedule_for(seed, opt));
