@@ -79,6 +79,26 @@ void BM_SimulatorEventLoop(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorEventLoop);
 
+void BM_SimulatorEventQueueChurn(benchmark::State& state) {
+  // Pins the event queue's move-only push/pop: every closure captures a
+  // shared_ptr (the shape Network::send produces when it captures an
+  // AnyMessage).  A queue that copied std::function on push or pop would
+  // pay an extra atomic refcount round trip per event and show up here.
+  auto payload = std::make_shared<std::string>(64, 'x');
+  for (auto _ : state) {
+    sim::Simulator sim(7);
+    std::uint64_t sum = 0;
+    for (int i = 0; i < 4096; ++i) {
+      sim.schedule(static_cast<Duration>(i & 31),
+                   [payload, &sum] { sum += payload->size(); });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_SimulatorEventQueueChurn);
+
 void BM_EndToEndCertification(benchmark::State& state) {
   // Full protocol round trips per iteration batch: 2 shards x 2 replicas.
   for (auto _ : state) {

@@ -22,14 +22,16 @@ namespace ratc::baseline {
 
 class BaselineClient : public sim::Process {
  public:
+  BaselineClient(rt::Runtime& rt, ProcessId id, tcs::History* history)
+      : Process(rt, id, "bclient" + std::to_string(id)), history_(history) {}
   BaselineClient(sim::Simulator& sim, sim::Network& net, ProcessId id,
                  tcs::History* history)
-      : Process(sim, id, "bclient" + std::to_string(id)), net_(net), history_(history) {}
+      : BaselineClient(net.runtime(), id, history) { (void)sim; }
 
   void certify(ProcessId coordinator, TxnId txn, const tcs::Payload& payload) {
-    history_->record_certify(sim().now(), txn, payload);
-    sent_[txn] = sim().now();
-    net_.send_msg(id(), coordinator, BCertify{txn, payload});
+    history_->record_certify(rt().now(), txn, payload);
+    sent_[txn] = rt().now();
+    rt().send_msg(id(), coordinator, BCertify{txn, payload});
   }
 
   /// One CERTIFY round for a whole batch sharing a coordinator (size 1
@@ -43,20 +45,20 @@ class BaselineClient : public sim::Process {
     BCertifyBatch m;
     m.items.reserve(batch.size());
     for (const auto& [txn, payload] : batch) {
-      history_->record_certify(sim().now(), txn, payload);
-      sent_[txn] = sim().now();
+      history_->record_certify(rt().now(), txn, payload);
+      sent_[txn] = rt().now();
       m.items.push_back(BCertify{txn, payload});
     }
-    net_.send_msg(id(), coordinator, std::move(m));
+    rt().send_msg(id(), coordinator, std::move(m));
   }
 
   void on_message(ProcessId from, const sim::AnyMessage& msg) override {
     (void)from;
     if (const auto* d = msg.as<BClientDecision>()) {
       if (decisions_.count(d->txn)) return;
-      history_->record_decide(sim().now(), d->txn, d->decision);
+      history_->record_decide(rt().now(), d->txn, d->decision);
       decisions_[d->txn] = d->decision;
-      decided_at_[d->txn] = sim().now();
+      decided_at_[d->txn] = rt().now();
       if (on_decision) on_decision(d->txn, d->decision);
     }
   }
@@ -79,7 +81,6 @@ class BaselineClient : public sim::Process {
   }
 
  private:
-  sim::Network& net_;
   tcs::History* history_;
   std::map<TxnId, tcs::Decision> decisions_;
   std::map<TxnId, Time> sent_;

@@ -8,13 +8,17 @@ using tcs::Decision;
 
 ShardServer::ShardServer(sim::Simulator& sim, sim::Network& net, ProcessId id,
                          Options options)
-    : Process(sim, id, "b" + std::to_string(id) + "/s" + std::to_string(options.shard)),
+    : ShardServer(net.runtime(), id, std::move(options)) {
+  (void)sim;
+}
+
+ShardServer::ShardServer(rt::Runtime& rt, ProcessId id, Options options)
+    : Process(rt, id, "b" + std::to_string(id) + "/s" + std::to_string(options.shard)),
       options_(std::move(options)),
-      net_(net),
-      responder_(net, id) {
+      responder_(rt, id) {
   assert(options_.shard_map != nullptr && options_.certifier != nullptr);
   if (options_.cooperative_termination) {
-    fd_monitor_ = std::make_unique<fd::PingMonitor>(sim, net, id, options_.fd);
+    fd_monitor_ = std::make_unique<fd::PingMonitor>(rt, id, options_.fd);
     fd_monitor_->subscribe({.on_suspect = [this](ProcessId coordinator) {
       on_coordinator_suspected(coordinator);
     }});
@@ -49,7 +53,7 @@ void ShardServer::handle_certify(ProcessId from, const BCertify& m) {
   // of one involved shard (clients route there).
   std::vector<ShardId> participants = options_.shard_map->shards_of(m.payload);
   if (participants.empty()) {
-    net_.send_msg(id(), from, BClientDecision{m.txn, Decision::kCommit});
+    rt().send_msg(id(), from, BClientDecision{m.txn, Decision::kCommit});
     return;
   }
   CoordState& c = coord_[m.txn];
@@ -65,7 +69,7 @@ void ShardServer::handle_certify(ProcessId from, const BCertify& m) {
     if (s == options_.shard) {
       handle_submit_prepare(sp);  // local shard: no network hop
     } else {
-      net_.send_msg(id(), shard_leader(s), sp);
+      rt().send_msg(id(), shard_leader(s), sp);
     }
   }
 }
@@ -78,7 +82,7 @@ void ShardServer::handle_certify_batch(ProcessId from, const BCertifyBatch& m) {
   for (const BCertify& item : m.items) {
     std::vector<ShardId> participants = options_.shard_map->shards_of(item.payload);
     if (participants.empty()) {
-      net_.send_msg(id(), from, BClientDecision{item.txn, Decision::kCommit});
+      rt().send_msg(id(), from, BClientDecision{item.txn, Decision::kCommit});
       continue;
     }
     CoordState& c = coord_[item.txn];
@@ -98,9 +102,9 @@ void ShardServer::handle_certify_batch(ProcessId from, const BCertifyBatch& m) {
     if (s == options_.shard) {
       handle_submit_prepare_batch(batch);  // local shard: no network hop
     } else if (batch.items.size() == 1) {
-      net_.send_msg(id(), shard_leader(s), std::move(batch.items.front()));
+      rt().send_msg(id(), shard_leader(s), std::move(batch.items.front()));
     } else {
-      net_.send_msg(id(), shard_leader(s), std::move(batch));
+      rt().send_msg(id(), shard_leader(s), std::move(batch));
     }
   }
 }
@@ -193,7 +197,7 @@ void ShardServer::apply_prepare(const CmdPrepare& c) {
     if (c.coordinator == id()) {
       handle_vote(Vote{c.txn, options_.shard, st.vote});
     } else {
-      net_.send_msg(id(), c.coordinator, Vote{c.txn, options_.shard, st.vote});
+      rt().send_msg(id(), c.coordinator, Vote{c.txn, options_.shard, st.vote});
     }
   }
   if (options_.cooperative_termination && !st.decided && c.coordinator != id()) {
@@ -265,7 +269,7 @@ void ShardServer::apply_resolve_abort(const CmdResolveAbort& c) {
   if (!paxos_->is_leader()) return;
   if (tombstoned) {
     ++term_stats_.tombstones;
-    net_.send_msg(id(), c.querier,
+    rt().send_msg(id(), c.querier,
                   TerminationAnswer{c.txn, options_.shard, PeerTxnState::kNeverPrepared});
     ++term_stats_.answers_sent;
   } else {
@@ -311,7 +315,7 @@ void ShardServer::note_in_doubt(TxnId t, ProcessId coordinator) {
     // decision message was lost, or it died and the failure detector's
     // pongs are partitioned): query after a generous in-doubt window.
     ts.timer_armed = true;
-    sim().schedule_for(id(), options_.in_doubt_timeout,
+    rt().schedule_for(id(), options_.in_doubt_timeout,
                        [this, t] { start_termination_round(t); });
   }
 }
@@ -363,7 +367,7 @@ void ShardServer::start_termination_round(TxnId t) {
                                      : PeerTxnState::kPrepared;
     for (ShardId s : st.participants) {
       if (s == options_.shard) continue;
-      net_.send_msg(id(), shard_leader(s), TerminationQuery{t});
+      rt().send_msg(id(), shard_leader(s), TerminationQuery{t});
       ++term_stats_.queries_sent;
     }
     maybe_conclude_termination(t);
@@ -371,7 +375,7 @@ void ShardServer::start_termination_round(TxnId t) {
   // Re-arm regardless of leadership: answers may be lost to the very fault
   // that stranded the transaction, and this replica may be elected leader
   // between rounds.
-  sim().schedule_for(id(), options_.termination_retry_every,
+  rt().schedule_for(id(), options_.termination_retry_every,
                      [this, t] { start_termination_round(t); });
 }
 
@@ -399,7 +403,7 @@ void ShardServer::send_termination_answer(ProcessId to, TxnId t) {
   } else {
     state = PeerTxnState::kPrepared;  // in doubt
   }
-  net_.send_msg(id(), to, TerminationAnswer{t, options_.shard, state});
+  rt().send_msg(id(), to, TerminationAnswer{t, options_.shard, state});
   ++term_stats_.answers_sent;
 }
 
@@ -454,11 +458,11 @@ void ShardServer::announce_decision(TxnId t, Decision d,
                                     const std::vector<ShardId>& participants,
                                     ProcessId client) {
   if (client != kNoProcess) {
-    net_.send_msg(id(), client, BClientDecision{t, d});
+    rt().send_msg(id(), client, BClientDecision{t, d});
   }
   for (ShardId s : participants) {
     if (s == options_.shard) continue;
-    net_.send_msg(id(), shard_leader(s), SubmitDecide{t, d});
+    rt().send_msg(id(), shard_leader(s), SubmitDecide{t, d});
   }
 }
 

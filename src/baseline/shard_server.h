@@ -54,6 +54,7 @@ class ShardServer : public sim::Process {
     fd::PingMonitor::Options fd;
   };
 
+  ShardServer(rt::Runtime& rt, ProcessId id, Options options);
   ShardServer(sim::Simulator& sim, sim::Network& net, ProcessId id, Options options);
 
   void attach_paxos(paxos::PaxosReplica* paxos) { paxos_ = paxos; }
@@ -155,7 +156,6 @@ class ShardServer : public sim::Process {
   void resolve_in_doubt(TxnId t, tcs::Decision d);
 
   Options options_;
-  sim::Network& net_;
   paxos::PaxosReplica* paxos_ = nullptr;
   std::map<ShardId, ProcessId> leaders_;
 

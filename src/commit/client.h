@@ -24,20 +24,39 @@ namespace ratc::commit {
 
 class Client : public sim::Process {
  public:
+  Client(rt::Runtime& rt, ProcessId id, tcs::History* history)
+      : Process(rt, id, "client" + std::to_string(id)), history_(history) {}
   Client(sim::Simulator& sim, sim::Network& net, ProcessId id, tcs::History* history)
-      : Process(sim, id, "client" + std::to_string(id)), net_(net), history_(history) {}
+      : Client(net.runtime(), id, history) { (void)sim; }
 
   /// Submits via messages to the replica with the given process id.
   void certify_remote(ProcessId coordinator, TxnId txn, const tcs::Payload& payload) {
-    history_->record_certify(sim().now(), txn, payload);
-    sent_[txn] = sim().now();
-    net_.send_msg(id(), coordinator, CertifyRequest{txn, payload});
+    history_->record_certify(rt().now(), txn, payload);
+    sent_[txn] = rt().now();
+    rt().send_msg(id(), coordinator, CertifyRequest{txn, payload});
+  }
+
+  /// Submits a whole batch via one CERTIFY_BATCH message to a remote
+  /// coordinator (a batch of one falls back to the scalar CERTIFY).
+  void certify_batch_remote(ProcessId coordinator,
+                            const std::vector<std::pair<TxnId, tcs::Payload>>& batch) {
+    CertifyBatchRequest req;
+    for (const auto& [txn, payload] : batch) {
+      history_->record_certify(rt().now(), txn, payload);
+      sent_[txn] = rt().now();
+      req.items.push_back(CertifyRequest{txn, payload});
+    }
+    if (req.items.size() == 1) {
+      rt().send_msg(id(), coordinator, std::move(req.items.front()));
+    } else {
+      rt().send_msg(id(), coordinator, std::move(req));
+    }
   }
 
   /// Submits through a co-located coordinator replica (no network hop).
   void certify_colocated(Replica& coordinator, TxnId txn, const tcs::Payload& payload) {
-    history_->record_certify(sim().now(), txn, payload);
-    sent_[txn] = sim().now();
+    history_->record_certify(rt().now(), txn, payload);
+    sent_[txn] = rt().now();
     coordinator.certify_local(txn, payload, [this, txn](tcs::Decision d) {
       record_decision(txn, d);
     });
@@ -49,8 +68,8 @@ class Client : public sim::Process {
       Replica& coordinator,
       const std::vector<std::pair<TxnId, tcs::Payload>>& batch) {
     for (const auto& [txn, payload] : batch) {
-      history_->record_certify(sim().now(), txn, payload);
-      sent_[txn] = sim().now();
+      history_->record_certify(rt().now(), txn, payload);
+      sent_[txn] = rt().now();
     }
     coordinator.certify_batch_local(batch, [this](TxnId txn, tcs::Decision d) {
       record_decision(txn, d);
@@ -89,15 +108,14 @@ class Client : public sim::Process {
   void record_decision(TxnId txn, tcs::Decision d) {
     // Record duplicates too: conflicting ones are a spec violation that the
     // history checker must be able to see.
-    history_->record_decide(sim().now(), txn, d);
+    history_->record_decide(rt().now(), txn, d);
     if (decisions_.count(txn) == 0) {
       decisions_[txn] = d;
-      decided_at_[txn] = sim().now();
+      decided_at_[txn] = rt().now();
       if (on_decision) on_decision(txn, d);
     }
   }
 
-  sim::Network& net_;
   tcs::History* history_;
   std::map<TxnId, tcs::Decision> decisions_;
   std::map<TxnId, Time> sent_;

@@ -133,6 +133,16 @@ struct AcceptAckBatch {
   std::size_t wire_size() const { return detail::batch_wire_size(items); }
 };
 
+/// Client -> chosen coordinator replica: a whole batch of certify(t, l) in
+/// one message — the remote twin of Replica::certify_batch_local, used by
+/// the real-time load generator.  Size-1 batches are never sent (the
+/// frontends fall back to the scalar CertifyRequest).
+struct CertifyBatchRequest {
+  static constexpr const char* kName = "CERTIFY_BATCH";
+  std::vector<CertifyRequest> items;
+  std::size_t wire_size() const { return detail::batch_wire_size(items); }
+};
+
 /// Coordinator -> shard members (Fig. 1 line 29).
 struct DecisionMsg {
   static constexpr const char* kName = "DECISION";

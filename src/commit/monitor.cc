@@ -1,5 +1,6 @@
 #include "commit/monitor.h"
 
+#include <mutex>
 #include <set>
 #include <sstream>
 
@@ -9,9 +10,18 @@ namespace ratc::commit {
 
 using tcs::Decision;
 
-void Monitor::register_replica(Replica* r) { replicas_[r->id()] = r; }
+void Monitor::register_replica(Replica* r) {
+  std::lock_guard<std::mutex> lock(mu_);
+  replicas_[r->id()] = r;
+}
 
 void Monitor::register_config(ShardId shard, const configsvc::ShardConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  register_config_locked(shard, config);
+}
+
+void Monitor::register_config_locked(ShardId shard,
+                                     const configsvc::ShardConfig& config) {
   auto& by_epoch = configs_[shard];
   auto [it, inserted] = by_epoch.emplace(config.epoch, config);
   (void)it;
@@ -59,13 +69,14 @@ void Monitor::report(const std::string& invariant, const std::string& details) {
   // The same logical violation is often observable at many points (e.g. per
   // acceptance record); report each distinct one once.
   if (!reported_.insert(invariant + "|" + details).second) return;
-  sink_.report(sim_.now(), invariant, details);
+  sink_.report(rt_.now(), invariant, details);
 }
 
 void Monitor::on_vote_computed(ShardId shard, Epoch epoch, Slot slot, TxnId txn,
                                Decision vote, const tcs::Payload& payload,
                                std::vector<TxnId> committed_against,
                                std::vector<TxnId> prepared_against) {
+  std::lock_guard<std::mutex> lock(mu_);
   VoteRecord rec;
   rec.vote = vote;
   rec.payload = payload;
@@ -75,6 +86,7 @@ void Monitor::on_vote_computed(ShardId shard, Epoch epoch, Slot slot, TxnId txn,
 }
 
 void Monitor::on_local_decision(TxnId txn, Decision d) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = decided_.emplace(txn, d);
   if (!inserted && it->second != d) {
     report("Invariant4b", "txn" + std::to_string(txn) + " decided both " +
@@ -163,6 +175,7 @@ void Monitor::observe_accept_ack(ProcessId from, const AcceptAck& aa) {
 void Monitor::on_send(Time now, ProcessId from, ProcessId to,
                       const sim::AnyMessage& msg) {
   (void)now;
+  std::lock_guard<std::mutex> lock(mu_);
   // Batched wire forms carry the same protocol steps as their scalar
   // counterparts; the monitor observes each item or the acceptance records
   // (and with them TCS-LL's inputs) silently go missing for batched runs.
@@ -187,7 +200,7 @@ void Monitor::on_send(Time now, ProcessId from, ProcessId to,
     cfg.epoch = nc->epoch;
     cfg.members = nc->members;
     cfg.leader = to;
-    register_config(shard_of(to), cfg);
+    register_config_locked(shard_of(to), cfg);
   } else if (const auto* d = msg.as<DecisionMsg>()) {
     // Inv 4a: one decision per slot of a shard.
     auto [it, inserted] = slot_decision_.emplace(std::make_pair(d->shard, d->slot),
@@ -217,6 +230,7 @@ void Monitor::on_deliver(Time now, ProcessId from, ProcessId to,
                          const sim::AnyMessage& msg) {
   (void)now;
   (void)from;
+  std::lock_guard<std::mutex> lock(mu_);
   if (const auto* d = msg.as<DecisionMsg>()) {
     // Inv 12b: a commit decision must land on a slot whose vote was commit.
     Replica* r = replica_of(to);
@@ -297,6 +311,7 @@ void Monitor::check_prefix_against_leader(const Replica& replica,
 }
 
 void Monitor::on_epoch_installed(const Replica& replica) {
+  std::lock_guard<std::mutex> lock(mu_);
   // Inv 8: new_epoch never trails the process's own epoch.
   if (replica.new_epoch() < replica.epoch()) {
     report("Invariant8", process_name(replica.id()) + " has new_epoch " +
@@ -343,6 +358,7 @@ void Monitor::on_epoch_installed(const Replica& replica) {
 checker::TcsLLInput Monitor::tcsll_input(const tcs::History& history,
                                          const tcs::ShardMap& shard_map,
                                          const tcs::Certifier& certifier) const {
+  std::lock_guard<std::mutex> lock(mu_);
   checker::TcsLLInput input;
   input.history = &history;
   input.shard_map = &shard_map;

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -38,9 +39,18 @@ namespace ratc::commit {
 
 class Replica;
 
+/// Thread-safety: every entry point locks an internal mutex, so one Monitor
+/// can observe a multithreaded rt::ThreadedRuntime run.  The process-state
+/// reads (leader/follower logs, epochs) are always of the *acting* process —
+/// the runtime fires on_send on the sender's worker and on_deliver on the
+/// receiver's worker, and the replica hooks run on the replica's own worker
+/// — so they need no further synchronization.  Accessors that return
+/// references (violations(), decided()) are only safe after the runtime has
+/// stopped (or on the single-threaded sim).
 class Monitor : public sim::NetworkObserver {
  public:
-  explicit Monitor(sim::Simulator& sim) : sim_(sim) {}
+  explicit Monitor(rt::Runtime& rt) : rt_(rt) {}
+  explicit Monitor(sim::Simulator& sim) : Monitor(sim.runtime()) {}
 
   // --- wiring ---------------------------------------------------------------
 
@@ -113,12 +123,16 @@ class Monitor : public sim::NetworkObserver {
   void observe_accept(const Accept& a);
   void observe_accept_ack(ProcessId from, const AcceptAck& aa);
   const configsvc::ShardConfig* config_of(ShardId shard, Epoch epoch) const;
+  void register_config_locked(ShardId shard, const configsvc::ShardConfig& config);
   void maybe_complete(Acceptance& acc);
   void check_prefix_against_leader(const Replica& replica, const Acceptance& acc,
                                    const char* invariant);
   void report(const std::string& invariant, const std::string& details);
 
-  sim::Simulator& sim_;
+  rt::Runtime& rt_;
+  /// Serializes all entry points (workers of a threaded runtime tap the
+  /// monitor concurrently; on the sim this is uncontended).
+  mutable std::mutex mu_;
   ViolationSink sink_;
   std::map<ProcessId, Replica*> replicas_;
   std::map<ShardId, std::map<Epoch, configsvc::ShardConfig>> configs_;

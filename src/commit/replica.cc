@@ -11,18 +11,23 @@ namespace ratc::commit {
 
 using tcs::Decision;
 
-Replica::Replica(sim::Simulator& sim, sim::Network& net, ProcessId id, Options options)
-    : Process(sim, id, "r" + std::to_string(id) + "/s" + std::to_string(options.shard)),
+Replica::Replica(rt::Runtime& rt, ProcessId id, Options options)
+    : Process(rt, id, "r" + std::to_string(id) + "/s" + std::to_string(options.shard)),
       options_(std::move(options)),
-      net_(net),
-      cs_(sim, net, id, options_.cs_endpoints),
-      fd_responder_(net, id),
+      cs_(rt, id, options_.cs_endpoints),
+      fd_responder_(rt, id),
       monitor_(options_.monitor),
-      engine_(sim, id, *this,
+      engine_(rt, id, *this,
               {.target_shard_size = options_.target_shard_size,
                .probe_patience = options_.probe_patience,
                .policy = options_.placement_policy}) {
   assert(options_.shard_map != nullptr && options_.certifier != nullptr);
+}
+
+Replica::Replica(sim::Simulator& sim, sim::Network& net, ProcessId id,
+                 Options options)
+    : Replica(net.runtime(), id, std::move(options)) {
+  (void)sim;
 }
 
 const configsvc::ShardConfig& Replica::view(ShardId s) const {
@@ -70,7 +75,7 @@ void Replica::start_certification(TxnMeta meta, const tcs::Payload* full_payload
       if (monitor_) monitor_->on_local_decision(txn, Decision::kCommit);
       local_cb(Decision::kCommit);
     } else if (meta.client != kNoProcess) {
-      net_.send_msg(id(), meta.client, ClientDecision{txn, Decision::kCommit});
+      rt().send_msg(id(), meta.client, ClientDecision{txn, Decision::kCommit});
     }
     return;
   }
@@ -79,7 +84,7 @@ void Replica::start_certification(TxnMeta meta, const tcs::Payload* full_payload
   undecided_coords_.insert(txn);
   c.meta = meta;
   if (local_cb) c.local_cb = std::move(local_cb);
-  c.last_driven = sim().now();
+  c.last_driven = rt().now();
   // Line 2-3: send PREPARE with the shard projection to each leader.
   for (ShardId s : meta.participants) {
     Prepare p;
@@ -92,7 +97,7 @@ void Replica::start_certification(TxnMeta meta, const tcs::Payload* full_payload
       p.has_payload = false;  // ⊥: retry path (line 73)
     }
     p.meta = meta;
-    net_.send_msg(id(), view(s).leader, p);
+    rt().send_msg(id(), view(s).leader, p);
   }
 }
 
@@ -124,7 +129,7 @@ void Replica::certify_batch_local(
     undecided_coords_.insert(txn);
     c.meta = meta;
     c.local_cb = [cb, txn](Decision d) { cb(txn, d); };
-    c.last_driven = sim().now();
+    c.last_driven = rt().now();
     for (ShardId s : meta.participants) {
       Prepare p;
       p.txn = txn;
@@ -138,9 +143,47 @@ void Replica::certify_batch_local(
   for (auto& [s, pb] : per_shard) {
     if (pb.items.size() == 1) {
       // A lone prepare keeps the scalar vocabulary (and the scalar trace).
-      net_.send_msg(id(), view(s).leader, std::move(pb.items.front()));
+      rt().send_msg(id(), view(s).leader, std::move(pb.items.front()));
     } else {
-      net_.send_msg(id(), view(s).leader, std::move(pb));
+      rt().send_msg(id(), view(s).leader, std::move(pb));
+    }
+  }
+}
+
+void Replica::certify_batch_remote(ProcessId client,
+                                   const std::vector<CertifyRequest>& items) {
+  // Mirrors certify_batch_local, with decisions routed back to the remote
+  // client (meta.client) instead of a local callback.
+  std::map<ShardId, PrepareBatch> per_shard;
+  for (const CertifyRequest& item : items) {
+    TxnMeta meta;
+    meta.txn = item.txn;
+    meta.participants = options_.shard_map->shards_of(item.payload);
+    meta.client = client;
+    if (meta.participants.empty()) {
+      rt().send_msg(id(), client, ClientDecision{item.txn, Decision::kCommit});
+      continue;
+    }
+    CoordState& c = coord_[item.txn];
+    if (c.decided) continue;
+    undecided_coords_.insert(item.txn);
+    c.meta = meta;
+    c.last_driven = rt().now();
+    for (ShardId s : meta.participants) {
+      Prepare p;
+      p.txn = item.txn;
+      p.has_payload = true;
+      p.payload = options_.shard_map->project(item.payload, s);
+      c.shard_payloads[s] = p.payload;
+      p.meta = meta;
+      per_shard[s].items.push_back(std::move(p));
+    }
+  }
+  for (auto& [s, pb] : per_shard) {
+    if (pb.items.size() == 1) {
+      rt().send_msg(id(), view(s).leader, std::move(pb.items.front()));
+    } else {
+      rt().send_msg(id(), view(s).leader, std::move(pb));
     }
   }
 }
@@ -154,7 +197,7 @@ void Replica::redrive_coordinations(const std::set<TxnId>& driven_this_tick) {
   // the *current* leaders; leaders that already certified the transaction
   // just re-send their stored result (lines 6-7), making this idempotent.
   (void)driven_this_tick;  // only read by the assert below
-  Time now = sim().now();
+  Time now = rt().now();
   for (TxnId txn : undecided_coords_) {
     CoordState& c = coord_.at(txn);
     if (now - c.last_driven < options_.retry_timeout) continue;
@@ -175,7 +218,7 @@ void Replica::redrive_coordinations(const std::set<TxnId>& driven_this_tick) {
         p.has_payload = false;
       }
       p.meta = c.meta;
-      net_.send_msg(id(), view(s).leader, p);
+      rt().send_msg(id(), view(s).leader, p);
     }
   }
 }
@@ -239,7 +282,7 @@ PrepareAck Replica::prepare_txn(const Prepare& m) {
         }
       }
     }
-    prepared_at_[next_] = sim().now();
+    prepared_at_[next_] = rt().now();
     // The slot's vote and payload are final for its prepared life: index it
     // (no-op for abort votes, which never enter L2).
     index_.on_prepared(log_, next_);
@@ -266,13 +309,13 @@ static Accept make_accept(const PrepareAck& ack, ProcessId coordinator) {
 
 void Replica::prepare_and_ack(ProcessId coordinator, const Prepare& m) {
   PrepareAck ack = prepare_txn(m);
-  net_.send_msg(id(), coordinator, ack);
+  rt().send_msg(id(), coordinator, ack);
   if (options_.leader_ships_accepts) {
     // Ablation: leader-driven replication — the leader fans the ACCEPT out
     // itself; followers acknowledge to the coordinator.
     Accept acc = make_accept(ack, coordinator);
     for (ProcessId f : view(options_.shard).followers()) {
-      net_.send_msg(id(), f, acc);
+      rt().send_msg(id(), f, acc);
     }
   }
 }
@@ -292,8 +335,8 @@ void Replica::handle_prepare_batch(ProcessId from, const PrepareBatch& m) {
     }
     acks.items.push_back(std::move(ack));
   }
-  net_.send_msg(id(), from, std::move(acks));
-  for (auto& [f, batch] : ship) net_.send_msg(id(), f, std::move(batch));
+  rt().send_msg(id(), from, std::move(acks));
+  for (auto& [f, batch] : ship) rt().send_msg(id(), f, std::move(batch));
 }
 
 Replica::Witnesses Replica::collect_witnesses(Slot slot) const {
@@ -393,7 +436,7 @@ void Replica::handle_prepare_ack(ProcessId from, const PrepareAck& m) {
   // where the leader already fanned the ACCEPT out.)
   if (!options_.leader_ships_accepts) {
     for (ProcessId f : view(m.shard).followers()) {
-      net_.send_msg(id(), f, acc);
+      rt().send_msg(id(), f, acc);
     }
   }
   check_coordination(m.txn);  // zero-follower shards complete immediately
@@ -416,9 +459,9 @@ void Replica::handle_prepare_ack_batch(ProcessId from, const PrepareAckBatch& m)
   }
   for (auto& [f, batch] : ship) {
     if (batch.items.size() == 1) {
-      net_.send_msg(id(), f, std::move(batch.items.front()));
+      rt().send_msg(id(), f, std::move(batch.items.front()));
     } else {
-      net_.send_msg(id(), f, std::move(batch));
+      rt().send_msg(id(), f, std::move(batch));
     }
   }
 }
@@ -437,7 +480,7 @@ bool Replica::apply_accept(ProcessId from, const Accept& m, AcceptAck* ack,
     e.vote = m.vote;
     e.phase = Phase::kPrepared;
     e.meta = m.meta;
-    prepared_at_[m.slot] = sim().now();
+    prepared_at_[m.slot] = rt().now();
     index_.on_prepared(log_, m.slot);
   }
   // Line 25: acknowledge to the coordinator (which in the leader-driven
@@ -451,7 +494,7 @@ void Replica::handle_accept(ProcessId from, const Accept& m) {
   AcceptAck ack;
   ProcessId coordinator = kNoProcess;
   if (!apply_accept(from, m, &ack, &coordinator)) return;
-  net_.send_msg(id(), coordinator, ack);
+  rt().send_msg(id(), coordinator, ack);
 }
 
 void Replica::handle_accept_batch(ProcessId from, const AcceptBatch& m) {
@@ -464,9 +507,9 @@ void Replica::handle_accept_batch(ProcessId from, const AcceptBatch& m) {
   }
   for (auto& [coordinator, batch] : replies) {
     if (batch.items.size() == 1) {
-      net_.send_msg(id(), coordinator, std::move(batch.items.front()));
+      rt().send_msg(id(), coordinator, std::move(batch.items.front()));
     } else {
-      net_.send_msg(id(), coordinator, std::move(batch));
+      rt().send_msg(id(), coordinator, std::move(batch));
     }
   }
 }
@@ -513,14 +556,14 @@ void Replica::check_coordination(TxnId txn) {
     if (monitor_) monitor_->on_local_decision(txn, decision);
     c.local_cb(decision);
   } else if (c.meta.client != kNoProcess) {
-    net_.send_msg(id(), c.meta.client, ClientDecision{txn, decision});
+    rt().send_msg(id(), c.meta.client, ClientDecision{txn, decision});
   }
   // Lines 28-29: persist the decision at every member of each shard.
   for (ShardId s : c.meta.participants) {
     const ShardProgress& pr = c.progress.at(s);
     const configsvc::ShardConfig& v = view(s);
     for (ProcessId p : v.members) {
-      net_.send_msg(id(), p, DecisionMsg{v.epoch, s, pr.slot, txn, decision});
+      rt().send_msg(id(), p, DecisionMsg{v.epoch, s, pr.slot, txn, decision});
     }
   }
   // The coordination is complete: shed the heavy state but keep the entry
@@ -562,7 +605,7 @@ void Replica::handle_probe(ProcessId from, const Probe& m) {
   // Lines 42-44: stop processing transactions and acknowledge.
   status_ = Status::kReconfiguring;
   new_epoch_ = m.epoch;
-  net_.send_msg(id(), from, ProbeAck{initialized_, m.epoch, options_.shard});
+  rt().send_msg(id(), from, ProbeAck{initialized_, m.epoch, options_.shard});
 }
 
 // --- recon::StackHooks --------------------------------------------------------
@@ -590,7 +633,7 @@ void Replica::fetch_members_at(ShardId shard, Epoch epoch,
 }
 
 void Replica::send_probe(ProcessId target, Epoch new_epoch) {
-  net_.send_msg(id(), target, Probe{new_epoch});
+  rt().send_msg(id(), target, Probe{new_epoch});
 }
 
 std::vector<ProcessId> Replica::reserve_spares(ShardId shard, std::size_t n) {
@@ -611,7 +654,7 @@ void Replica::submit(const recon::Proposal& proposal,
 void Replica::activate(const recon::Proposal& proposal) {
   // Line 50: hand the won configuration to its new leader.
   const configsvc::ShardConfig& next = proposal.shards.begin()->second;
-  net_.send_msg(id(), next.leader, NewConfig{next.epoch, next.members});
+  rt().send_msg(id(), next.leader, NewConfig{next.epoch, next.members});
 }
 
 recon::PlacementContext Replica::placement_context(ShardId shard) {
@@ -640,7 +683,7 @@ void Replica::handle_new_config(ProcessId from, const NewConfig& m) {
   for (Slot k = 1; k <= log_.size(); ++k) {
     const LogEntry* e = log_.find(k);
     if (e != nullptr && e->phase == Phase::kPrepared && prepared_at_.count(k) == 0) {
-      prepared_at_[k] = sim().now();
+      prepared_at_[k] = rt().now();
     }
   }
   if (monitor_) monitor_->on_epoch_installed(*this);
@@ -650,7 +693,7 @@ void Replica::handle_new_config(ProcessId from, const NewConfig& m) {
   ns.members = m.members;
   ns.log = log_;
   for (ProcessId p : m.members) {
-    if (p != id()) net_.send_msg(id(), p, ns);
+    if (p != id()) rt().send_msg(id(), p, ns);
   }
   RATC_DEBUG(name() << " leads s" << options_.shard << " at epoch " << m.epoch);
 }
@@ -675,7 +718,7 @@ void Replica::handle_new_state(ProcessId from, const NewState& m) {
   prepared_at_.clear();
   for (Slot k = 1; k <= log_.size(); ++k) {
     const LogEntry* e = log_.find(k);
-    if (e != nullptr && e->phase == Phase::kPrepared) prepared_at_[k] = sim().now();
+    if (e != nullptr && e->phase == Phase::kPrepared) prepared_at_[k] = rt().now();
   }
   if (monitor_) monitor_->on_epoch_installed(*this);
   RATC_DEBUG(name() << " follows " << process_name(from) << " in s" << options_.shard
@@ -694,14 +737,14 @@ void Replica::handle_config_change(const configsvc::ConfigChange& m) {
 
 void Replica::arm_retry_timer() {
   if (options_.retry_timeout == 0) return;
-  sim().schedule_for(id(), options_.retry_timeout, [this] {
+  rt().schedule_for(id(), options_.retry_timeout, [this] {
     run_retry_tick();
     arm_retry_timer();
   });
 }
 
 void Replica::run_retry_tick() {
-  Time now = sim().now();
+  Time now = rt().now();
   // Pass 1 — collect.  retry() re-enters coordination state and the
   // rate-limit updates of pass 2 write prepared_at_, so nothing may mutate
   // the map while it is iterated.
@@ -743,6 +786,8 @@ void Replica::on_message(ProcessId from, const sim::AnyMessage& msg) {
     meta.participants = options_.shard_map->shards_of(m->payload);
     meta.client = from;
     start_certification(std::move(meta), &m->payload, nullptr);
+  } else if (const auto* b = msg.as<CertifyBatchRequest>()) {
+    certify_batch_remote(from, b->items);
   } else if (const auto* p = msg.as<Prepare>()) {
     handle_prepare(from, *p);
   } else if (const auto* pb = msg.as<PrepareBatch>()) {

@@ -97,6 +97,8 @@ class Replica : public sim::Process, private recon::StackHooks {
     Monitor* monitor = nullptr;
   };
 
+  Replica(rt::Runtime& rt, ProcessId id, Options options);
+  /// Sim-harness compatibility: binds to `net`'s embedded runtime.
   Replica(sim::Simulator& sim, sim::Network& net, ProcessId id, Options options);
 
   // --- bootstrap ------------------------------------------------------------
@@ -176,6 +178,10 @@ class Replica : public sim::Process, private recon::StackHooks {
   // Fig. 1 handlers.
   void start_certification(TxnMeta meta, const tcs::Payload* full_payload,
                            std::function<void(tcs::Decision)> local_cb);
+  /// CERTIFY_BATCH: certify_batch_local's shape, but decisions go back to
+  /// `client` as DECISION_CLIENT messages.
+  void certify_batch_remote(ProcessId client,
+                            const std::vector<CertifyRequest>& items);
   void handle_prepare(ProcessId from, const Prepare& m);            // line 4
   void handle_prepare_ack(ProcessId from, const PrepareAck& m);     // line 18
   void handle_accept(ProcessId from, const Accept& m);              // line 21
@@ -271,7 +277,6 @@ class Replica : public sim::Process, private recon::StackHooks {
   void redrive_coordinations(const std::set<TxnId>& driven_this_tick);
 
   Options options_;
-  sim::Network& net_;
   configsvc::CsClient cs_;
   fd::Responder fd_responder_;
   Monitor* monitor_;

@@ -2,13 +2,18 @@
 
 namespace ratc::configsvc {
 
-CsClient::CsClient(sim::Simulator& sim, sim::Network& net, ProcessId owner,
+CsClient::CsClient(rt::Runtime& rt, ProcessId owner,
                    std::vector<ProcessId> endpoints, Duration retry_every)
-    : sim_(sim),
-      net_(net),
+    : rt_(rt),
       owner_(owner),
       endpoints_(std::move(endpoints)),
       retry_every_(retry_every) {}
+
+CsClient::CsClient(sim::Simulator& sim, sim::Network& net, ProcessId owner,
+                   std::vector<ProcessId> endpoints, Duration retry_every)
+    : CsClient(net.runtime(), owner, std::move(endpoints), retry_every) {
+  (void)sim;
+}
 
 void CsClient::cas(ShardId shard, Epoch expected, ShardConfig next,
                    std::function<void(bool)> cb) {
@@ -49,11 +54,11 @@ void CsClient::dispatch(RequestId id, sim::AnyMessage request,
 }
 
 void CsClient::broadcast(const sim::AnyMessage& request) {
-  for (ProcessId e : endpoints_) net_.send(owner_, e, request);
+  for (ProcessId e : endpoints_) rt_.send(owner_, e, request);
 }
 
 void CsClient::arm_retry(RequestId id) {
-  sim_.schedule_for(owner_, retry_every_, [this, id] {
+  rt_.schedule_for(owner_, retry_every_, [this, id] {
     auto it = pending_.find(id);
     if (it == pending_.end()) return;
     broadcast(it->second.request);
@@ -77,13 +82,18 @@ bool CsClient::handle(const sim::AnyMessage& msg) {
   return false;
 }
 
-GcsClient::GcsClient(sim::Simulator& sim, sim::Network& net, ProcessId owner,
+GcsClient::GcsClient(rt::Runtime& rt, ProcessId owner,
                      std::vector<ProcessId> endpoints, Duration retry_every)
-    : sim_(sim),
-      net_(net),
+    : rt_(rt),
       owner_(owner),
       endpoints_(std::move(endpoints)),
       retry_every_(retry_every) {}
+
+GcsClient::GcsClient(sim::Simulator& sim, sim::Network& net, ProcessId owner,
+                     std::vector<ProcessId> endpoints, Duration retry_every)
+    : GcsClient(net.runtime(), owner, std::move(endpoints), retry_every) {
+  (void)sim;
+}
 
 void GcsClient::cas(Epoch expected, GlobalConfig next, std::function<void(bool)> cb) {
   RequestId id = fresh_id();
@@ -122,11 +132,11 @@ void GcsClient::dispatch(RequestId id, sim::AnyMessage request,
 }
 
 void GcsClient::broadcast(const sim::AnyMessage& request) {
-  for (ProcessId e : endpoints_) net_.send(owner_, e, request);
+  for (ProcessId e : endpoints_) rt_.send(owner_, e, request);
 }
 
 void GcsClient::arm_retry(RequestId id) {
-  sim_.schedule_for(owner_, retry_every_, [this, id] {
+  rt_.schedule_for(owner_, retry_every_, [this, id] {
     auto it = pending_.find(id);
     if (it == pending_.end()) return;
     broadcast(it->second.request);

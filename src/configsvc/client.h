@@ -14,6 +14,7 @@
 
 #include "configsvc/config.h"
 #include "configsvc/messages.h"
+#include "rt/runtime.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 
@@ -21,6 +22,8 @@ namespace ratc::configsvc {
 
 class CsClient {
  public:
+  CsClient(rt::Runtime& rt, ProcessId owner, std::vector<ProcessId> endpoints,
+           Duration retry_every = 50);
   CsClient(sim::Simulator& sim, sim::Network& net, ProcessId owner,
            std::vector<ProcessId> endpoints, Duration retry_every = 50);
 
@@ -52,8 +55,7 @@ class CsClient {
   void arm_retry(RequestId id);
   bool complete(RequestId id, const sim::AnyMessage& msg);
 
-  sim::Simulator& sim_;
-  sim::Network& net_;
+  rt::Runtime& rt_;
   ProcessId owner_;
   std::vector<ProcessId> endpoints_;
   Duration retry_every_;
@@ -64,6 +66,8 @@ class CsClient {
 /// Same pattern for the global configuration service of the RDMA protocol.
 class GcsClient {
  public:
+  GcsClient(rt::Runtime& rt, ProcessId owner, std::vector<ProcessId> endpoints,
+            Duration retry_every = 50);
   GcsClient(sim::Simulator& sim, sim::Network& net, ProcessId owner,
             std::vector<ProcessId> endpoints, Duration retry_every = 50);
 
@@ -86,8 +90,7 @@ class GcsClient {
   void arm_retry(RequestId id);
   bool complete(RequestId id, const sim::AnyMessage& msg);
 
-  sim::Simulator& sim_;
-  sim::Network& net_;
+  rt::Runtime& rt_;
   ProcessId owner_;
   std::vector<ProcessId> endpoints_;
   Duration retry_every_;

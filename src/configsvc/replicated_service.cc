@@ -4,8 +4,13 @@
 
 namespace ratc::configsvc {
 
+CsServer::CsServer(rt::Runtime& rt, ProcessId id)
+    : Process(rt, id, "cs-frontend" + std::to_string(id)) {}
+
 CsServer::CsServer(sim::Simulator& sim, sim::Network& net, ProcessId id)
-    : Process(sim, id, "cs-frontend" + std::to_string(id)), net_(net) {}
+    : CsServer(net.runtime(), id) {
+  (void)sim;
+}
 
 void CsServer::bootstrap(ShardId shard, ShardConfig config) {
   assert(config.valid());
@@ -51,11 +56,11 @@ void CsServer::apply(Slot slot, const sim::AnyMessage& cmd) {
     replies_.emplace(req_id, reply);
     if (cas_ok && paxos_->is_leader()) {
       for (ProcessId p : subscribers_) {
-        net_.send_msg(id(), p, ConfigChange{cas_shard, last(cas_shard)});
+        rt().send_msg(id(), p, ConfigChange{cas_shard, last(cas_shard)});
       }
     }
   }
-  if (paxos_->is_leader()) net_.send(id(), c->origin, reply);
+  if (paxos_->is_leader()) rt().send(id(), c->origin, reply);
 }
 
 sim::AnyMessage CsServer::execute(const sim::AnyMessage& request, bool* cas_ok,

@@ -34,6 +34,7 @@ struct CsCommand {
 
 class CsServer : public sim::Process {
  public:
+  CsServer(rt::Runtime& rt, ProcessId id);
   CsServer(sim::Simulator& sim, sim::Network& net, ProcessId id);
 
   void attach_paxos(paxos::PaxosReplica* paxos) { paxos_ = paxos; }
@@ -53,7 +54,7 @@ class CsServer : public sim::Process {
   sim::AnyMessage execute(const sim::AnyMessage& request, bool* cas_ok,
                           ShardId* cas_shard);
 
-  sim::Network& net_;
+
   paxos::PaxosReplica* paxos_ = nullptr;
   std::map<ShardId, std::map<Epoch, ShardConfig>> configs_;
   std::map<ShardId, Epoch> last_epoch_;

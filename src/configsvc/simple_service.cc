@@ -6,9 +6,14 @@
 
 namespace ratc::configsvc {
 
+SimpleConfigService::SimpleConfigService(rt::Runtime& rt, ProcessId id)
+    : Process(rt, id, "cs") {}
+
 SimpleConfigService::SimpleConfigService(sim::Simulator& sim, sim::Network& net,
                                          ProcessId id)
-    : Process(sim, id, "cs"), net_(net) {}
+    : SimpleConfigService(net.runtime(), id) {
+  (void)sim;
+}
 
 void SimpleConfigService::bootstrap(ShardId shard, ShardConfig config) {
   assert(config.valid());
@@ -32,10 +37,10 @@ void SimpleConfigService::on_message(ProcessId from, const sim::AnyMessage& msg)
       last_epoch_[cas->shard] = cas->next.epoch;
       RATC_DEBUG("CS: stored s" << cas->shard << " " << cas->next.to_string());
     }
-    net_.send_msg(id(), from, CsCasReply{ok, cas->req_id});
+    rt().send_msg(id(), from, CsCasReply{ok, cas->req_id});
     if (ok) broadcast_change(cas->shard, cas->next);
   } else if (const auto* gl = msg.as<CsGetLast>()) {
-    net_.send_msg(id(), from, CsGetLastReply{last(gl->shard), gl->req_id});
+    rt().send_msg(id(), from, CsGetLastReply{last(gl->shard), gl->req_id});
   } else if (const auto* g = msg.as<CsGet>()) {
     CsGetReply reply;
     reply.req_id = g->req_id;
@@ -47,7 +52,7 @@ void SimpleConfigService::on_message(ProcessId from, const sim::AnyMessage& msg)
         reply.config = eit->second;
       }
     }
-    net_.send_msg(id(), from, reply);
+    rt().send_msg(id(), from, reply);
   }
 }
 
@@ -56,13 +61,18 @@ void SimpleConfigService::broadcast_change(ShardId shard, const ShardConfig& con
   // of shards other than s".  Receivers filter on their own shard (line 68),
   // so notifying every subscriber is equivalent.
   for (ProcessId p : subscribers_) {
-    net_.send_msg(id(), p, ConfigChange{shard, config});
+    rt().send_msg(id(), p, ConfigChange{shard, config});
   }
 }
 
+SimpleGlobalConfigService::SimpleGlobalConfigService(rt::Runtime& rt, ProcessId id)
+    : Process(rt, id, "gcs") {}
+
 SimpleGlobalConfigService::SimpleGlobalConfigService(sim::Simulator& sim,
                                                      sim::Network& net, ProcessId id)
-    : Process(sim, id, "gcs"), net_(net) {}
+    : SimpleGlobalConfigService(net.runtime(), id) {
+  (void)sim;
+}
 
 void SimpleGlobalConfigService::bootstrap(GlobalConfig config) {
   assert(config.valid());
@@ -78,17 +88,17 @@ void SimpleGlobalConfigService::on_message(ProcessId from, const sim::AnyMessage
       configs_[cas->next.epoch] = cas->next;
       RATC_DEBUG("GCS: stored global epoch " << cas->next.epoch);
     }
-    net_.send_msg(id(), from, GcsCasReply{ok, cas->req_id});
+    rt().send_msg(id(), from, GcsCasReply{ok, cas->req_id});
     if (ok) {
       for (ProcessId p : subscribers_) {
-        net_.send_msg(id(), p, GlobalConfigChange{configs_.at(last_epoch_)});
+        rt().send_msg(id(), p, GlobalConfigChange{configs_.at(last_epoch_)});
       }
     }
   } else if (const auto* gl = msg.as<GcsGetLast>()) {
     GcsGetLastReply reply;
     if (last_epoch_ != kNoEpoch) reply.config = configs_.at(last_epoch_);
     reply.req_id = gl->req_id;
-    net_.send_msg(id(), from, reply);
+    rt().send_msg(id(), from, reply);
   } else if (const auto* g = msg.as<GcsGet>()) {
     GcsGetReply reply;
     reply.req_id = g->req_id;
@@ -97,7 +107,7 @@ void SimpleGlobalConfigService::on_message(ProcessId from, const sim::AnyMessage
       reply.found = true;
       reply.config = it->second;
     }
-    net_.send_msg(id(), from, reply);
+    rt().send_msg(id(), from, reply);
   }
 }
 

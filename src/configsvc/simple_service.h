@@ -16,6 +16,7 @@ namespace ratc::configsvc {
 /// Per-shard configuration store used by the message-passing protocol.
 class SimpleConfigService : public sim::Process {
  public:
+  SimpleConfigService(rt::Runtime& rt, ProcessId id);
   SimpleConfigService(sim::Simulator& sim, sim::Network& net, ProcessId id);
 
   /// Installs an initial configuration without message traffic (bootstrap of
@@ -33,7 +34,6 @@ class SimpleConfigService : public sim::Process {
  private:
   void broadcast_change(ShardId shard, const ShardConfig& config);
 
-  sim::Network& net_;
   std::map<ShardId, std::map<Epoch, ShardConfig>> configs_;
   std::map<ShardId, Epoch> last_epoch_;
   std::vector<ProcessId> subscribers_;
@@ -44,6 +44,7 @@ class SimpleConfigService : public sim::Process {
 /// argument, exactly as the paper describes.
 class SimpleGlobalConfigService : public sim::Process {
  public:
+  SimpleGlobalConfigService(rt::Runtime& rt, ProcessId id);
   SimpleGlobalConfigService(sim::Simulator& sim, sim::Network& net, ProcessId id);
 
   void bootstrap(GlobalConfig config);
@@ -58,7 +59,6 @@ class SimpleGlobalConfigService : public sim::Process {
   void on_message(ProcessId from, const sim::AnyMessage& msg) override;
 
  private:
-  sim::Network& net_;
   std::map<Epoch, GlobalConfig> configs_;
   Epoch last_epoch_ = kNoEpoch;
   std::vector<ProcessId> subscribers_;

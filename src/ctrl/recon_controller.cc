@@ -10,12 +10,16 @@ namespace ratc::ctrl {
 
 ReconController::ReconController(sim::Simulator& sim, sim::Network& net,
                                  ProcessId id, Options options)
-    : Process(sim, id, "ctrl/s" + std::to_string(options.shard)),
+    : ReconController(net.runtime(), id, std::move(options)) {
+  (void)sim;
+}
+
+ReconController::ReconController(rt::Runtime& rt, ProcessId id, Options options)
+    : Process(rt, id, "ctrl/s" + std::to_string(options.shard)),
       options_(std::move(options)),
-      net_(net),
-      cs_(sim, net, id, options_.cs_endpoints),
-      fd_(sim, net, id, options_.tuning.fd),
-      engine_(sim, id, *this,
+      cs_(rt, id, options_.cs_endpoints),
+      fd_(rt, id, options_.tuning.fd),
+      engine_(rt, id, *this,
               {.target_shard_size = options_.target_shard_size,
                .probe_patience = options_.tuning.probe_patience,
                .policy = options_.tuning.policy}),
@@ -76,11 +80,11 @@ void ReconController::maybe_act() {
   // completion regardless — its probes have already frozen replicas.
   if (!have_live_grievance() && engine_.pending_target() == kNoEpoch) return;
   if (engine_.in_flight()) return;  // attempt in flight; its watchdog re-checks
-  Time now = sim().now();
+  Time now = rt().now();
   if (now < next_allowed_) {
     if (!retry_armed_) {
       retry_armed_ = true;
-      sim().schedule_for(id(), next_allowed_ - now, [this] {
+      rt().schedule_for(id(), next_allowed_ - now, [this] {
         retry_armed_ = false;
         maybe_act();
       });
@@ -91,7 +95,7 @@ void ReconController::maybe_act() {
 }
 
 void ReconController::start_attempt() {
-  Time now = sim().now();
+  Time now = rt().now();
   if (last_attempt_at_ != 0 &&
       now - last_attempt_at_ >= options_.tuning.backoff_reset_after) {
     backoff_ = options_.tuning.backoff_initial;  // new incident, fresh budget
@@ -110,7 +114,7 @@ void ReconController::start_attempt() {
 }
 
 void ReconController::arm_watchdog() {
-  sim().schedule_for(id(), options_.tuning.attempt_timeout, [this, r = round_] {
+  rt().schedule_for(id(), options_.tuning.attempt_timeout, [this, r = round_] {
     if (round_ != r) return;  // a newer attempt owns the state
     if (engine_.in_flight()) {
       // Probes swallowed (e.g. every probed member crashed or partitioned
@@ -197,7 +201,7 @@ void ReconController::fetch_members_at(
 }
 
 void ReconController::send_probe(ProcessId target, Epoch new_epoch) {
-  net_.send_msg(id(), target, commit::Probe{new_epoch});
+  rt().send_msg(id(), target, commit::Probe{new_epoch});
 }
 
 std::vector<ProcessId> ReconController::reserve_spares(ShardId shard,
@@ -220,7 +224,7 @@ void ReconController::submit(const recon::Proposal& proposal,
 void ReconController::activate(const recon::Proposal& proposal) {
   const configsvc::ShardConfig& next = proposal.shards.at(options_.shard);
   RATC_DEBUG(name() << " installed " << next.to_string());
-  net_.send_msg(id(), next.leader, commit::NewConfig{next.epoch, next.members});
+  rt().send_msg(id(), next.leader, commit::NewConfig{next.epoch, next.members});
 }
 
 recon::PlacementContext ReconController::placement_context(ShardId shard) {
@@ -256,7 +260,7 @@ void ReconController::nudge() {
   if (gview_.valid()) engine_.set_pending_target(gview_.epoch + 1);
   ProcessId target = candidates[nudge_rr_++ % candidates.size()];
   RATC_DEBUG(name() << " nudges " << process_name(target));
-  net_.send_msg(id(), target, NudgeReconfig{options_.shard, view_.epoch});
+  rt().send_msg(id(), target, NudgeReconfig{options_.shard, view_.epoch});
 }
 
 // --- dispatch -----------------------------------------------------------------

@@ -107,6 +107,7 @@ class ReconController : public sim::Process, private recon::StackHooks {
     std::size_t nudges = 0;            ///< delegated triggers (kDelegateGlobal)
   };
 
+  ReconController(rt::Runtime& rt, ProcessId id, Options options);
   ReconController(sim::Simulator& sim, sim::Network& net, ProcessId id,
                   Options options);
 
@@ -162,7 +163,6 @@ class ReconController : public sim::Process, private recon::StackHooks {
   void nudge();
 
   Options options_;
-  sim::Network& net_;
   configsvc::CsClient cs_;
   fd::PingMonitor fd_;
   recon::Engine engine_;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "rt/runtime.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 
@@ -39,17 +40,18 @@ struct Pong {
 /// Embed in a monitored process: answers pings.  Returns true if consumed.
 class Responder {
  public:
-  Responder(sim::Network& net, ProcessId owner) : net_(net), owner_(owner) {}
+  Responder(rt::Runtime& rt, ProcessId owner) : rt_(rt), owner_(owner) {}
+  Responder(sim::Network& net, ProcessId owner) : Responder(net.runtime(), owner) {}
 
   bool handle(ProcessId from, const sim::AnyMessage& msg) {
     const auto* ping = msg.as<Ping>();
     if (ping == nullptr) return false;
-    net_.send_msg(owner_, from, Pong{ping->seq});
+    rt_.send_msg(owner_, from, Pong{ping->seq});
     return true;
   }
 
  private:
-  sim::Network& net_;
+  rt::Runtime& rt_;
   ProcessId owner_;
 };
 
@@ -62,12 +64,18 @@ class PingMonitor {
     Duration suspect_after = 50;  ///< silence threshold
   };
 
+  PingMonitor(rt::Runtime& rt, ProcessId owner, Options options)
+      : rt_(rt), owner_(owner), options_(options) {}
+
+  PingMonitor(rt::Runtime& rt, ProcessId owner)
+      : PingMonitor(rt, owner, Options{}) {}
+
   PingMonitor(sim::Simulator& sim, sim::Network& net, ProcessId owner,
               Options options)
-      : sim_(sim), net_(net), owner_(owner), options_(options) {}
+      : PingMonitor(net.runtime(), owner, options) { (void)sim; }
 
   PingMonitor(sim::Simulator& sim, sim::Network& net, ProcessId owner)
-      : PingMonitor(sim, net, owner, Options{}) {}
+      : PingMonitor(net.runtime(), owner, Options{}) { (void)sim; }
 
   /// Registered suspicion/recovery callbacks.  on_suspect fires once per
   /// suspicion edge (a watched peer crossing the silence threshold);
@@ -88,7 +96,7 @@ class PingMonitor {
   void unsubscribe(SubscriptionId id) { subscribers_.erase(id); }
 
   void watch(ProcessId peer) {
-    watched_[peer] = sim_.now();
+    watched_[peer] = rt_.now();
     suspected_.erase(peer);
     if (started_ && !ticking_) {
       ticking_ = true;
@@ -128,7 +136,7 @@ class PingMonitor {
     if (pong == nullptr) return false;
     auto it = watched_.find(from);
     if (it != watched_.end()) {
-      it->second = sim_.now();
+      it->second = rt_.now();
       if (suspected_.erase(from) > 0) {  // spurious suspicion retracted
         notify(from, &Callbacks::on_recover);
       }
@@ -171,8 +179,8 @@ class PingMonitor {
     // first and fire after the iteration.
     std::vector<ProcessId> newly_suspected;
     for (auto& [peer, last_heard] : watched_) {
-      net_.send_msg(owner_, peer, Ping{seq_++});
-      if (sim_.now() - last_heard >= options_.suspect_after &&
+      rt_.send_msg(owner_, peer, Ping{seq_++});
+      if (rt_.now() - last_heard >= options_.suspect_after &&
           suspected_.insert(peer).second) {
         newly_suspected.push_back(peer);
       }
@@ -180,11 +188,10 @@ class PingMonitor {
     for (ProcessId peer : newly_suspected) {
       notify(peer, &Callbacks::on_suspect);
     }
-    sim_.schedule_for(owner_, options_.ping_every, [this] { tick(); });
+    rt_.schedule_for(owner_, options_.ping_every, [this] { tick(); });
   }
 
-  sim::Simulator& sim_;
-  sim::Network& net_;
+  rt::Runtime& rt_;
   ProcessId owner_;
   Options options_;
   std::map<ProcessId, Time> watched_;

@@ -9,8 +9,14 @@ namespace ratc::paxos {
 
 PaxosReplica::PaxosReplica(sim::Simulator& sim, sim::Network& net, ProcessId id,
                            std::string name, Options options, ApplyFn apply)
-    : Process(sim, id, std::move(name)),
-      net_(net),
+    : PaxosReplica(net.runtime(), id, std::move(name), std::move(options),
+                   std::move(apply)) {
+  (void)sim;
+}
+
+PaxosReplica::PaxosReplica(rt::Runtime& rt, ProcessId id, std::string name,
+                           Options options, ApplyFn apply)
+    : Process(rt, id, std::move(name)),
       options_(std::move(options)),
       apply_(std::move(apply)) {
   assert(std::count(options_.group.begin(), options_.group.end(), id) == 1);
@@ -31,7 +37,7 @@ void PaxosReplica::submit(sim::AnyMessage cmd) {
   } else if (electing_) {
     backlog_.push_back(std::move(cmd));
   } else if (leader_hint_ != kNoProcess && leader_hint_ != id()) {
-    net_.send_msg(id(), leader_hint_, SubmitCmd{std::move(cmd)});
+    rt().send_msg(id(), leader_hint_, SubmitCmd{std::move(cmd)});
   } else {
     backlog_.push_back(std::move(cmd));
   }
@@ -48,7 +54,7 @@ void PaxosReplica::start_election() {
                     << my_ballot_.proposer << ")");
   for (ProcessId p : options_.group) {
     if (p == id()) continue;
-    net_.send_msg(id(), p, Phase1a{my_ballot_});
+    rt().send_msg(id(), p, Phase1a{my_ballot_});
   }
   // Self-promise.
   promised_ = my_ballot_;
@@ -79,7 +85,7 @@ void PaxosReplica::handle_phase1a(ProcessId from, const Phase1a& m) {
   promised_ = m.ballot;
   leading_ = false;
   electing_ = false;
-  net_.send_msg(id(), from, Phase1b{m.ballot, accepted_});
+  rt().send_msg(id(), from, Phase1b{m.ballot, accepted_});
 }
 
 void PaxosReplica::handle_phase1b(ProcessId from, const Phase1b& m) {
@@ -135,7 +141,7 @@ void PaxosReplica::drain_backlog() {
   auto backlog = std::move(backlog_);
   backlog_.clear();
   for (auto& cmd : backlog) {
-    net_.send_msg(id(), leader_hint_, SubmitCmd{std::move(cmd)});
+    rt().send_msg(id(), leader_hint_, SubmitCmd{std::move(cmd)});
   }
 }
 
@@ -148,7 +154,7 @@ void PaxosReplica::propose(Slot slot, sim::AnyMessage cmd) {
   accepted_[slot] = AcceptedEntry{my_ballot_, cmd};
   for (ProcessId peer : options_.group) {
     if (peer == id()) continue;
-    net_.send_msg(id(), peer, Phase2a{my_ballot_, slot, cmd});
+    rt().send_msg(id(), peer, Phase2a{my_ballot_, slot, cmd});
   }
   if (p.acks.size() >= majority()) {
     choose(slot, cmd);
@@ -162,7 +168,7 @@ void PaxosReplica::handle_phase2a(ProcessId from, const Phase2a& m) {
   if (leading_ && my_ballot_ < m.ballot) leading_ = false;
   leader_hint_ = m.ballot.proposer;
   accepted_[m.slot] = AcceptedEntry{m.ballot, m.cmd};
-  net_.send_msg(id(), from, Phase2b{m.ballot, m.slot});
+  rt().send_msg(id(), from, Phase2b{m.ballot, m.slot});
   drain_backlog();
 }
 
@@ -183,7 +189,7 @@ void PaxosReplica::choose(Slot slot, const sim::AnyMessage& cmd) {
     chosen_.emplace(slot, cmd);
     for (ProcessId peer : options_.group) {
       if (peer == id()) continue;
-      net_.send_msg(id(), peer, CommitSlot{my_ballot_, slot, cmd});
+      rt().send_msg(id(), peer, CommitSlot{my_ballot_, slot, cmd});
     }
   }
   apply_ready();

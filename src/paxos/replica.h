@@ -45,6 +45,8 @@ class PaxosReplica : public sim::Process {
     ProcessId initial_leader = kNoProcess;
   };
 
+  PaxosReplica(rt::Runtime& rt, ProcessId id, std::string name, Options options,
+               ApplyFn apply);
   PaxosReplica(sim::Simulator& sim, sim::Network& net, ProcessId id,
                std::string name, Options options, ApplyFn apply);
 
@@ -80,7 +82,6 @@ class PaxosReplica : public sim::Process {
   /// Forwards buffered commands once a leader becomes known.
   void drain_backlog();
 
-  sim::Network& net_;
   Options options_;
   ApplyFn apply_;
 

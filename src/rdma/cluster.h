@@ -26,18 +26,20 @@ namespace ratc::rdma {
 
 class Client : public sim::Process {
  public:
+  Client(rt::Runtime& rt, ProcessId id, tcs::History* history)
+      : Process(rt, id, "rclient" + std::to_string(id)), history_(history) {}
   Client(sim::Simulator& sim, sim::Network& net, ProcessId id, tcs::History* history)
-      : Process(sim, id, "rclient" + std::to_string(id)), net_(net), history_(history) {}
+      : Client(net.runtime(), id, history) { (void)sim; }
 
   void certify_remote(ProcessId coordinator, TxnId txn, const tcs::Payload& payload) {
-    history_->record_certify(sim().now(), txn, payload);
-    sent_[txn] = sim().now();
-    net_.send_msg(id(), coordinator, commit::CertifyRequest{txn, payload});
+    history_->record_certify(rt().now(), txn, payload);
+    sent_[txn] = rt().now();
+    rt().send_msg(id(), coordinator, commit::CertifyRequest{txn, payload});
   }
 
   void certify_colocated(Replica& coordinator, TxnId txn, const tcs::Payload& payload) {
-    history_->record_certify(sim().now(), txn, payload);
-    sent_[txn] = sim().now();
+    history_->record_certify(rt().now(), txn, payload);
+    sent_[txn] = rt().now();
     coordinator.certify_local(txn, payload, [this, txn](tcs::Decision d) {
       record_decision(txn, d);
     });
@@ -48,8 +50,8 @@ class Client : public sim::Process {
       Replica& coordinator,
       const std::vector<std::pair<TxnId, tcs::Payload>>& batch) {
     for (const auto& [txn, payload] : batch) {
-      history_->record_certify(sim().now(), txn, payload);
-      sent_[txn] = sim().now();
+      history_->record_certify(rt().now(), txn, payload);
+      sent_[txn] = rt().now();
     }
     coordinator.certify_batch_local(batch, [this](TxnId txn, tcs::Decision d) {
       record_decision(txn, d);
@@ -87,16 +89,15 @@ class Client : public sim::Process {
 
  private:
   void record_decision(TxnId txn, tcs::Decision d) {
-    history_->record_decide(sim().now(), txn, d);
+    history_->record_decide(rt().now(), txn, d);
     observations_.emplace_back(txn, d);
     if (decisions_.count(txn) == 0) {
       decisions_[txn] = d;
-      decided_at_[txn] = sim().now();
+      decided_at_[txn] = rt().now();
       if (on_decision) on_decision(txn, d);
     }
   }
 
-  sim::Network& net_;
   tcs::History* history_;
   std::map<TxnId, tcs::Decision> decisions_;
   std::map<TxnId, Time> sent_;

@@ -12,17 +12,21 @@ namespace ratc::rdma {
 
 using tcs::Decision;
 
-Replica::Replica(sim::Simulator& sim, sim::Network& net, Fabric& fabric, ProcessId id,
-                 Options options)
-    : Process(sim, id, "rr" + std::to_string(id) + "/s" + std::to_string(options.shard)),
+Replica::Replica(sim::Simulator& sim, sim::Network& net, Fabric& fabric,
+                 ProcessId id, Options options)
+    : Replica(net.runtime(), fabric, id, std::move(options)) {
+  (void)sim;
+}
+
+Replica::Replica(rt::Runtime& rt, Fabric& fabric, ProcessId id, Options options)
+    : Process(rt, id, "rr" + std::to_string(id) + "/s" + std::to_string(options.shard)),
       options_(std::move(options)),
-      net_(net),
       fabric_(fabric),
-      gcs_(sim, net, id, options_.cs_endpoints),
-      cs_(sim, net, id, options_.cs_endpoints),
-      fd_responder_(net, id),
+      gcs_(rt, id, options_.cs_endpoints),
+      cs_(rt, id, options_.cs_endpoints),
+      fd_responder_(rt, id),
       monitor_(options_.monitor),
-      engine_(sim, id, *this,
+      engine_(rt, id, *this,
               {.target_shard_size = options_.target_shard_size,
                .probe_patience = options_.probe_patience,
                .policy = options_.placement_policy}) {
@@ -124,7 +128,7 @@ void Replica::start_certification(commit::TxnMeta meta, const tcs::Payload* full
       if (monitor_) monitor_->on_local_decision(txn, Decision::kCommit);
       local_cb(Decision::kCommit);
     } else if (meta.client != kNoProcess) {
-      net_.send_msg(id(), meta.client, commit::ClientDecision{txn, Decision::kCommit});
+      rt().send_msg(id(), meta.client, commit::ClientDecision{txn, Decision::kCommit});
     }
     return;
   }
@@ -133,7 +137,7 @@ void Replica::start_certification(commit::TxnMeta meta, const tcs::Payload* full
   undecided_coords_.insert(txn);
   c.meta = meta;
   if (local_cb) c.local_cb = std::move(local_cb);
-  c.last_driven = sim().now();
+  c.last_driven = rt().now();
   // Lines 75-76.
   for (ShardId s : meta.participants) {
     commit::Prepare p;
@@ -146,7 +150,7 @@ void Replica::start_certification(commit::TxnMeta meta, const tcs::Payload* full
       p.has_payload = false;
     }
     p.meta = meta;
-    net_.send_msg(id(), leader_of(s), p);
+    rt().send_msg(id(), leader_of(s), p);
   }
 }
 
@@ -177,7 +181,7 @@ void Replica::certify_batch_local(
     undecided_coords_.insert(txn);
     c.meta = meta;
     c.local_cb = [cb, txn](Decision d) { cb(txn, d); };
-    c.last_driven = sim().now();
+    c.last_driven = rt().now();
     for (ShardId s : meta.participants) {
       commit::Prepare p;
       p.txn = txn;
@@ -190,9 +194,9 @@ void Replica::certify_batch_local(
   }
   for (auto& [s, pb] : per_shard) {
     if (pb.items.size() == 1) {
-      net_.send_msg(id(), leader_of(s), std::move(pb.items.front()));
+      rt().send_msg(id(), leader_of(s), std::move(pb.items.front()));
     } else {
-      net_.send_msg(id(), leader_of(s), std::move(pb));
+      rt().send_msg(id(), leader_of(s), std::move(pb));
     }
   }
 }
@@ -203,7 +207,7 @@ void Replica::redrive_coordinations(const std::set<TxnId>& driven_this_tick) {
   // crashed leader leaves no prepared witness, so only its coordinator can
   // re-drive the transaction once reconfiguration installs a new leader.
   (void)driven_this_tick;  // only read by the assert below
-  Time now = sim().now();
+  Time now = rt().now();
   for (TxnId txn : undecided_coords_) {
     CoordState& c = coord_.at(txn);
     if (now - c.last_driven < options_.retry_timeout) continue;
@@ -221,7 +225,7 @@ void Replica::redrive_coordinations(const std::set<TxnId>& driven_this_tick) {
         p.has_payload = false;
       }
       p.meta = c.meta;
-      net_.send_msg(id(), leader_of(s), p);
+      rt().send_msg(id(), leader_of(s), p);
     }
   }
 }
@@ -280,7 +284,7 @@ commit::PrepareAck Replica::prepare_txn(const commit::Prepare& m) {
         }
       }
     }
-    prepared_at_[next_] = sim().now();
+    prepared_at_[next_] = rt().now();
     index_.on_prepared(log_, next_);
     ack.slot = next_;
     ack.payload = e.payload;
@@ -291,7 +295,7 @@ commit::PrepareAck Replica::prepare_txn(const commit::Prepare& m) {
 }
 
 void Replica::prepare_and_ack(ProcessId coordinator, const commit::Prepare& m) {
-  net_.send_msg(id(), coordinator, prepare_txn(m));
+  rt().send_msg(id(), coordinator, prepare_txn(m));
 }
 
 void Replica::handle_prepare_batch(ProcessId from, const commit::PrepareBatch& m) {
@@ -299,7 +303,7 @@ void Replica::handle_prepare_batch(ProcessId from, const commit::PrepareBatch& m
   commit::PrepareAckBatch acks;
   acks.items.reserve(m.items.size());
   for (const commit::Prepare& p : m.items) acks.items.push_back(prepare_txn(p));
-  net_.send_msg(id(), from, std::move(acks));
+  rt().send_msg(id(), from, std::move(acks));
 }
 
 void Replica::check_index_against_flat(
@@ -462,7 +466,7 @@ void Replica::check_coordination(TxnId txn) {
     if (monitor_) monitor_->on_local_decision(txn, decision);
     c.local_cb(decision);
   } else if (c.meta.client != kNoProcess) {
-    net_.send_msg(id(), c.meta.client, commit::ClientDecision{txn, decision});
+    rt().send_msg(id(), c.meta.client, commit::ClientDecision{txn, decision});
   }
   // Lines 99-100: decisions are one-sided writes too.
   for (ShardId s : c.meta.participants) {
@@ -493,7 +497,7 @@ void Replica::apply_raccept(const RAccept& a) {
   e.vote = a.vote;
   e.phase = commit::Phase::kPrepared;
   e.meta = a.meta;
-  prepared_at_[a.slot] = sim().now();
+  prepared_at_[a.slot] = rt().now();
   index_.on_prepared(log_, a.slot);
 }
 
@@ -552,7 +556,7 @@ void Replica::handle_probe(ProcessId from, const commit::Probe& m) {
     connections_.clear();
   }
   new_epoch_ = m.epoch;
-  net_.send_msg(id(), from, commit::ProbeAck{initialized_, m.epoch, options_.shard});
+  rt().send_msg(id(), from, commit::ProbeAck{initialized_, m.epoch, options_.shard});
 }
 
 void Replica::fetch_latest(const std::vector<ShardId>& shards,
@@ -608,7 +612,7 @@ void Replica::fetch_members_at(ShardId shard, Epoch epoch,
 }
 
 void Replica::send_probe(ProcessId target, Epoch new_epoch) {
-  net_.send_msg(id(), target, commit::Probe{new_epoch});
+  rt().send_msg(id(), target, commit::Probe{new_epoch});
 }
 
 std::vector<ProcessId> Replica::reserve_spares(ShardId shard, std::size_t n) {
@@ -653,11 +657,11 @@ void Replica::activate(const recon::Proposal& proposal) {
     installing_ = true;
     config_prepare_acks_.clear();
     for (ProcessId p : recon_config_.all_members()) {
-      net_.send_msg(id(), p, ConfigPrepare{recon_config_.epoch, recon_config_});
+      rt().send_msg(id(), p, ConfigPrepare{recon_config_.epoch, recon_config_});
     }
   } else {
     const configsvc::ShardConfig& next = proposal.shards.begin()->second;
-    net_.send_msg(id(), next.leader, commit::NewConfig{next.epoch, next.members});
+    rt().send_msg(id(), next.leader, commit::NewConfig{next.epoch, next.members});
   }
 }
 
@@ -671,7 +675,7 @@ void Replica::handle_config_prepare(ProcessId from, const ConfigPrepare& m) {
   if (m.epoch < new_epoch_) return;
   pending_config_ = m.config;
   new_epoch_ = m.epoch;
-  net_.send_msg(id(), from, ConfigPrepareAck{m.epoch});
+  rt().send_msg(id(), from, ConfigPrepareAck{m.epoch});
 }
 
 void Replica::handle_config_prepare_ack(ProcessId from, const ConfigPrepareAck& m) {
@@ -683,7 +687,7 @@ void Replica::handle_config_prepare_ack(ProcessId from, const ConfigPrepareAck& 
   }
   installing_ = false;
   for (ProcessId l : recon_config_.all_leaders()) {
-    net_.send_msg(id(), l, RNewConfig{recon_config_.epoch});
+    rt().send_msg(id(), l, RNewConfig{recon_config_.epoch});
   }
 }
 
@@ -706,14 +710,14 @@ void Replica::handle_new_config(const RNewConfig& m) {
     const commit::LogEntry* e = log_.find(k);
     if (e != nullptr && e->phase == commit::Phase::kPrepared &&
         prepared_at_.count(k) == 0) {
-      prepared_at_[k] = sim().now();
+      prepared_at_[k] = rt().now();
     }
   }
   RNewState ns;
   ns.epoch = epoch_;
   ns.log = log_;
   for (ProcessId p : config_.members.at(options_.shard)) {
-    if (p != id()) net_.send_msg(id(), p, ns);
+    if (p != id()) rt().send_msg(id(), p, ns);
   }
   open_connections_to(config_.all_members());  // line 147
   arm_connect_retry();
@@ -739,7 +743,7 @@ void Replica::handle_new_state(ProcessId from, const RNewState& m) {
   for (Slot k = 1; k <= log_.size(); ++k) {
     const commit::LogEntry* e = log_.find(k);
     if (e != nullptr && e->phase == commit::Phase::kPrepared) {
-      prepared_at_[k] = sim().now();
+      prepared_at_[k] = rt().now();
     }
   }
   // Line 153 sends CONNECT only to other shards' members; we connect to all
@@ -752,17 +756,17 @@ void Replica::handle_new_state(ProcessId from, const RNewState& m) {
 void Replica::open_connections_to(const std::vector<ProcessId>& peers) {
   for (ProcessId p : peers) {
     if (p == id() || connections_.count(p)) continue;
-    net_.send_msg(id(), p, Connect{epoch_});
+    rt().send_msg(id(), p, Connect{epoch_});
   }
 }
 
 void Replica::arm_connect_retry() {
-  sim().schedule_for(id(), options_.connect_retry, [this, e = epoch_] {
+  rt().schedule_for(id(), options_.connect_retry, [this, e = epoch_] {
     if (epoch_ != e || status_ == Status::kReconfiguring) return;
     bool missing = false;
     for (ProcessId p : config_.all_members()) {
       if (p != id() && connections_.count(p) == 0) {
-        net_.send_msg(id(), p, Connect{epoch_});
+        rt().send_msg(id(), p, Connect{epoch_});
         missing = true;
       }
     }
@@ -777,7 +781,7 @@ void Replica::handle_connect(ProcessId from, const Connect& m) {
     fabric_.open(id(), from);
     connections_.insert(from);
   }
-  net_.send_msg(id(), from, ConnectAck{epoch_});
+  rt().send_msg(id(), from, ConnectAck{epoch_});
 }
 
 void Replica::handle_connect_ack(ProcessId from, const ConnectAck& m) {
@@ -804,7 +808,7 @@ void Replica::handle_new_config_unsafe(const commit::NewConfig& m) {
     const commit::LogEntry* e = log_.find(k);
     if (e != nullptr && e->phase == commit::Phase::kPrepared &&
         prepared_at_.count(k) == 0) {
-      prepared_at_[k] = sim().now();
+      prepared_at_[k] = rt().now();
     }
   }
   commit::NewState ns;
@@ -812,7 +816,7 @@ void Replica::handle_new_config_unsafe(const commit::NewConfig& m) {
   ns.members = m.members;
   ns.log = log_;
   for (ProcessId p : m.members) {
-    if (p != id()) net_.send_msg(id(), p, ns);
+    if (p != id()) rt().send_msg(id(), p, ns);
   }
 }
 
@@ -833,7 +837,7 @@ void Replica::handle_new_state_unsafe(ProcessId from, const commit::NewState& m)
   for (Slot k = 1; k <= log_.size(); ++k) {
     const commit::LogEntry* e = log_.find(k);
     if (e != nullptr && e->phase == commit::Phase::kPrepared) {
-      prepared_at_[k] = sim().now();
+      prepared_at_[k] = rt().now();
     }
   }
 }
@@ -849,7 +853,7 @@ void Replica::handle_config_change(const configsvc::ConfigChange& m) {
 
 void Replica::arm_retry_timer() {
   if (options_.retry_timeout == 0) return;
-  sim().schedule_for(id(), options_.retry_timeout, [this] {
+  rt().schedule_for(id(), options_.retry_timeout, [this] {
     run_retry_tick();
     arm_retry_timer();
   });
@@ -859,7 +863,7 @@ void Replica::run_retry_tick() {
   // Collect-then-act, mirroring commit::Replica::run_retry_tick: pass 1
   // iterates prepared_at_, pass 2 mutates it (rate-limit stamps) and
   // re-enters coordination state via retry().
-  Time now = sim().now();
+  Time now = rt().now();
   std::vector<Slot> stale;
   for (const auto& [slot, since] : prepared_at_) {
     const commit::LogEntry* e = log_.find(slot);

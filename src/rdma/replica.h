@@ -82,6 +82,7 @@ class Replica : public sim::Process, private recon::StackHooks {
     RdmaMonitor* monitor = nullptr;
   };
 
+  Replica(rt::Runtime& rt, Fabric& fabric, ProcessId id, Options options);
   Replica(sim::Simulator& sim, sim::Network& net, Fabric& fabric, ProcessId id,
           Options options);
 
@@ -216,7 +217,6 @@ class Replica : public sim::Process, private recon::StackHooks {
   recon::PlacementContext placement_context(ShardId shard) override;
 
   Options options_;
-  sim::Network& net_;
   Fabric& fabric_;
   configsvc::GcsClient gcs_;
   configsvc::CsClient cs_;  // unsafe mode

@@ -7,13 +7,17 @@
 
 namespace ratc::recon {
 
-Engine::Engine(sim::Simulator& sim, ProcessId owner, StackHooks& hooks,
+Engine::Engine(rt::Runtime& rt, ProcessId owner, StackHooks& hooks,
                Options options)
-    : sim_(sim),
+    : rt_(rt),
       owner_(owner),
       hooks_(hooks),
       options_(options),
       policy_(options_.policy != nullptr ? options_.policy : &default_policy_) {}
+
+Engine::Engine(sim::Simulator& sim, ProcessId owner, StackHooks& hooks,
+               Options options)
+    : Engine(sim.runtime(), owner, hooks, options) {}
 
 bool Engine::start(std::vector<ShardId> shards) {
   // Line 34 pre: probing = false (one attempt at a time per reconfigurer).
@@ -91,7 +95,7 @@ void Engine::arm_descend_timer(ShardId shard) {
   ShardProbe& ps = state_[shard];
   if (ps.descend_timer_armed) return;
   ps.descend_timer_armed = true;
-  sim_.schedule_for(owner_, options_.probe_patience, [this, shard, r = round_] {
+  rt_.schedule_for(owner_, options_.probe_patience, [this, shard, r = round_] {
     if (round_ != r) return;  // a newer attempt owns the state
     auto it = state_.find(shard);
     if (it == state_.end()) return;

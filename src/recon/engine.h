@@ -54,6 +54,7 @@
 #include "common/types.h"
 #include "configsvc/config.h"
 #include "recon/placement.h"
+#include "rt/runtime.h"
 #include "sim/simulator.h"
 
 namespace ratc::recon {
@@ -167,6 +168,9 @@ class Engine {
 
   /// Timers are scheduled for `owner`, so the engine dies with its host
   /// process.  `hooks` must outlive the engine.
+  Engine(rt::Runtime& rt, ProcessId owner, StackHooks& hooks, Options options);
+  /// Sim-harness compatibility (unit tests drive the engine off a bare
+  /// simulator; the hooks do all the sending).
   Engine(sim::Simulator& sim, ProcessId owner, StackHooks& hooks, Options options);
 
   // --- attempt lifecycle ------------------------------------------------------
@@ -227,7 +231,7 @@ class Engine {
   bool all_candidates_found() const;
   void propose();
 
-  sim::Simulator& sim_;
+  rt::Runtime& rt_;
   ProcessId owner_;
   StackHooks& hooks_;
   Options options_;

@@ -1,0 +1,85 @@
+// Assembles the paper's commit stack — configuration service, shards of
+// f+1 replicas plus spares, optional invariant monitor — on *any*
+// rt::Runtime.  The runtime-agnostic sibling of commit::Cluster: Cluster
+// additionally owns a Simulator and the sim-only harness levers
+// (fault injectors, await_active_epoch, controllers); this class owns only
+// the processes, so the same assembly runs on the deterministic simulator
+// or on rt::ThreadedRuntime's real threads.
+//
+// The caller wires the monitor into the transport's observer tap
+// (ThreadedRuntime::add_observer / sim::Network::add_observer) — the seam
+// deliberately keeps observation a transport concern.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "commit/monitor.h"
+#include "commit/replica.h"
+#include "configsvc/simple_service.h"
+#include "rt/runtime.h"
+#include "tcs/certifier.h"
+#include "tcs/shard_map.h"
+
+namespace ratc::rt {
+
+class CommitSystem {
+ public:
+  struct Options {
+    std::uint32_t num_shards = 2;
+    std::size_t shard_size = 2;  ///< f+1 replicas per shard
+    std::size_t spares_per_shard = 0;
+    std::string isolation = "serializability";
+    /// Nonzero enables automatic coordinator recovery at replicas.
+    Duration retry_timeout = 0;
+    Duration probe_patience = 5;
+    bool enable_monitor = true;
+  };
+
+  // Same pid scheme as commit::Cluster, so traces and tests read alike.
+  static constexpr ProcessId kReplicaBase = 100;
+  static constexpr ProcessId kShardStride = 100;
+  static constexpr ProcessId kSpareOffset = 50;
+  static constexpr ProcessId kClientBase = 5000;
+  static constexpr ProcessId kCsPid = 9000;
+
+  CommitSystem(Runtime& rt, Options options);
+
+  std::uint32_t num_shards() const { return options_.num_shards; }
+  ProcessId replica_pid(ShardId s, std::size_t idx) const;
+  commit::Replica& replica(ShardId s, std::size_t idx);
+  /// Initial members of every shard — the processes a load generator may
+  /// pick as transaction coordinators.
+  std::vector<ProcessId> coordinators() const;
+  ProcessId leader_pid(ShardId s) const { return replica_pid(s, 0); }
+
+  /// Null when Options::enable_monitor is false.  Thread-safe by
+  /// construction (commit::Monitor locks internally); remember to register
+  /// it as a transport observer.
+  commit::Monitor* monitor() { return monitor_.get(); }
+  const tcs::ShardMap& shard_map() const { return shard_map_; }
+  const tcs::Certifier& certifier() const { return *certifier_; }
+  configsvc::SimpleConfigService& config_service() { return *cs_; }
+  const Options& options() const { return options_; }
+
+ private:
+  std::vector<ProcessId> allocate_spares(ShardId shard, std::size_t n);
+  void release_spares(ShardId shard, const std::vector<ProcessId>& spares);
+
+  Runtime& rt_;
+  Options options_;
+  tcs::ShardMap shard_map_;
+  std::unique_ptr<tcs::Certifier> certifier_;
+  std::unique_ptr<commit::Monitor> monitor_;
+  std::unique_ptr<configsvc::SimpleConfigService> cs_;
+  std::vector<std::unique_ptr<commit::Replica>> replicas_;
+  /// Reconfiguration may run on any worker thread, so the fresh-spare pool
+  /// is locked (commit::Cluster gets this for free from sim determinism).
+  std::mutex spares_mu_;
+  std::map<ShardId, std::vector<ProcessId>> free_spares_;
+};
+
+}  // namespace ratc::rt

@@ -1,0 +1,69 @@
+// The runtime seam (ROADMAP "a real concurrent runtime behind the sim
+// seam"): the narrow surface that `sim::Simulator` + `sim::Network` expose
+// to protocol code, abstracted so the exact same replica/certifier/frontend
+// logic runs on either the deterministic discrete-event simulator (the
+// testing twin) or a real-time multithreaded executor.
+//
+// Contract (both implementations):
+//  * `now()` is monotonically non-decreasing.  On the sim it is virtual
+//    ticks; on ThreadedRuntime it is microseconds of steady-clock wall time.
+//  * `send()` delivers messages FIFO per (sender, receiver) pair, drops
+//    messages from/to crashed processes, and never delivers to a process
+//    concurrently with another of its handlers or timers.
+//  * `schedule_for(owner, ...)` timers are discarded at fire time if the
+//    owner has crashed (`Simulator::crash` semantics).
+//  * A process's handlers and timers are serialized with respect to each
+//    other; cross-process memory is NOT synchronized on the threaded
+//    runtime — protocol code must communicate only through messages.
+#pragma once
+
+#include <functional>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "sim/message.h"
+
+namespace ratc::sim {
+class Process;
+}  // namespace ratc::sim
+
+namespace ratc::rt {
+
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  /// Current time: virtual ticks (sim) or µs since runtime start (threaded).
+  virtual Time now() const = 0;
+
+  /// Randomness for the calling context.  The sim returns the one seeded
+  /// stream (determinism); the threaded runtime returns a per-worker stream.
+  virtual Rng& rng() = 0;
+
+  /// Registers a process (non-owning).  The threaded runtime only accepts
+  /// spawns before `start()`.
+  virtual void spawn(sim::Process* p) = 0;
+
+  /// Crash-stops a process: pending deliveries and timers for it are
+  /// discarded at fire/delivery time, and it will never execute again.
+  virtual void crash(ProcessId id) = 0;
+  virtual bool crashed(ProcessId id) const = 0;
+
+  /// Schedules `fn` at now()+delay regardless of process liveness.
+  virtual void schedule(Duration delay, std::function<void()> fn) = 0;
+
+  /// Schedules `fn` at now()+delay unless `owner` has crashed by then.
+  /// Use for all process-local timers; `fn` runs on `owner`'s executor.
+  virtual void schedule_for(ProcessId owner, Duration delay, std::function<void()> fn) = 0;
+
+  /// Sends a message (FIFO per channel).  No-op if the sender has crashed.
+  virtual void send(ProcessId from, ProcessId to, sim::AnyMessage msg) = 0;
+
+  /// Convenience: wrap-and-send.
+  template <typename T>
+  void send_msg(ProcessId from, ProcessId to, T msg) {
+    send(from, to, sim::AnyMessage(std::move(msg)));
+  }
+};
+
+}  // namespace ratc::rt

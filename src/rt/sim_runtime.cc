@@ -1,0 +1,34 @@
+#include "rt/sim_runtime.h"
+
+#include <cassert>
+#include <utility>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace ratc::rt {
+
+Time SimRuntime::now() const { return sim_.now(); }
+
+Rng& SimRuntime::rng() { return sim_.rng(); }
+
+void SimRuntime::spawn(sim::Process* p) { sim_.add_process(p); }
+
+void SimRuntime::crash(ProcessId id) { sim_.crash(id); }
+
+bool SimRuntime::crashed(ProcessId id) const { return sim_.crashed(id); }
+
+void SimRuntime::schedule(Duration delay, std::function<void()> fn) {
+  sim_.schedule(delay, std::move(fn));
+}
+
+void SimRuntime::schedule_for(ProcessId owner, Duration delay, std::function<void()> fn) {
+  sim_.schedule_for(owner, delay, std::move(fn));
+}
+
+void SimRuntime::send(ProcessId from, ProcessId to, sim::AnyMessage msg) {
+  assert(net_ != nullptr && "send through a network-less SimRuntime");
+  net_->send(from, to, std::move(msg));
+}
+
+}  // namespace ratc::rt

@@ -27,7 +27,7 @@ Network::Options Network::exponential_delay_options(double mean) {
 }
 
 Network::Network(Simulator& sim, Options options)
-    : sim_(sim), options_(std::move(options)) {}
+    : sim_(sim), runtime_(sim, this), options_(std::move(options)) {}
 
 const ProcessTraffic& Network::traffic(ProcessId p) const {
   static const ProcessTraffic kEmpty;

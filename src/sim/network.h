@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "rt/sim_runtime.h"
 #include "sim/fault.h"
 #include "sim/message.h"
 #include "sim/simulator.h"
@@ -87,10 +88,15 @@ class Network {
 
   Simulator& simulator() { return sim_; }
 
+  /// This network's rt::Runtime view (sim clock/timers/rng + this network's
+  /// send path) — what protocol classes bind to in sim-twin harnesses.
+  rt::SimRuntime& runtime() { return runtime_; }
+
  private:
   void deliver(ProcessId from, ProcessId to, const AnyMessage& msg);
 
   Simulator& sim_;
+  rt::SimRuntime runtime_;
   Options options_;
   std::vector<NetworkObserver*> observers_;
   FaultInjector* fault_ = nullptr;

@@ -1,10 +1,16 @@
-// Base class for simulated processes (paper Sec. 3 "system model": a set of
+// Base class for processes (paper Sec. 3 "system model": a set of
 // processes that may fail by crashing, i.e. permanently stop executing).
+//
+// A process is bound to an `rt::Runtime` — either the deterministic
+// simulator or the multithreaded real-time executor — and interacts with
+// the world only through that seam (`rt()`): timers, clocks, randomness and
+// message sends.  This is what lets the same protocol code run on both.
 #pragma once
 
 #include <string>
 
 #include "common/types.h"
+#include "rt/runtime.h"
 #include "sim/message.h"
 
 namespace ratc::sim {
@@ -13,8 +19,10 @@ class Simulator;
 
 class Process {
  public:
-  Process(Simulator& sim, ProcessId id, std::string name)
-      : sim_(sim), id_(id), name_(std::move(name)) {}
+  Process(rt::Runtime& rt, ProcessId id, std::string name)
+      : rt_(rt), id_(id), name_(std::move(name)) {}
+  /// Sim-harness compatibility: binds to the simulator's embedded runtime.
+  Process(Simulator& sim, ProcessId id, std::string name);
   virtual ~Process() = default;
 
   Process(const Process&) = delete;
@@ -23,16 +31,17 @@ class Process {
   ProcessId id() const { return id_; }
   const std::string& name() const { return name_; }
 
-  /// Invoked by the network when a message is delivered.  Never invoked
-  /// after the process crashes.
+  /// Invoked by the runtime when a message is delivered.  Never invoked
+  /// after the process crashes, and never concurrently with another
+  /// handler or timer of the same process.
   virtual void on_message(ProcessId from, const AnyMessage& msg) = 0;
 
  protected:
-  Simulator& sim() { return sim_; }
-  const Simulator& sim() const { return sim_; }
+  rt::Runtime& rt() { return rt_; }
+  const rt::Runtime& rt() const { return rt_; }
 
  private:
-  Simulator& sim_;
+  rt::Runtime& rt_;
   ProcessId id_;
   std::string name_;
 };

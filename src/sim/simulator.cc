@@ -1,10 +1,22 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ratc::sim {
 
-Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+namespace {
+// Big enough that typical sweeps never regrow the heap's backing vector,
+// small enough (an Event is ~64 bytes) to be negligible per Simulator.
+constexpr std::size_t kInitialQueueCapacity = 1024;
+}  // namespace
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed), runtime_(*this, nullptr) {
+  queue_.reserve(kInitialQueueCapacity);
+}
+
+Process::Process(Simulator& sim, ProcessId id, std::string name)
+    : Process(sim.runtime(), id, std::move(name)) {}
 
 void Simulator::add_process(Process* p) {
   assert(p != nullptr);
@@ -20,7 +32,8 @@ Process* Simulator::process(ProcessId id) const {
 void Simulator::crash(ProcessId id) { crashed_.insert(id); }
 
 void Simulator::push_event(Time time, ProcessId owner, std::function<void()> fn) {
-  queue_.push(Event{time, next_seq_++, owner, std::move(fn)});
+  queue_.push_back(Event{time, next_seq_++, owner, std::move(fn)});
+  std::push_heap(queue_.begin(), queue_.end(), EventOrder{});
 }
 
 void Simulator::schedule(Duration delay, std::function<void()> fn) {
@@ -33,8 +46,9 @@ void Simulator::schedule_for(ProcessId owner, Duration delay, std::function<void
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  Event ev = queue_.top();
-  queue_.pop();
+  std::pop_heap(queue_.begin(), queue_.end(), EventOrder{});
+  Event ev = std::move(queue_.back());
+  queue_.pop_back();
   assert(ev.time >= now_);
   now_ = ev.time;
   ++events_executed_;
@@ -52,7 +66,7 @@ std::size_t Simulator::run(std::size_t max_events) {
 
 std::size_t Simulator::run_until(Time deadline) {
   std::size_t n = 0;
-  while (!queue_.empty() && queue_.top().time <= deadline && step()) ++n;
+  while (!queue_.empty() && queue_.front().time <= deadline && step()) ++n;
   if (now_ < deadline) now_ = deadline;
   return n;
 }

@@ -9,13 +9,13 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <queue>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/random.h"
 #include "common/types.h"
+#include "rt/sim_runtime.h"
 #include "sim/process.h"
 
 namespace ratc::sim {
@@ -29,6 +29,10 @@ class Simulator {
 
   Time now() const { return now_; }
   Rng& rng() { return rng_; }
+
+  /// The simulator's network-less rt::Runtime view (timers/clock/rng only;
+  /// sends abort).  Networked stacks use `Network::runtime()` instead.
+  rt::SimRuntime& runtime() { return runtime_; }
 
   /// Registers a process (non-owning; the harness owns process objects and
   /// must keep them alive for the simulator's lifetime).
@@ -70,6 +74,8 @@ class Simulator {
     ProcessId owner;  // kNoProcess => unconditional
     std::function<void()> fn;
   };
+  // Min-heap comparator over (time, seq); seq is unique, so the order is a
+  // strict total order and heap restructuring cannot reorder equal keys.
   struct EventOrder {
     bool operator()(const Event& a, const Event& b) const {
       if (a.time != b.time) return a.time > b.time;
@@ -84,7 +90,13 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::size_t events_executed_ = 0;
   Rng rng_;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  // A raw vector managed with std::push_heap/pop_heap instead of
+  // std::priority_queue: top() of a priority_queue is const, which forces a
+  // copy of the std::function closure on every pop.  The raw heap lets
+  // step() move the event out before running it, and lets the constructor
+  // reserve the backing store (hot-path: millions of events per sweep).
+  std::vector<Event> queue_;
+  rt::SimRuntime runtime_;
   std::unordered_map<ProcessId, Process*> processes_;
   std::unordered_set<ProcessId> crashed_;
 };

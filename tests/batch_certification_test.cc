@@ -285,6 +285,12 @@ TEST(BatchDeterminism, IndexCrossCheckSurvivesBatchedSweeps) {
   cw.drain = 4000;
   cw.batch_size = 4;
   cw.check_certifier_index = true;
+  // Calibrated (not the 0.9 StackWorkload default): the sweep is
+  // deterministic, and seeds 1-12 decide 57..60 of 60 (worst 0.95).  The
+  // floor sits one lost transaction below the worst seed so a scheduling
+  // regression that strands a batch trips it, while a one-off perturbation
+  // from a legitimate protocol change does not.
+  cw.min_decided_fraction = 0.93;
   for (std::uint64_t seed = 1; seed <= 3; ++seed) {
     Rng r(seed);
     harness::RunResult res =
@@ -298,9 +304,11 @@ TEST(BatchDeterminism, IndexCrossCheckSurvivesBatchedSweeps) {
   rw.check_certifier_index = true;
   // Batching widens the known coordinator-crash availability hole (see
   // rdma::Replica::redrive_coordinations): one crashed coordinator now takes
-  // a whole batch of in-flight transactions with it.  This test asserts the
-  // index cross-check and the safety checkers, not the liveness fraction.
-  rw.min_decided_fraction = 0.8;
+  // a whole batch of in-flight transactions with it.  Calibrated: seeds 1-3
+  // decide 50/48/48 of 50 (worst 0.96); the wider 1-12 sweep bottoms out at
+  // 0.74 when a crash lands mid-batch, so the floor stays a batch below the
+  // in-sweep worst rather than at the old 0.8 guess.
+  rw.min_decided_fraction = 0.86;
   for (std::uint64_t seed = 1; seed <= 3; ++seed) {
     Rng r(seed);
     harness::RunResult res =

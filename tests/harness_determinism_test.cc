@@ -234,7 +234,7 @@ class Sink : public sim::Process {
   Sink(sim::Simulator& sim, ProcessId id)
       : Process(sim, id, "sink" + std::to_string(id)) {}
   void on_message(ProcessId from, const sim::AnyMessage&) override {
-    arrivals.emplace_back(from, sim().now());
+    arrivals.emplace_back(from, rt().now());
   }
   std::vector<std::pair<ProcessId, Time>> arrivals;
 };

@@ -28,7 +28,7 @@ class Echo : public Process {
   void on_message(ProcessId from, const AnyMessage& msg) override {
     if (const auto* ping = msg.as<Ping>()) {
       received.push_back(ping->seq);
-      receive_times.push_back(sim().now());
+      receive_times.push_back(rt().now());
       if (reply_) net_->send_msg(id(), from, Pong{ping->seq});
     }
     if (const auto* pong = msg.as<Pong>()) {
