@@ -11,12 +11,21 @@
 // transactions pay coordination but still scale.  The 2f+1 baseline's
 // leaders saturate earlier at equal offered load.
 //
-// Results are persisted to BENCH_throughput.json (bench/bench_report.h);
-// RATC_BENCH_TXNS trims the per-cell transaction count for smoke runs.
+// The read-mix section exercises the CSN snapshot-read fast path: a 95/5
+// read-heavy phase per stack in which every read-only transaction is
+// resolved locally at a consistent snapshot.  The binary ASSERTS that the
+// message trace grows by zero entries during the read phase — no CERTIFY,
+// no PREPARE, nothing on the wire — and exits nonzero otherwise.
+//
+// Results are persisted to BENCH_throughput.json and BENCH_readmix.json
+// (bench/bench_report.h); RATC_BENCH_TXNS trims the per-cell transaction
+// count for smoke runs.
+#include <algorithm>
 #include <cstdio>
 
 #include "bench/bench_common.h"
 #include "bench/bench_report.h"
+#include "common/random.h"
 
 using namespace ratc;
 
@@ -121,5 +130,85 @@ int main() {
   }
 
   report.write();
+
+  // Read-mix 95/5: after an update phase, each stack serves 19 read-only
+  // snapshot transactions per decided update (the 95/5 mix) through its
+  // TcsFrontend.  Reads resolve against the replicas' multi-version stores
+  // below the CSN watermark, so the trace delta across the whole read
+  // phase must be exactly zero messages.  The reconfigurable stacks rotate
+  // the serving member (follower reads); the baseline serves only at
+  // caught-up Paxos leaders.
+  bench::BenchReport readmix("readmix");
+  bench::header("E12", "read-mix 95/5: CSN snapshot reads, zero messages");
+  bench::claim(
+      "read-only transactions execute at a consistent snapshot on any\n"
+      "replica with ZERO certification messages — the read phase leaves\n"
+      "the wire untouched on all three stacks");
+  std::printf("%10s | %9s %9s %9s %8s | %13s\n", "stack", "updates", "reads",
+              "served", "served%", "msgs in reads");
+  bool wire_silent = true;
+  auto read_phase = [&](const char* stack, auto& rig,
+                        const store::RunnerStats& updates) {
+    Rng rng(23);
+    const std::size_t objects = workload_for(4).objects;
+    std::size_t decided = updates.committed + updates.aborted;
+    std::size_t attempts = 19 * decided;
+    std::size_t before = rig.cluster.tracer().entries().size();
+    std::size_t served = 0;
+    for (std::size_t i = 0; i < attempts; ++i) {
+      std::vector<ObjectId> objs;
+      std::uint64_t n = 1 + rng.below(3);
+      for (std::uint64_t j = 0; j < n; ++j) {
+        ObjectId o = static_cast<ObjectId>(rng.below(objects));
+        if (std::find(objs.begin(), objs.end(), o) == objs.end())
+          objs.push_back(o);
+      }
+      if (rig.frontend.submit_read_only(objs).has_value()) ++served;
+    }
+    std::size_t msgs = rig.cluster.tracer().entries().size() - before;
+    if (msgs != 0) wire_silent = false;
+    std::printf("%10s | %9zu %9zu %9zu %7.1f%% | %13zu%s\n", stack, decided,
+                attempts, served,
+                attempts == 0 ? 0.0 : 100.0 * served / attempts, msgs,
+                msgs == 0 ? "" : "  <-- FAIL");
+    readmix.add_row()
+        .set("stack", stack)
+        .set("shards", std::uint64_t{4})
+        .set("updates_decided", std::uint64_t{decided})
+        .set("reads_attempted", std::uint64_t{attempts})
+        .set("reads_served", std::uint64_t{served})
+        .set("served_fraction",
+             attempts == 0 ? 0.0 : static_cast<double>(served) / attempts)
+        .set("read_messages", std::uint64_t{msgs});
+  };
+  // enable_tracer: the zero-message claim is checked against the trace.
+  {
+    bench::CommitRig rig({.seed = 17, .num_shards = 4, .shard_size = 2,
+                          .enable_monitor = false, .enable_tracer = true},
+                         workload_for(4), 3, 32);
+    store::RunnerStats updates = rig.run(txns());
+    read_phase("commit", rig, updates);
+  }
+  {
+    bench::RdmaRig rig({.seed = 19, .num_shards = 4, .shard_size = 2,
+                        .enable_tracer = true},
+                       workload_for(4), 3, 32);
+    store::RunnerStats updates = rig.run(txns());
+    read_phase("rdma", rig, updates);
+  }
+  {
+    bench::BaselineRig rig({.seed = 18, .num_shards = 4, .shard_size = 3,
+                            .enable_tracer = true},
+                           workload_for(4), 3, 32);
+    store::RunnerStats updates = rig.run(txns());
+    read_phase("baseline", rig, updates);
+  }
+  readmix.write();
+  if (!wire_silent) {
+    std::fprintf(stderr,
+                 "FAIL: snapshot reads put messages on the wire — the "
+                 "zero-certification fast path regressed\n");
+    return 1;
+  }
   return 0;
 }

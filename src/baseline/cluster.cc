@@ -1,6 +1,8 @@
 #include "baseline/cluster.h"
 
+#include <algorithm>
 #include <cassert>
+#include <set>
 #include <stdexcept>
 
 namespace ratc::baseline {
@@ -139,6 +141,40 @@ TerminationStats BaselineCluster::termination_stats() const {
   TerminationStats total;
   for (const auto& sv : servers_) total += sv->termination_stats();
   return total;
+}
+
+std::optional<tcs::Csn> BaselineCluster::snapshot_read(
+    const std::vector<ObjectId>& objects, Duration staleness_bound,
+    std::uint64_t member_hint) {
+  (void)member_hint;  // leader-gated: there is exactly one eligible server
+  if (objects.empty()) return std::nullopt;
+  std::set<ShardId> shards;
+  for (ObjectId o : objects) shards.insert(shard_map_.shard_of(o));
+  std::map<ShardId, ShardServer*> serving;
+  tcs::Csn snapshot = tcs::watermark_at(sim_.now());
+  for (ShardId s : shards) {
+    ProcessId pid = leader_.at(s);
+    if (sim_.crashed(pid)) return std::nullopt;
+    ShardServer& sv = server_by_pid(pid);
+    if (!sv.can_serve_reads()) return std::nullopt;  // electing or lagging
+    serving[s] = &sv;
+    snapshot = std::min(snapshot, sv.read_watermark());
+  }
+  if (staleness_bound > 0 && snapshot.ts + staleness_bound < sim_.now()) {
+    return std::nullopt;
+  }
+  tcs::SnapshotReadRecord rec;
+  rec.time = sim_.now();
+  rec.snapshot = snapshot;
+  rec.staleness_bound = staleness_bound;
+  for (ObjectId o : objects) {
+    ShardServer* sv = serving.at(shard_map_.shard_of(o));
+    std::optional<store::VersionedValue> v = sv->snapshot_store().read_at(o, snapshot);
+    if (!v) return std::nullopt;
+    rec.observations.push_back({o, v->version, v->value});
+  }
+  history_.record_snapshot_read(std::move(rec));
+  return snapshot;
 }
 
 std::string BaselineCluster::verify() const {

@@ -56,7 +56,8 @@ class BaselineClient : public sim::Process {
     (void)from;
     if (const auto* d = msg.as<BClientDecision>()) {
       if (decisions_.count(d->txn)) return;
-      history_->record_decide(rt().now(), d->txn, d->decision);
+      history_->record_decide(rt().now(), d->txn, d->decision,
+                              tcs::Csn{d->csn_ts, d->txn});
       decisions_[d->txn] = d->decision;
       decided_at_[d->txn] = rt().now();
       if (on_decision) on_decision(d->txn, d->decision);
@@ -159,6 +160,19 @@ class BaselineCluster {
   /// Aggregate cooperative-termination counters over every shard server
   /// (all zero when the toggle is off).
   TerminationStats termination_stats() const;
+
+  /// Read-only snapshot transaction, leader-gated: the baseline lacks the
+  /// all-follower-ack rule, so only a caught-up Paxos leader of each
+  /// involved shard may serve (ShardServer::can_serve_reads); the snapshot
+  /// is the minimum of their CSN watermarks.  Zero certification messages;
+  /// served reads are recorded in the history.  Returns nullopt when some
+  /// shard's designated leader is crashed, electing, or lagging, when the
+  /// version history was truncated, or when a nonzero staleness bound is
+  /// violated.  `member_hint` is accepted for signature parity with the
+  /// reconfigurable stacks and ignored — followers never serve here.
+  std::optional<tcs::Csn> snapshot_read(const std::vector<ObjectId>& objects,
+                                        Duration staleness_bound = 0,
+                                        std::uint64_t member_hint = 0);
 
   /// End-of-run verdict: no conflicting client decisions, and every server
   /// (of any shard, crashed or not) that decided a transaction agrees on

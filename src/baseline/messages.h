@@ -31,8 +31,11 @@ struct SubmitPrepare {
   std::vector<ShardId> participants;
   ProcessId client = kNoProcess;
   ProcessId coordinator = kNoProcess;
+  /// Coordinator's CSN stamp, taken once per transaction and replicated
+  /// with every shard's prepare; a commit's csn is exactly this stamp.
+  Time prepare_ts = 0;
   std::size_t wire_size() const {
-    return 32 + payload.wire_size() + participants.size() * 4;
+    return 40 + payload.wire_size() + participants.size() * 4;
   }
 };
 
@@ -81,6 +84,7 @@ struct BClientDecision {
   static constexpr const char* kName = "B_DECISION_CLIENT";
   TxnId txn = 0;
   tcs::Decision decision = tcs::Decision::kAbort;
+  Time csn_ts = 0;  ///< csn(t).ts for commits (the coordinator's stamp)
 };
 
 // --- cooperative termination (optional; see baseline/termination.h) -----------
@@ -110,8 +114,9 @@ struct CmdPrepare {
   std::vector<ShardId> participants;
   ProcessId client = kNoProcess;
   ProcessId coordinator = kNoProcess;
+  Time prepare_ts = 0;  ///< coordinator CSN stamp (see SubmitPrepare)
   std::size_t wire_size() const {
-    return 32 + payload.wire_size() + participants.size() * 4;
+    return 40 + payload.wire_size() + participants.size() * 4;
   }
 };
 

@@ -15,6 +15,7 @@ ShardServer::ShardServer(sim::Simulator& sim, sim::Network& net, ProcessId id,
 ShardServer::ShardServer(rt::Runtime& rt, ProcessId id, Options options)
     : Process(rt, id, "b" + std::to_string(id) + "/s" + std::to_string(options.shard)),
       options_(std::move(options)),
+      store_(options_.snapshot_history_depth),
       responder_(rt, id) {
   assert(options_.shard_map != nullptr && options_.certifier != nullptr);
   if (options_.cooperative_termination) {
@@ -59,6 +60,10 @@ void ShardServer::handle_certify(ProcessId from, const BCertify& m) {
   CoordState& c = coord_[m.txn];
   c.participants = participants;
   c.client = from;
+  // One CSN stamp per transaction, replicated with every shard's prepare:
+  // the baseline's csn(t).ts.  Workload clients only write version v+1
+  // after observing v's commit, so stamp order agrees with version order.
+  c.prepare_ts = rt().now();
   for (ShardId s : participants) {
     SubmitPrepare sp;
     sp.txn = m.txn;
@@ -66,6 +71,7 @@ void ShardServer::handle_certify(ProcessId from, const BCertify& m) {
     sp.participants = participants;
     sp.client = from;
     sp.coordinator = id();
+    sp.prepare_ts = c.prepare_ts;
     if (s == options_.shard) {
       handle_submit_prepare(sp);  // local shard: no network hop
     } else {
@@ -88,6 +94,7 @@ void ShardServer::handle_certify_batch(ProcessId from, const BCertifyBatch& m) {
     CoordState& c = coord_[item.txn];
     c.participants = participants;
     c.client = from;
+    c.prepare_ts = rt().now();  // one stamp per item (see handle_certify)
     for (ShardId s : participants) {
       SubmitPrepare sp;
       sp.txn = item.txn;
@@ -95,6 +102,7 @@ void ShardServer::handle_certify_batch(ProcessId from, const BCertifyBatch& m) {
       sp.participants = participants;
       sp.client = from;
       sp.coordinator = id();
+      sp.prepare_ts = c.prepare_ts;
       per_shard[s].items.push_back(std::move(sp));
     }
   }
@@ -118,6 +126,7 @@ void ShardServer::handle_submit_prepare(const SubmitPrepare& m) {
   cmd.participants = m.participants;
   cmd.client = m.client;
   cmd.coordinator = m.coordinator;
+  cmd.prepare_ts = m.prepare_ts;
   paxos_->submit(sim::AnyMessage(std::move(cmd)));
 }
 
@@ -137,6 +146,7 @@ void ShardServer::handle_submit_prepare_batch(const SubmitPrepareBatch& m) {
     c.participants = sp.participants;
     c.client = sp.client;
     c.coordinator = sp.coordinator;
+    c.prepare_ts = sp.prepare_ts;
     cmd.items.push_back(std::move(c));
   }
   paxos_->submit(sim::AnyMessage(std::move(cmd)));
@@ -172,6 +182,7 @@ void ShardServer::apply_prepare(const CmdPrepare& c) {
     st.participants = c.participants;
     st.client = c.client;
     st.coordinator = c.coordinator;
+    st.prepare_ts = c.prepare_ts;
     if (st.decided) {
       // A cooperative-termination tombstone beat the prepare into the log:
       // this shard already promised abort to a querier, so the vote must
@@ -223,7 +234,13 @@ void ShardServer::apply_decide(const CmdDecide& c) {
   TxnState& st = it->second;
   st.decided = true;
   st.decision = c.decision;
-  if (c.decision == Decision::kCommit) committed_.push_back(st.payload);
+  if (c.decision == Decision::kCommit) {
+    committed_.push_back(st.payload);
+    // Snapshot visibility is gated on the csn (the replicated coordinator
+    // stamp), never on apply order: decides landing out of order across
+    // shards cannot expose a non-prefix state to reads.
+    store_.apply_at(st.payload, tcs::Csn{st.prepare_ts, c.txn});
+  }
 
   // The in-doubt window (if any) closes with the decision.
   if (options_.cooperative_termination) {
@@ -234,11 +251,12 @@ void ShardServer::apply_decide(const CmdDecide& c) {
 
   // Coordinator side: once the decision is durable in the coordinator's own
   // shard, reply to the client and propagate to the other shards.
+  Time csn_ts = c.decision == Decision::kCommit ? st.prepare_ts : 0;
   auto cit = coord_.find(c.txn);
   if (cit != coord_.end() && !cit->second.replied && paxos_->is_leader()) {
     cit->second.replied = true;
     announce_decision(c.txn, c.decision, cit->second.participants,
-                      cit->second.client);
+                      cit->second.client, csn_ts);
   } else if (options_.cooperative_termination && paxos_->is_leader() &&
              cit == coord_.end() && !st.participants.empty() &&
              st.participants.front() == options_.shard && st.coordinator != id()) {
@@ -251,7 +269,7 @@ void ShardServer::apply_decide(const CmdDecide& c) {
     // are harmless (the client deduplicates, decide application is
     // idempotent).
     ++term_stats_.adopted_coordinations;
-    announce_decision(c.txn, c.decision, st.participants, st.client);
+    announce_decision(c.txn, c.decision, st.participants, st.client, csn_ts);
   }
 }
 
@@ -449,21 +467,42 @@ void ShardServer::resolve_in_doubt(TxnId t, Decision d) {
   clear_in_doubt(t, st.coordinator);
   // Adopt the outcome: durable in our own group, propagated to the peer
   // shards (idempotent at apply), and the stranded client is answered (it
-  // deduplicates decisions).
+  // deduplicates decisions).  A termination-resolved commit's csn is the
+  // replicated coordinator stamp — the same value the dead coordinator
+  // would have externalized.
   paxos_->submit(sim::AnyMessage(CmdDecide{t, d}));
-  announce_decision(t, d, st.participants, st.client);
+  announce_decision(t, d, st.participants, st.client,
+                    d == Decision::kCommit ? st.prepare_ts : 0);
 }
 
 void ShardServer::announce_decision(TxnId t, Decision d,
                                     const std::vector<ShardId>& participants,
-                                    ProcessId client) {
+                                    ProcessId client, Time csn_ts) {
   if (client != kNoProcess) {
-    rt().send_msg(id(), client, BClientDecision{t, d});
+    rt().send_msg(id(), client, BClientDecision{t, d, csn_ts});
   }
   for (ShardId s : participants) {
     if (s == options_.shard) continue;
     rt().send_msg(id(), shard_leader(s), SubmitDecide{t, d});
   }
+}
+
+tcs::Csn ShardServer::read_watermark() const {
+  // Any future commit of a prepared-undecided transaction lands at its
+  // replicated coordinator stamp, so the watermark stays below the smallest
+  // such stamp.  A transaction whose prepare is chosen but not yet applied
+  // here cannot gate: can_serve_reads() requires a caught-up leader, and a
+  // commit needs this shard's vote, which only the leader emits at
+  // prepare-apply time — its decision is externalized after the read.
+  bool any = false;
+  Time min_ts = 0;
+  for (const auto& [t, st] : txns_) {
+    if (!st.prepared || st.decided) continue;
+    if (!any || st.prepare_ts < min_ts) min_ts = st.prepare_ts;
+    any = true;
+  }
+  if (any) return tcs::watermark_below(min_ts);
+  return tcs::watermark_at(rt().now());
 }
 
 bool ShardServer::has_prepared(TxnId t) const {

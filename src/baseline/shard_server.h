@@ -30,7 +30,9 @@
 #include "paxos/replica.h"
 #include "sim/network.h"
 #include "sim/process.h"
+#include "store/versioned_store.h"
 #include "tcs/certifier.h"
+#include "tcs/csn.h"
 #include "tcs/shard_map.h"
 
 namespace ratc::baseline {
@@ -51,6 +53,8 @@ class ShardServer : public sim::Process {
     Duration termination_retry_every = 160;
     /// Query rounds before giving up (the transaction stays blocked).
     int termination_max_rounds = 5;
+    /// Committed versions retained per object for snapshot reads.
+    std::size_t snapshot_history_depth = 16;
     fd::PingMonitor::Options fd;
   };
 
@@ -85,6 +89,22 @@ class ShardServer : public sim::Process {
   }
   const TerminationStats& termination_stats() const { return term_stats_; }
 
+  // --- CSN reads (baseline) ----------------------------------------------------
+  //
+  // The baseline has no all-follower-ack rule, so only a Paxos leader that
+  // has applied every chosen command may serve reads: its applied prefix
+  // then contains every prepare whose transaction could commit with a csn
+  // at or below the watermark (a commit needs this shard's vote, which the
+  // leader only emits at prepare-apply time — any later decide is
+  // externalized after the read and is exempt from mandatory visibility).
+
+  /// Leader-gated read eligibility.
+  bool can_serve_reads() const { return paxos_->is_leader() && paxos_->caught_up(); }
+  /// Largest snapshot this replica can serve locally: below the smallest
+  /// coordinator stamp among prepared-undecided transactions, else "now".
+  tcs::Csn read_watermark() const;
+  const store::SnapshotStore& snapshot_store() const { return store_; }
+
  private:
   struct TxnState {
     tcs::Payload payload;
@@ -97,10 +117,12 @@ class ShardServer : public sim::Process {
     std::vector<ShardId> participants;
     ProcessId client = kNoProcess;
     ProcessId coordinator = kNoProcess;
+    Time prepare_ts = 0;  ///< coordinator CSN stamp; a commit's csn(t).ts
   };
   struct CoordState {
     std::vector<ShardId> participants;
     ProcessId client = kNoProcess;
+    Time prepare_ts = 0;  ///< the stamp this coordinator issued for t
     std::map<ShardId, tcs::Decision> votes;
     bool decision_submitted = false;
     bool replied = false;
@@ -147,10 +169,11 @@ class ShardServer : public sim::Process {
   /// Runs the inference rules over the answers collected so far.
   void maybe_conclude_termination(TxnId t);
   /// Externalizes a durable decision: answers the client (if known) and
-  /// sends SubmitDecide to every participant shard but our own.
+  /// sends SubmitDecide to every participant shard but our own.  `csn_ts`
+  /// is the coordinator stamp for commits (0 for aborts).
   void announce_decision(TxnId t, tcs::Decision d,
                          const std::vector<ShardId>& participants,
-                         ProcessId client);
+                         ProcessId client, Time csn_ts);
   /// Adopts d for the in-doubt transaction t: replicate locally, propagate
   /// to the peer shards, and answer the stranded client.
   void resolve_in_doubt(TxnId t, tcs::Decision d);
@@ -162,6 +185,9 @@ class ShardServer : public sim::Process {
   // Replicated TCS state (per shard).
   std::map<TxnId, TxnState> txns_;
   std::vector<tcs::Payload> committed_;
+  /// Multi-version committed state for snapshot reads, fed by apply_decide;
+  /// deterministic across replicas (csn = the replicated coordinator stamp).
+  store::SnapshotStore store_;
 
   // Coordinator-side state (not replicated; dies with the coordinator, as
   // in classical 2PC — the baseline's blocking weakness).

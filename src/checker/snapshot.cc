@@ -1,0 +1,170 @@
+#include "checker/snapshot.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace ratc::checker {
+
+namespace {
+
+struct Writer {
+  TxnId txn = 0;
+  Version version = 0;
+  Value value = 0;
+  bool has_csn = false;
+  tcs::Csn csn;
+  Time first_decide = 0;
+};
+
+std::string describe(const Writer& w) {
+  std::ostringstream os;
+  os << "txn" << w.txn << " v" << w.version;
+  if (w.has_csn) os << " csn=" << w.csn.to_string();
+  return os.str();
+}
+
+}  // namespace
+
+SnapshotReadResult check_snapshot_reads(const tcs::History& history) {
+  SnapshotReadResult result;
+
+  // Committed writers per object, version-ascending.
+  std::map<ObjectId, std::vector<Writer>> writers;
+  for (TxnId t : history.committed_txns()) {
+    const tcs::Payload* p = history.payload_of(t);
+    if (p == nullptr) continue;
+    Writer w;
+    w.txn = t;
+    w.version = p->commit_version;
+    if (auto csn = history.csn_of(t)) {
+      w.has_csn = true;
+      w.csn = *csn;
+    }
+    w.first_decide = history.first_decide_time(t).value_or(0);
+    for (const auto& we : p->writes) {
+      w.value = we.value;
+      writers[we.object].push_back(w);
+    }
+  }
+  // Certified transactions whose decision never reached the client boundary
+  // (e.g. the decide message was lost to a partition).  Stores apply writes
+  // only on a commit decision, so an observed version anchored by one of
+  // these proves the system committed it — the history is merely incomplete.
+  // No csn is known for them, so the snapshot-bound check does not apply.
+  std::map<ObjectId, std::vector<Writer>> undecided;
+  for (TxnId t : history.all_txns()) {
+    if (history.decision_of(t).has_value()) continue;
+    const tcs::Payload* p = history.payload_of(t);
+    if (p == nullptr) continue;
+    Writer w;
+    w.txn = t;
+    w.version = p->commit_version;
+    for (const auto& we : p->writes) {
+      w.value = we.value;
+      undecided[we.object].push_back(w);
+    }
+  }
+
+  for (auto& [obj, ws] : writers) {
+    std::sort(ws.begin(), ws.end(),
+              [](const Writer& a, const Writer& b) { return a.version < b.version; });
+    // Version order must agree with csn order: the store's "latest version
+    // with csn <= c" lookup is only right if higher versions carry higher
+    // csns.
+    const Writer* prev = nullptr;
+    for (const Writer& w : ws) {
+      if (prev != nullptr && prev->has_csn && w.has_csn &&
+          prev->version < w.version && !(prev->csn < w.csn)) {
+        result.error = "csn order inverts version order on object " +
+                       std::to_string(obj) + ": " + describe(*prev) + " vs " +
+                       describe(w);
+        return result;
+      }
+      if (prev != nullptr && prev->version == w.version && prev->txn != w.txn) {
+        result.error = "two committed writers of object " + std::to_string(obj) +
+                       " version " + std::to_string(w.version) + ": txn" +
+                       std::to_string(prev->txn) + " and txn" + std::to_string(w.txn);
+        return result;
+      }
+      prev = &w;
+    }
+  }
+
+  for (const tcs::SnapshotReadRecord& r : history.snapshot_reads()) {
+    ++result.reads_checked;
+    std::ostringstream where;
+    where << "read at t=" << r.time << " snapshot=" << r.snapshot.to_string();
+    if (r.staleness_bound > 0 && r.snapshot.ts + r.staleness_bound < r.time) {
+      result.error = where.str() + " violates staleness bound " +
+                     std::to_string(r.staleness_bound);
+      return result;
+    }
+    for (const tcs::ReadObservation& obs : r.observations) {
+      auto wit = writers.find(obs.object);
+      const std::vector<Writer>* ws = wit == writers.end() ? nullptr : &wit->second;
+
+      // Rule 1: an observed version must come from a committed writer at or
+      // below the snapshot, with the observed value.
+      if (obs.version != 0) {
+        const Writer* match = nullptr;
+        if (ws != nullptr) {
+          for (const Writer& w : *ws) {
+            if (w.version == obs.version) match = &w;
+          }
+        }
+        if (match == nullptr) {
+          // Two in-flight txns may both intend this version (at most one can
+          // commit), so the anchor must match version AND value.
+          auto uit = undecided.find(obs.object);
+          if (uit != undecided.end()) {
+            for (const Writer& w : uit->second) {
+              if (w.version == obs.version && w.value == obs.value) match = &w;
+            }
+          }
+        }
+        if (match == nullptr) {
+          result.error = where.str() + " observed object " +
+                         std::to_string(obs.object) + " v" +
+                         std::to_string(obs.version) + " with no committed writer";
+          return result;
+        }
+        if (match->value != obs.value) {
+          result.error = where.str() + " observed object " +
+                         std::to_string(obs.object) + " v" +
+                         std::to_string(obs.version) + " value " +
+                         std::to_string(obs.value) + " but " + describe(*match) +
+                         " wrote " + std::to_string(match->value);
+          return result;
+        }
+        if (match->has_csn && !(match->csn <= r.snapshot)) {
+          result.error = where.str() + " observed " + describe(*match) +
+                         " from above the snapshot";
+          return result;
+        }
+      }
+
+      // Rule 2: nothing mandatory is missing.  A committed writer with
+      // csn <= snapshot whose decision was externalized before the read
+      // must be visible (its version <= the observed one).
+      if (ws != nullptr) {
+        for (const Writer& w : *ws) {
+          if (!w.has_csn || !(w.csn <= r.snapshot)) continue;
+          if (w.first_decide >= r.time) continue;
+          if (w.version > obs.version) {
+            result.error = where.str() + " missed mandatory writer " + describe(w) +
+                           " of object " + std::to_string(obs.object) +
+                           " (observed v" + std::to_string(obs.version) + ")";
+            return result;
+          }
+        }
+      }
+    }
+  }
+
+  result.ok = true;
+  return result;
+}
+
+}  // namespace ratc::checker

@@ -1,0 +1,37 @@
+// Checker for snapshot-read histories: the linearization contract
+// generalized to read-only transactions served at a CSN snapshot
+// (Chockler & Gotsman's multi-shot reads-over-committed-prefix semantics).
+//
+// A served read R = (time, snapshot c, bound, observations) is correct iff
+//   * every observed version was written by a committed transaction whose
+//     csn is at or below c, with the observed value;
+//   * the read misses nothing it was required to see: every committed
+//     writer w of an observed object with csn(w) <= c whose first decide
+//     preceded the read must have version <= the observed version (an
+//     observed version 0 means no such writer may exist);
+//   * a staleness bound b > 0 implies c.ts + b >= time.
+//
+// Globally, per-object version order must agree with csn order among the
+// committed writers — the property that makes "latest version with
+// csn <= c" the right store lookup.  Committed transactions without a
+// carried csn are exempted from the mandatory-visibility rule (they cannot
+// be placed against the snapshot) but still anchor observed values.
+#pragma once
+
+#include <string>
+
+#include "tcs/history.h"
+
+namespace ratc::checker {
+
+struct SnapshotReadResult {
+  bool ok = false;
+  std::size_t reads_checked = 0;
+  std::string error;
+};
+
+/// Validates every snapshot read recorded in `history` against its
+/// committed writers.  A history with no reads passes trivially.
+SnapshotReadResult check_snapshot_reads(const tcs::History& history);
+
+}  // namespace ratc::checker

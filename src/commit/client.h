@@ -54,12 +54,15 @@ class Client : public sim::Process {
   }
 
   /// Submits through a co-located coordinator replica (no network hop).
+  /// Passing our id as the origin lets a successor coordinator deliver the
+  /// decision as DECISION_CLIENT if the co-located replica crashes mid-2PC.
   void certify_colocated(Replica& coordinator, TxnId txn, const tcs::Payload& payload) {
     history_->record_certify(rt().now(), txn, payload);
     sent_[txn] = rt().now();
-    coordinator.certify_local(txn, payload, [this, txn](tcs::Decision d) {
-      record_decision(txn, d);
-    });
+    coordinator.certify_local(
+        txn, payload,
+        [this, txn](tcs::Decision d, Time csn_ts) { record_decision(txn, d, csn_ts); },
+        id());
   }
 
   /// Submits a whole batch through one co-located coordinator (one
@@ -71,15 +74,18 @@ class Client : public sim::Process {
       history_->record_certify(rt().now(), txn, payload);
       sent_[txn] = rt().now();
     }
-    coordinator.certify_batch_local(batch, [this](TxnId txn, tcs::Decision d) {
-      record_decision(txn, d);
-    });
+    coordinator.certify_batch_local(
+        batch,
+        [this](TxnId txn, tcs::Decision d, Time csn_ts) {
+          record_decision(txn, d, csn_ts);
+        },
+        id());
   }
 
   void on_message(ProcessId from, const sim::AnyMessage& msg) override {
     (void)from;
     if (const auto* d = msg.as<ClientDecision>()) {
-      record_decision(d->txn, d->decision);
+      record_decision(d->txn, d->decision, d->csn_ts);
     }
   }
 
@@ -105,10 +111,10 @@ class Client : public sim::Process {
   std::function<void(TxnId, tcs::Decision)> on_decision;
 
  private:
-  void record_decision(TxnId txn, tcs::Decision d) {
+  void record_decision(TxnId txn, tcs::Decision d, Time csn_ts = 0) {
     // Record duplicates too: conflicting ones are a spec violation that the
     // history checker must be able to see.
-    history_->record_decide(rt().now(), txn, d);
+    history_->record_decide(rt().now(), txn, d, tcs::Csn{csn_ts, txn});
     if (decisions_.count(txn) == 0) {
       decisions_[txn] = d;
       decided_at_[txn] = rt().now();

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -132,6 +133,23 @@ class Cluster {
   const tcs::ShardMap& shard_map() const { return shard_map_; }
   const tcs::Certifier& certifier() const { return *certifier_; }
   const Options& options() const { return options_; }
+
+  // --- read-only snapshot transactions (CSN fast path) -------------------------
+
+  /// Executes a read-only transaction over `objects` at one consistent
+  /// snapshot with ZERO certification messages: per involved shard, one
+  /// live member holding the authoritative epoch is consulted (member_hint
+  /// rotates the pick, so followers serve too), the snapshot is the minimum
+  /// of their CSN watermarks, and every object resolves locally from that
+  /// member's multi-version store.  Served reads are recorded in the
+  /// history for checker::check_snapshot_reads.  Returns the snapshot, or
+  /// nullopt when the read could not be served: no suitable member for some
+  /// shard, version history truncated below the snapshot, or — with
+  /// staleness_bound > 0 — the snapshot lagging `now` by more than the
+  /// bound.
+  std::optional<tcs::Csn> snapshot_read(const std::vector<ObjectId>& objects,
+                                        Duration staleness_bound = 0,
+                                        std::uint64_t member_hint = 0);
 
   // --- checking ---------------------------------------------------------------------
 

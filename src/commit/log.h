@@ -35,6 +35,14 @@ struct LogEntry {
   tcs::Decision dec = tcs::Decision::kAbort;
   Phase phase = Phase::kStart;
   TxnMeta meta;
+  /// Leader-stamped prepare time (CSN log): set when the leader appends the
+  /// slot, carried to followers in ACCEPT, preserved by NEW_STATE.  The
+  /// replica's read watermark sits below the smallest prepare_ts among
+  /// prepared-undecided slots.
+  Time prepare_ts = 0;
+  /// csn(t).ts of the commit decision (0 until decided / for aborts); with
+  /// `txn` this is the key the snapshot store files the writes under.
+  Time csn_ts = 0;
 
   bool filled() const { return phase != Phase::kStart; }
 };

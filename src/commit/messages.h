@@ -58,8 +58,9 @@ struct PrepareAck {
   tcs::Payload payload;
   tcs::Decision vote = tcs::Decision::kAbort;
   TxnMeta meta;
+  Time prepare_ts = 0;  ///< the leader's CSN-log stamp for this slot
   std::size_t wire_size() const {
-    return 40 + payload.wire_size() + meta.participants.size() * 4;
+    return 48 + payload.wire_size() + meta.participants.size() * 4;
   }
 };
 
@@ -78,8 +79,9 @@ struct Accept {
   tcs::Decision vote = tcs::Decision::kAbort;
   TxnMeta meta;
   ProcessId coordinator = kNoProcess;
+  Time prepare_ts = 0;  ///< the leader's CSN-log stamp, replicated with the slot
   std::size_t wire_size() const {
-    return 40 + payload.wire_size() + meta.participants.size() * 4;
+    return 48 + payload.wire_size() + meta.participants.size() * 4;
   }
 };
 
@@ -151,6 +153,7 @@ struct DecisionMsg {
   Slot slot = kNoSlot;
   TxnId txn = 0;
   tcs::Decision decision = tcs::Decision::kAbort;
+  Time csn_ts = 0;  ///< csn(t).ts for commits: max prepare stamp over shards
 };
 
 /// Coordinator -> client (Fig. 1 line 27).
@@ -158,6 +161,7 @@ struct ClientDecision {
   static constexpr const char* kName = "DECISION_CLIENT";
   TxnId txn = 0;
   tcs::Decision decision = tcs::Decision::kAbort;
+  Time csn_ts = 0;  ///< csn(t).ts for commits (0 for aborts)
 };
 
 // --- reconfiguration (Fig. 1 lines 33-69) ----------------------------------

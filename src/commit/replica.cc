@@ -20,7 +20,8 @@ Replica::Replica(rt::Runtime& rt, ProcessId id, Options options)
       engine_(rt, id, *this,
               {.target_shard_size = options_.target_shard_size,
                .probe_patience = options_.probe_patience,
-               .policy = options_.placement_policy}) {
+               .policy = options_.placement_policy}),
+      store_(options_.snapshot_history_depth) {
   assert(options_.shard_map != nullptr && options_.certifier != nullptr);
 }
 
@@ -58,22 +59,26 @@ void Replica::bootstrap_spare(
 // --- certification ----------------------------------------------------------
 
 void Replica::certify_local(TxnId txn, const tcs::Payload& payload,
-                            std::function<void(tcs::Decision)> cb) {
+                            std::function<void(tcs::Decision, Time)> cb,
+                            ProcessId origin) {
   TxnMeta meta;
   meta.txn = txn;
   meta.participants = options_.shard_map->shards_of(payload);
-  meta.client = kNoProcess;
+  // The co-located client's id rides in the meta so a successor coordinator
+  // (retry path, line 70) can still deliver the decision after this replica
+  // crashed — the live coordinator itself always uses the local callback.
+  meta.client = origin;
   start_certification(std::move(meta), &payload, std::move(cb));
 }
 
 void Replica::start_certification(TxnMeta meta, const tcs::Payload* full_payload,
-                                  std::function<void(tcs::Decision)> local_cb) {
+                                  std::function<void(tcs::Decision, Time)> local_cb) {
   TxnId txn = meta.txn;
   // Transactions touching no shard (empty payloads) commit trivially.
   if (meta.participants.empty()) {
     if (local_cb) {
       if (monitor_) monitor_->on_local_decision(txn, Decision::kCommit);
-      local_cb(Decision::kCommit);
+      local_cb(Decision::kCommit, 0);
     } else if (meta.client != kNoProcess) {
       rt().send_msg(id(), meta.client, ClientDecision{txn, Decision::kCommit});
     }
@@ -103,11 +108,12 @@ void Replica::start_certification(TxnMeta meta, const tcs::Payload* full_payload
 
 void Replica::certify_batch_local(
     const std::vector<std::pair<TxnId, tcs::Payload>>& batch,
-    std::function<void(TxnId, tcs::Decision)> cb) {
+    std::function<void(TxnId, tcs::Decision, Time)> cb, ProcessId origin) {
   if (batch.size() == 1) {
     TxnId txn = batch.front().first;
-    certify_local(txn, batch.front().second,
-                  [cb, txn](Decision d) { cb(txn, d); });
+    certify_local(
+        txn, batch.front().second,
+        [cb, txn](Decision d, Time csn_ts) { cb(txn, d, csn_ts); }, origin);
     return;
   }
   // Same per-transaction coordinator state as start_certification, but the
@@ -118,17 +124,22 @@ void Replica::certify_batch_local(
     TxnMeta meta;
     meta.txn = txn;
     meta.participants = options_.shard_map->shards_of(payload);
-    meta.client = kNoProcess;
+    // As in certify_local: carrying the origin client lets a successor
+    // coordinator finish *each batch item independently* after a crash —
+    // without it, decisions recovered by the line-70 retry path had nowhere
+    // to go for locally-submitted batches and the whole batch's outcomes
+    // were lost with the coordinator.
+    meta.client = origin;
     if (meta.participants.empty()) {
       if (monitor_) monitor_->on_local_decision(txn, Decision::kCommit);
-      cb(txn, Decision::kCommit);
+      cb(txn, Decision::kCommit, 0);
       continue;
     }
     CoordState& c = coord_[txn];
     if (c.decided) continue;
     undecided_coords_.insert(txn);
     c.meta = meta;
-    c.local_cb = [cb, txn](Decision d) { cb(txn, d); };
+    c.local_cb = [cb, txn](Decision d, Time csn_ts) { cb(txn, d, csn_ts); };
     c.last_driven = rt().now();
     for (ShardId s : meta.participants) {
       Prepare p;
@@ -196,6 +207,9 @@ void Replica::redrive_coordinations(const std::set<TxnId>& driven_this_tick) {
   // coordinator still holds the projections, so it re-sends the PREPAREs to
   // the *current* leaders; leaders that already certified the transaction
   // just re-send their stored result (lines 6-7), making this idempotent.
+  // Each coordination is re-driven independently with its *own* per-shard
+  // projections — transactions that arrived in one client batch share no
+  // fate here, so one item's lost PREPARE never stalls its batch-mates.
   (void)driven_this_tick;  // only read by the assert below
   Time now = rt().now();
   for (TxnId txn : undecided_coords_) {
@@ -253,6 +267,7 @@ PrepareAck Replica::prepare_txn(const Prepare& m) {
     ack.payload = e.payload;
     ack.vote = e.vote;
     ack.meta = e.meta;
+    ack.prepare_ts = e.prepare_ts;
   } else {
     // Lines 9-17: append to the certification order and vote.
     next_ += 1;
@@ -260,6 +275,9 @@ PrepareAck Replica::prepare_txn(const Prepare& m) {
     e.txn = m.txn;
     e.phase = Phase::kPrepared;
     e.meta = m.meta;
+    // The CSN-log stamp: final for the slot's life, replayed verbatim by the
+    // stored-result path above so csn(t) is stable across prepare retries.
+    e.prepare_ts = rt().now();
     if (m.has_payload) {
       e.payload = m.payload;     // line 13
       e.vote = compute_vote(next_, m.payload);  // line 12
@@ -290,6 +308,7 @@ PrepareAck Replica::prepare_txn(const Prepare& m) {
     ack.payload = e.payload;
     ack.vote = e.vote;
     ack.meta = e.meta;
+    ack.prepare_ts = e.prepare_ts;
   }
   return ack;
 }
@@ -304,6 +323,7 @@ static Accept make_accept(const PrepareAck& ack, ProcessId coordinator) {
   acc.vote = ack.vote;
   acc.meta = ack.meta;
   acc.coordinator = coordinator;
+  acc.prepare_ts = ack.prepare_ts;
   return acc;
 }
 
@@ -415,6 +435,7 @@ bool Replica::note_prepare_ack(const PrepareAck& m, Accept* accept) {
     pr.epoch = m.epoch;
     pr.slot = m.slot;
     pr.vote = m.vote;
+    pr.prepare_ts = m.prepare_ts;
     pr.follower_acks.clear();
   }
   accept->epoch = m.epoch;
@@ -424,6 +445,7 @@ bool Replica::note_prepare_ack(const PrepareAck& m, Accept* accept) {
   accept->payload = m.payload;
   accept->vote = m.vote;
   accept->meta = m.meta;
+  accept->prepare_ts = m.prepare_ts;
   return true;
 }
 
@@ -480,6 +502,7 @@ bool Replica::apply_accept(ProcessId from, const Accept& m, AcceptAck* ack,
     e.vote = m.vote;
     e.phase = Phase::kPrepared;
     e.meta = m.meta;
+    e.prepare_ts = m.prepare_ts;  // the leader's CSN stamp, replicated
     prepared_at_[m.slot] = rt().now();
     index_.on_prepared(log_, m.slot);
   }
@@ -539,6 +562,7 @@ void Replica::check_coordination(TxnId txn) {
   // Line 26: ACCEPT_ACKs from every follower of every involved shard, at
   // the coordinator's current epoch for that shard.
   Decision decision = Decision::kCommit;
+  Time csn_ts = 0;  // csn(t).ts = max prepare stamp over the involved shards
   for (ShardId s : c.meta.participants) {
     auto pit = c.progress.find(s);
     if (pit == c.progress.end()) return;
@@ -549,21 +573,23 @@ void Replica::check_coordination(TxnId txn) {
       if (pr.follower_acks.count(f) == 0) return;
     }
     decision = meet(decision, pr.vote);  // line 27's ⊓ fold
+    csn_ts = std::max(csn_ts, pr.prepare_ts);
   }
+  if (decision != Decision::kCommit) csn_ts = 0;  // aborts never enter the CSN log
   c.decided = true;  // guards re-entrancy from the client callback below
   // Line 27: report the decision to the client.
   if (c.local_cb) {
     if (monitor_) monitor_->on_local_decision(txn, decision);
-    c.local_cb(decision);
+    c.local_cb(decision, csn_ts);
   } else if (c.meta.client != kNoProcess) {
-    rt().send_msg(id(), c.meta.client, ClientDecision{txn, decision});
+    rt().send_msg(id(), c.meta.client, ClientDecision{txn, decision, csn_ts});
   }
   // Lines 28-29: persist the decision at every member of each shard.
   for (ShardId s : c.meta.participants) {
     const ShardProgress& pr = c.progress.at(s);
     const configsvc::ShardConfig& v = view(s);
     for (ProcessId p : v.members) {
-      rt().send_msg(id(), p, DecisionMsg{v.epoch, s, pr.slot, txn, decision});
+      rt().send_msg(id(), p, DecisionMsg{v.epoch, s, pr.slot, txn, decision, csn_ts});
     }
   }
   // The coordination is complete: shed the heavy state but keep the entry
@@ -585,8 +611,16 @@ void Replica::handle_decision(ProcessId from, const DecisionMsg& m) {
   if (e.phase == Phase::kStart) e.txn = m.txn;  // decision for a hole (abort only)
   e.dec = m.decision;
   e.phase = Phase::kDecided;
+  e.csn_ts = m.csn_ts;
   prepared_at_.erase(m.slot);
   index_.on_decided(log_, m.slot);
+  // Advance the committed multi-version state.  A commit decision can only
+  // land on a filled slot (line 26 required this replica's own ACCEPT_ACK),
+  // so the payload is present; duplicate decisions re-apply the same csn,
+  // which the store skips.
+  if (m.decision == Decision::kCommit) {
+    store_.apply_at(e.payload, tcs::Csn{m.csn_ts, m.txn});
+  }
 }
 
 // --- reconfiguration ----------------------------------------------------------
@@ -680,6 +714,7 @@ void Replica::handle_new_config(ProcessId from, const NewConfig& m) {
   // individually (earlier NEW_STATE transfers), so reindex wholesale and
   // make sure every still-prepared slot has live retry bookkeeping.
   index_.rebuild(log_);
+  rebuild_snapshot_store();
   for (Slot k = 1; k <= log_.size(); ++k) {
     const LogEntry* e = log_.find(k);
     if (e != nullptr && e->phase == Phase::kPrepared && prepared_at_.count(k) == 0) {
@@ -711,6 +746,7 @@ void Replica::handle_new_state(ProcessId from, const NewState& m) {
   v.leader = from;
   log_ = m.log;
   index_.rebuild(log_);
+  rebuild_snapshot_store();
   // Re-arm the retry bookkeeping for slots still prepared in the new epoch:
   // clearing prepared_at_ wholesale here used to drop them from the line-70
   // retry contract entirely — if their coordinator died mid-2PC, no replica
@@ -731,6 +767,37 @@ void Replica::handle_config_change(const configsvc::ConfigChange& m) {
   configsvc::ShardConfig& v = views_[m.shard];
   if (v.epoch >= m.config.epoch) return;
   v = m.config;  // line 69
+}
+
+// --- CSN reads -------------------------------------------------------------
+
+tcs::Csn Replica::read_watermark() const {
+  // Below the smallest prepare stamp among prepared-undecided slots: any
+  // commit this replica has not yet applied either sits prepared here (and
+  // then its csn >= that stamp, above the watermark) or has not gathered
+  // this replica's ACCEPT_ACK yet (line 26) and so is not decided anywhere.
+  bool any = false;
+  Time min_ts = 0;
+  for (const LogEntry& e : log_.entries()) {
+    if (e.phase != Phase::kPrepared) continue;
+    if (!any || e.prepare_ts < min_ts) min_ts = e.prepare_ts;
+    any = true;
+  }
+  if (any) return tcs::watermark_below(min_ts);
+  return tcs::watermark_at(rt().now());
+}
+
+void Replica::rebuild_snapshot_store() {
+  // The log replaced wholesale (NEW_STATE) or inherited across a takeover
+  // (NEW_CONFIG) is the authoritative committed state: refile every decided
+  // commit under its csn.  Entries decided elsewhere while this replica was
+  // down arrive with csn_ts carried in the transferred log.
+  store_.clear();
+  for (const LogEntry& e : log_.entries()) {
+    if (e.phase == Phase::kDecided && e.dec == Decision::kCommit) {
+      store_.apply_at(e.payload, tcs::Csn{e.csn_ts, e.txn});
+    }
+  }
 }
 
 // --- retry timer ----------------------------------------------------------

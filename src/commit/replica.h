@@ -29,7 +29,9 @@
 #include "recon/engine.h"
 #include "sim/network.h"
 #include "sim/process.h"
+#include "store/versioned_store.h"
 #include "tcs/certifier.h"
+#include "tcs/csn.h"
 #include "tcs/shard_map.h"
 
 namespace ratc::commit {
@@ -94,6 +96,9 @@ class Replica : public sim::Process, private recon::StackHooks {
     /// witness sets).  Works in every build type, not just -DNDEBUG-less
     /// ones; sweeps and the randomized suites turn it on.
     bool check_certifier_index = false;
+    /// Versions per object the snapshot store retains for CSN reads; older
+    /// versions are evicted (reads below them report unserved, never wrong).
+    std::size_t snapshot_history_depth = 16;
     Monitor* monitor = nullptr;
   };
 
@@ -115,9 +120,14 @@ class Replica : public sim::Process, private recon::StackHooks {
   /// certify(t, l) with this replica as coordinator and a co-located client:
   /// the decision is delivered through `cb` with no extra message delay
   /// (paper Sec. 3: "co-locating the client with the transaction
-  /// coordinator").
+  /// coordinator").  The callback's Time is csn(t).ts for commits (0 for
+  /// aborts).  `origin` is the co-located client's process id; when set, a
+  /// successor coordinator that finishes the transaction after this replica
+  /// crashed routes the decision there as DECISION_CLIENT instead of
+  /// dropping it on the floor.
   void certify_local(TxnId txn, const tcs::Payload& payload,
-                     std::function<void(tcs::Decision)> cb);
+                     std::function<void(tcs::Decision, Time)> cb,
+                     ProcessId origin = kNoProcess);
 
   /// Batched certify with this replica as coordinator of every item: the
   /// batch is grouped into one PREPARE_BATCH per participant shard (one
@@ -125,10 +135,11 @@ class Replica : public sim::Process, private recon::StackHooks {
   /// delivered per transaction through `cb`; the items' 2PC instances stay
   /// independent (distributivity is what makes the grouping sound, not a
   /// change to the decision rule).  A batch of one degenerates to
-  /// certify_local.
+  /// certify_local.  `origin` as in certify_local.
   void certify_batch_local(
       const std::vector<std::pair<TxnId, tcs::Payload>>& batch,
-      std::function<void(TxnId, tcs::Decision)> cb);
+      std::function<void(TxnId, tcs::Decision, Time)> cb,
+      ProcessId origin = kNoProcess);
 
   // --- recovery API -------------------------------------------------------------
 
@@ -154,6 +165,23 @@ class Replica : public sim::Process, private recon::StackHooks {
   /// (stats + spare-ledger introspection for harnesses).
   const recon::Engine& recon_engine() const { return engine_; }
 
+  // --- CSN read surface ------------------------------------------------------
+  //
+  // Read-only transactions execute at a snapshot c without any certification
+  // message: pick c at or below every involved replica's watermark and serve
+  // each object from the replica's snapshot store.  Soundness rides on the
+  // all-follower-ack rule (Fig. 1 line 26): a commit with csn(t).ts below
+  // this replica's watermark either sits decided in the log (its writes are
+  // in the store) or is still prepared here (and then gates the watermark).
+
+  /// The largest snapshot this replica can currently serve: just below the
+  /// smallest prepare stamp among prepared-undecided slots, or `now` when
+  /// every filled slot is decided.
+  tcs::Csn read_watermark() const;
+
+  /// The multi-version committed state CSN reads are served from.
+  const store::SnapshotStore& snapshot_store() const { return store_; }
+
   void on_message(ProcessId from, const sim::AnyMessage& msg) override;
 
  private:
@@ -162,13 +190,15 @@ class Replica : public sim::Process, private recon::StackHooks {
     Epoch epoch = kNoEpoch;
     Slot slot = kNoSlot;
     tcs::Decision vote = tcs::Decision::kAbort;
+    Time prepare_ts = 0;  ///< leader's CSN stamp; csn(t).ts = max over shards
     std::set<ProcessId> follower_acks;
   };
   struct CoordState {
     TxnMeta meta;
     std::map<ShardId, ShardProgress> progress;
     bool decided = false;
-    std::function<void(tcs::Decision)> local_cb;  ///< set for co-located clients
+    /// Set for co-located clients; second arg is csn(t).ts (0 for aborts).
+    std::function<void(tcs::Decision, Time)> local_cb;
     /// Per-shard payload projections, kept so the coordinator can re-send a
     /// PREPARE that died with a crashed leader (empty for ⊥ retries).
     std::map<ShardId, tcs::Payload> shard_payloads;
@@ -177,7 +207,7 @@ class Replica : public sim::Process, private recon::StackHooks {
 
   // Fig. 1 handlers.
   void start_certification(TxnMeta meta, const tcs::Payload* full_payload,
-                           std::function<void(tcs::Decision)> local_cb);
+                           std::function<void(tcs::Decision, Time)> local_cb);
   /// CERTIFY_BATCH: certify_batch_local's shape, but decisions go back to
   /// `client` as DECISION_CLIENT messages.
   void certify_batch_remote(ProcessId client,
@@ -264,6 +294,10 @@ class Replica : public sim::Process, private recon::StackHooks {
   /// event for the given transaction.
   void check_coordination(TxnId txn);
 
+  /// Refiles every decided-commit log entry into the snapshot store under
+  /// its csn (log replacement / leader takeover).
+  void rebuild_snapshot_store();
+
   void arm_retry_timer();
   /// One retry-timer firing: collect the stale prepared slots, then
   /// rate-limit and re-drive each exactly once (line 70), then re-drive
@@ -303,6 +337,10 @@ class Replica : public sim::Process, private recon::StackHooks {
 
   // Local bookkeeping for the retry timer.
   std::map<Slot, Time> prepared_at_;
+
+  /// Committed multi-version state, filed under Csn{csn_ts, txn}; rebuilt
+  /// from the log on NEW_STATE / leader takeover.
+  store::SnapshotStore store_;
 };
 
 }  // namespace ratc::commit

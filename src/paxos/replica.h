@@ -58,6 +58,14 @@ class PaxosReplica : public sim::Process {
   void start_election();
 
   bool is_leader() const { return leading_; }
+  /// No election in progress and every chosen slot applied.  A freshly
+  /// elected leader that has not yet applied its predecessors' chosen
+  /// commands must not serve reads off the applied state (baseline CSN
+  /// snapshot reads gate on this).
+  bool caught_up() const {
+    return !electing_ &&
+           (chosen_.empty() || chosen_.rbegin()->first == applied_upto_);
+  }
   ProcessId leader_hint() const { return leader_hint_; }
   Slot last_applied() const { return applied_upto_; }
   Slot next_slot() const { return next_slot_; }

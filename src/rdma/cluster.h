@@ -40,9 +40,10 @@ class Client : public sim::Process {
   void certify_colocated(Replica& coordinator, TxnId txn, const tcs::Payload& payload) {
     history_->record_certify(rt().now(), txn, payload);
     sent_[txn] = rt().now();
-    coordinator.certify_local(txn, payload, [this, txn](tcs::Decision d) {
-      record_decision(txn, d);
-    });
+    coordinator.certify_local(
+        txn, payload,
+        [this, txn](tcs::Decision d, Time csn_ts) { record_decision(txn, d, csn_ts); },
+        id());
   }
 
   /// Batched co-located submission (see commit::Client).
@@ -53,15 +54,18 @@ class Client : public sim::Process {
       history_->record_certify(rt().now(), txn, payload);
       sent_[txn] = rt().now();
     }
-    coordinator.certify_batch_local(batch, [this](TxnId txn, tcs::Decision d) {
-      record_decision(txn, d);
-    });
+    coordinator.certify_batch_local(
+        batch,
+        [this](TxnId txn, tcs::Decision d, Time csn_ts) {
+          record_decision(txn, d, csn_ts);
+        },
+        id());
   }
 
   void on_message(ProcessId from, const sim::AnyMessage& msg) override {
     (void)from;
     if (const auto* d = msg.as<commit::ClientDecision>()) {
-      record_decision(d->txn, d->decision);
+      record_decision(d->txn, d->decision, d->csn_ts);
     }
   }
 
@@ -88,8 +92,8 @@ class Client : public sim::Process {
   std::function<void(TxnId, tcs::Decision)> on_decision;
 
  private:
-  void record_decision(TxnId txn, tcs::Decision d) {
-    history_->record_decide(rt().now(), txn, d);
+  void record_decision(TxnId txn, tcs::Decision d, Time csn_ts = 0) {
+    history_->record_decide(rt().now(), txn, d, tcs::Csn{csn_ts, txn});
     observations_.emplace_back(txn, d);
     if (decisions_.count(txn) == 0) {
       decisions_[txn] = d;
@@ -188,6 +192,16 @@ class Cluster {
   tcs::History& history() { return history_; }
   const tcs::ShardMap& shard_map() const { return shard_map_; }
   const tcs::Certifier& certifier() const { return *certifier_; }
+
+  /// Read-only snapshot transaction with ZERO certification messages and no
+  /// fabric flush (see rdma::Replica's CSN read surface): one live member at
+  /// the authoritative epoch per involved shard, snapshot = min of their CSN
+  /// watermarks, objects resolved locally.  Served reads are recorded in the
+  /// history; nullopt when unservable (no member, truncated history, or a
+  /// violated staleness bound).  Mirrors commit::Cluster::snapshot_read.
+  std::optional<tcs::Csn> snapshot_read(const std::vector<ObjectId>& objects,
+                                        Duration staleness_bound = 0,
+                                        std::uint64_t member_hint = 0);
 
   /// End-of-run verdict: monitor violations + conflicting client decisions.
   std::string verify() const;

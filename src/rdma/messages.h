@@ -27,8 +27,9 @@ struct RAccept {
   tcs::Payload payload;
   tcs::Decision vote = tcs::Decision::kAbort;
   commit::TxnMeta meta;
+  Time prepare_ts = 0;  ///< the leader's CSN-log stamp, replicated with the slot
   std::size_t wire_size() const {
-    return 40 + payload.wire_size() + meta.participants.size() * 4;
+    return 48 + payload.wire_size() + meta.participants.size() * 4;
   }
 };
 
@@ -50,6 +51,7 @@ struct RDecision {
   Slot slot = kNoSlot;
   TxnId txn = 0;
   tcs::Decision decision = tcs::Decision::kAbort;
+  Time csn_ts = 0;  ///< csn(t).ts for commits: max prepare stamp over shards
 };
 
 // --- global reconfiguration (Fig. 8) -----------------------------------------

@@ -29,7 +29,8 @@ Replica::Replica(rt::Runtime& rt, Fabric& fabric, ProcessId id, Options options)
       engine_(rt, id, *this,
               {.target_shard_size = options_.target_shard_size,
                .probe_patience = options_.probe_patience,
-               .policy = options_.placement_policy}) {
+               .policy = options_.placement_policy}),
+      store_(options_.snapshot_history_depth) {
   assert(options_.shard_map != nullptr && options_.certifier != nullptr);
   fabric_.attach(
       id,
@@ -112,21 +113,24 @@ void Replica::bootstrap_spare(const configsvc::GlobalConfig& config) {
 // --- certification (Fig. 7) ---------------------------------------------------
 
 void Replica::certify_local(TxnId txn, const tcs::Payload& payload,
-                            std::function<void(tcs::Decision)> cb) {
+                            std::function<void(tcs::Decision, Time)> cb,
+                            ProcessId origin) {
   commit::TxnMeta meta;
   meta.txn = txn;
   meta.participants = options_.shard_map->shards_of(payload);
-  meta.client = kNoProcess;
+  // The co-located client's id rides in the meta so a successor coordinator
+  // can deliver the decision after this replica crashed (see commit::Replica).
+  meta.client = origin;
   start_certification(std::move(meta), &payload, std::move(cb));
 }
 
 void Replica::start_certification(commit::TxnMeta meta, const tcs::Payload* full_payload,
-                                  std::function<void(tcs::Decision)> local_cb) {
+                                  std::function<void(tcs::Decision, Time)> local_cb) {
   TxnId txn = meta.txn;
   if (meta.participants.empty()) {
     if (local_cb) {
       if (monitor_) monitor_->on_local_decision(txn, Decision::kCommit);
-      local_cb(Decision::kCommit);
+      local_cb(Decision::kCommit, 0);
     } else if (meta.client != kNoProcess) {
       rt().send_msg(id(), meta.client, commit::ClientDecision{txn, Decision::kCommit});
     }
@@ -156,11 +160,12 @@ void Replica::start_certification(commit::TxnMeta meta, const tcs::Payload* full
 
 void Replica::certify_batch_local(
     const std::vector<std::pair<TxnId, tcs::Payload>>& batch,
-    std::function<void(TxnId, tcs::Decision)> cb) {
+    std::function<void(TxnId, tcs::Decision, Time)> cb, ProcessId origin) {
   if (batch.size() == 1) {
     TxnId txn = batch.front().first;
-    certify_local(txn, batch.front().second,
-                  [cb, txn](Decision d) { cb(txn, d); });
+    certify_local(
+        txn, batch.front().second,
+        [cb, txn](Decision d, Time csn_ts) { cb(txn, d, csn_ts); }, origin);
     return;
   }
   // One PREPARE_BATCH per shard leader; per-transaction coordinator state
@@ -170,17 +175,19 @@ void Replica::certify_batch_local(
     commit::TxnMeta meta;
     meta.txn = txn;
     meta.participants = options_.shard_map->shards_of(payload);
-    meta.client = kNoProcess;
+    // Carrying the origin client lets a successor coordinator finish each
+    // batch item independently after a crash (see commit::Replica).
+    meta.client = origin;
     if (meta.participants.empty()) {
       if (monitor_) monitor_->on_local_decision(txn, Decision::kCommit);
-      cb(txn, Decision::kCommit);
+      cb(txn, Decision::kCommit, 0);
       continue;
     }
     CoordState& c = coord_[txn];
     if (c.decided) continue;
     undecided_coords_.insert(txn);
     c.meta = meta;
-    c.local_cb = [cb, txn](Decision d) { cb(txn, d); };
+    c.local_cb = [cb, txn](Decision d, Time csn_ts) { cb(txn, d, csn_ts); };
     c.last_driven = rt().now();
     for (ShardId s : meta.participants) {
       commit::Prepare p;
@@ -208,6 +215,8 @@ void Replica::redrive_coordinations(const std::set<TxnId>& driven_this_tick) {
   // re-drive the transaction once reconfiguration installs a new leader.
   (void)driven_this_tick;  // only read by the assert below
   Time now = rt().now();
+  // Each coordination re-drives independently with its own projections —
+  // batch-mates share no fate (see commit::Replica::redrive_coordinations).
   for (TxnId txn : undecided_coords_) {
     CoordState& c = coord_.at(txn);
     if (now - c.last_driven < options_.retry_timeout) continue;
@@ -256,6 +265,7 @@ commit::PrepareAck Replica::prepare_txn(const commit::Prepare& m) {
     ack.payload = e.payload;
     ack.vote = e.vote;
     ack.meta = e.meta;
+    ack.prepare_ts = e.prepare_ts;
   } else {
     // Lines 82-90.
     next_ += 1;
@@ -263,6 +273,8 @@ commit::PrepareAck Replica::prepare_txn(const commit::Prepare& m) {
     e.txn = m.txn;
     e.phase = commit::Phase::kPrepared;
     e.meta = m.meta;
+    // The CSN-log stamp: final for the slot's life (see commit::Replica).
+    e.prepare_ts = rt().now();
     if (m.has_payload) {
       e.payload = m.payload;
       e.vote = compute_vote(next_, m.payload);
@@ -290,6 +302,7 @@ commit::PrepareAck Replica::prepare_txn(const commit::Prepare& m) {
     ack.payload = e.payload;
     ack.vote = e.vote;
     ack.meta = e.meta;
+    ack.prepare_ts = e.prepare_ts;
   }
   return ack;
 }
@@ -376,6 +389,7 @@ bool Replica::note_prepare_ack(const commit::PrepareAck& m, RAccept* accept) {
     pr.epoch = m.epoch;
     pr.slot = m.slot;
     pr.vote = m.vote;
+    pr.prepare_ts = m.prepare_ts;
     pr.acked.clear();
   }
   accept->epoch = m.epoch;
@@ -385,6 +399,7 @@ bool Replica::note_prepare_ack(const commit::PrepareAck& m, RAccept* accept) {
   accept->payload = m.payload;
   accept->vote = m.vote;
   accept->meta = m.meta;
+  accept->prepare_ts = m.prepare_ts;
   return true;
 }
 
@@ -449,6 +464,7 @@ void Replica::check_coordination(TxnId txn) {
   // Lines 96-97: ack-rdma from every current follower of every shard, and
   // the PREPARE_ACK epoch still matches the coordinator's current epoch.
   Decision decision = Decision::kCommit;
+  Time csn_ts = 0;  // csn(t).ts = max prepare stamp over the involved shards
   for (ShardId s : c.meta.participants) {
     auto pit = c.progress.find(s);
     if (pit == c.progress.end()) return;
@@ -459,14 +475,16 @@ void Replica::check_coordination(TxnId txn) {
       if (p != l && pr.acked.count(p) == 0) return;
     }
     decision = meet(decision, pr.vote);
+    csn_ts = std::max(csn_ts, pr.prepare_ts);
   }
+  if (decision != Decision::kCommit) csn_ts = 0;  // aborts never enter the CSN log
   c.decided = true;  // guards re-entrancy from the client callback below
   // Line 98.
   if (c.local_cb) {
     if (monitor_) monitor_->on_local_decision(txn, decision);
-    c.local_cb(decision);
+    c.local_cb(decision, csn_ts);
   } else if (c.meta.client != kNoProcess) {
-    rt().send_msg(id(), c.meta.client, commit::ClientDecision{txn, decision});
+    rt().send_msg(id(), c.meta.client, commit::ClientDecision{txn, decision, csn_ts});
   }
   // Lines 99-100: decisions are one-sided writes too.
   for (ShardId s : c.meta.participants) {
@@ -477,6 +495,7 @@ void Replica::check_coordination(TxnId txn) {
     d.slot = pr.slot;
     d.txn = txn;
     d.decision = decision;
+    d.csn_ts = csn_ts;
     for (ProcessId p : members_of(s)) {
       fabric_.send_rdma(id(), p, sim::AnyMessage(d));
     }
@@ -497,6 +516,7 @@ void Replica::apply_raccept(const RAccept& a) {
   e.vote = a.vote;
   e.phase = commit::Phase::kPrepared;
   e.meta = a.meta;
+  e.prepare_ts = a.prepare_ts;  // the leader's CSN stamp, replicated
   prepared_at_[a.slot] = rt().now();
   index_.on_prepared(log_, a.slot);
 }
@@ -507,8 +527,15 @@ void Replica::apply_rdecision(const RDecision& d) {
   if (e.phase == commit::Phase::kStart) e.txn = d.txn;
   e.dec = d.decision;
   e.phase = commit::Phase::kDecided;
+  e.csn_ts = d.csn_ts;
   prepared_at_.erase(d.slot);
   index_.on_decided(log_, d.slot);
+  // Advance the committed multi-version state; a commit write can only land
+  // on a slot whose ACCEPT this replica's NIC acknowledged (lines 96-97), so
+  // the payload is present.  Duplicate writes re-apply the same csn (no-op).
+  if (d.decision == Decision::kCommit) {
+    store_.apply_at(e.payload, tcs::Csn{d.csn_ts, d.txn});
+  }
 }
 
 void Replica::deliver_rdma(ProcessId from, const sim::AnyMessage& msg) {
@@ -706,6 +733,7 @@ void Replica::handle_new_config(const RNewConfig& m) {
   // Leadership takeover: reindex the (possibly transferred) log and make
   // sure every still-prepared slot has live retry bookkeeping.
   index_.rebuild(log_);
+  rebuild_snapshot_store();
   for (Slot k = 1; k <= log_.size(); ++k) {
     const commit::LogEntry* e = log_.find(k);
     if (e != nullptr && e->phase == commit::Phase::kPrepared &&
@@ -735,6 +763,7 @@ void Replica::handle_new_state(ProcessId from, const RNewState& m) {
   config_ = pending_config_;
   log_ = m.log;
   index_.rebuild(log_);
+  rebuild_snapshot_store();
   // Re-arm retry bookkeeping for slots still prepared in the new epoch
   // instead of clearing it wholesale — dropping them orphaned the line-168
   // retry for transactions whose coordinator died mid-2PC (see
@@ -804,6 +833,7 @@ void Replica::handle_new_config_unsafe(const commit::NewConfig& m) {
   v.leader = id();
   next_ = log_.max_filled();
   index_.rebuild(log_);
+  rebuild_snapshot_store();
   for (Slot k = 1; k <= log_.size(); ++k) {
     const commit::LogEntry* e = log_.find(k);
     if (e != nullptr && e->phase == commit::Phase::kPrepared &&
@@ -831,6 +861,7 @@ void Replica::handle_new_state_unsafe(ProcessId from, const commit::NewState& m)
   v.leader = from;
   log_ = m.log;
   index_.rebuild(log_);
+  rebuild_snapshot_store();
   // Same re-arm as the safe mode's handle_new_state: surviving prepared
   // slots keep their retry bookkeeping.
   prepared_at_.clear();
@@ -847,6 +878,32 @@ void Replica::handle_config_change(const configsvc::ConfigChange& m) {
   configsvc::ShardConfig& v = views_[m.shard];
   if (v.epoch >= m.config.epoch) return;
   v = m.config;
+}
+
+// --- CSN reads -------------------------------------------------------------
+
+tcs::Csn Replica::read_watermark() const {
+  // Below the smallest prepare stamp among prepared-undecided slots (see
+  // commit::Replica::read_watermark; the in-flight-write argument for why no
+  // fabric flush is needed is in the header).
+  bool any = false;
+  Time min_ts = 0;
+  for (const commit::LogEntry& e : log_.entries()) {
+    if (e.phase != commit::Phase::kPrepared) continue;
+    if (!any || e.prepare_ts < min_ts) min_ts = e.prepare_ts;
+    any = true;
+  }
+  if (any) return tcs::watermark_below(min_ts);
+  return tcs::watermark_at(rt().now());
+}
+
+void Replica::rebuild_snapshot_store() {
+  store_.clear();
+  for (const commit::LogEntry& e : log_.entries()) {
+    if (e.phase == commit::Phase::kDecided && e.dec == Decision::kCommit) {
+      store_.apply_at(e.payload, tcs::Csn{e.csn_ts, e.txn});
+    }
+  }
 }
 
 // --- plumbing -------------------------------------------------------------------

@@ -35,7 +35,9 @@
 #include "recon/engine.h"
 #include "sim/network.h"
 #include "sim/process.h"
+#include "store/versioned_store.h"
 #include "tcs/certifier.h"
+#include "tcs/csn.h"
 #include "tcs/shard_map.h"
 
 namespace ratc::rdma {
@@ -79,6 +81,8 @@ class Replica : public sim::Process, private recon::StackHooks {
     /// Debug cross-check: recompute every vote with the flat L1/L2 log scan
     /// and abort on divergence from the witness index (see commit::Replica).
     bool check_certifier_index = false;
+    /// Versions per object the snapshot store retains for CSN reads.
+    std::size_t snapshot_history_depth = 16;
     RdmaMonitor* monitor = nullptr;
   };
 
@@ -91,15 +95,20 @@ class Replica : public sim::Process, private recon::StackHooks {
   void bootstrap(Status status, const configsvc::GlobalConfig& config);
   void bootstrap_spare(const configsvc::GlobalConfig& config);
 
+  /// As commit::Replica::certify_local: the callback's Time is csn(t).ts
+  /// (0 for aborts); `origin` is the co-located client a successor
+  /// coordinator routes the decision to after a crash.
   void certify_local(TxnId txn, const tcs::Payload& payload,
-                     std::function<void(tcs::Decision)> cb);
+                     std::function<void(tcs::Decision, Time)> cb,
+                     ProcessId origin = kNoProcess);
 
   /// Batched certify with this replica as coordinator of every item (see
   /// commit::Replica::certify_batch_local): one PREPARE_BATCH per shard
   /// leader, one batched one-sided ACCEPT write per follower.
   void certify_batch_local(
       const std::vector<std::pair<TxnId, tcs::Payload>>& batch,
-      std::function<void(TxnId, tcs::Decision)> cb);
+      std::function<void(TxnId, tcs::Decision, Time)> cb,
+      ProcessId origin = kNoProcess);
 
   /// Global reconfiguration (safe mode, Fig. 8 line 103).
   void reconfigure();
@@ -120,6 +129,19 @@ class Replica : public sim::Process, private recon::StackHooks {
   /// The shared reconfigurer core (stats + spare-ledger introspection).
   const recon::Engine& recon_engine() const { return engine_; }
 
+  // --- CSN read surface (see commit::Replica) --------------------------------
+  //
+  // No fabric flush is needed before serving a read: an RAccept still in
+  // flight means this replica never acknowledged, so the transaction cannot
+  // be decided anywhere (lines 96-97); an RDecision still in flight leaves
+  // the slot prepared here, where it gates the watermark.
+
+  /// The largest snapshot this replica can currently serve.
+  tcs::Csn read_watermark() const;
+
+  /// The multi-version committed state CSN reads are served from.
+  const store::SnapshotStore& snapshot_store() const { return store_; }
+
   void on_message(ProcessId from, const sim::AnyMessage& msg) override;
 
  private:
@@ -128,6 +150,7 @@ class Replica : public sim::Process, private recon::StackHooks {
     Epoch epoch = kNoEpoch;
     Slot slot = kNoSlot;
     tcs::Decision vote = tcs::Decision::kAbort;
+    Time prepare_ts = 0;  ///< leader's CSN stamp; csn(t).ts = max over shards
     std::set<ProcessId> pending_writes;  ///< followers whose ack is awaited
     std::set<ProcessId> acked;
   };
@@ -135,7 +158,8 @@ class Replica : public sim::Process, private recon::StackHooks {
     commit::TxnMeta meta;
     std::map<ShardId, ShardProgress> progress;
     bool decided = false;
-    std::function<void(tcs::Decision)> local_cb;
+    /// Set for co-located clients; second arg is csn(t).ts (0 for aborts).
+    std::function<void(tcs::Decision, Time)> local_cb;
     /// Per-shard projections for coordinator re-drive (see
     /// redrive_coordinations); empty for ⊥ retries.
     std::map<ShardId, tcs::Payload> shard_payloads;
@@ -143,7 +167,7 @@ class Replica : public sim::Process, private recon::StackHooks {
   };
   // Certification path (Fig. 7).
   void start_certification(commit::TxnMeta meta, const tcs::Payload* full_payload,
-                           std::function<void(tcs::Decision)> local_cb);
+                           std::function<void(tcs::Decision, Time)> local_cb);
   void handle_prepare(ProcessId from, const commit::Prepare& m);
   void prepare_and_ack(ProcessId coordinator, const commit::Prepare& m);
   void handle_prepare_batch(ProcessId from, const commit::PrepareBatch& m);
@@ -191,6 +215,10 @@ class Replica : public sim::Process, private recon::StackHooks {
   void handle_new_config_unsafe(const commit::NewConfig& m);
   void handle_new_state_unsafe(ProcessId from, const commit::NewState& m);
   void handle_config_change(const configsvc::ConfigChange& m);
+
+  /// Refiles every decided-commit log entry into the snapshot store under
+  /// its csn (log replacement / leader takeover).
+  void rebuild_snapshot_store();
 
   void arm_retry_timer();
   /// One retry-timer firing, collect-then-act (see commit::Replica).
@@ -256,6 +284,10 @@ class Replica : public sim::Process, private recon::StackHooks {
       write_tokens_;
 
   std::map<Slot, Time> prepared_at_;
+
+  /// Committed multi-version state, filed under Csn{csn_ts, txn}; rebuilt
+  /// from the log on RNEW_STATE / NEW_STATE / leader takeover.
+  store::SnapshotStore store_;
 };
 
 }  // namespace ratc::rdma

@@ -42,6 +42,12 @@ class CommitFrontend : public TcsFrontend {
     client_.certify_batch_colocated(*coord, batch);
   }
 
+  std::optional<tcs::Csn> submit_read_only(
+      const std::vector<ObjectId>& objects, Duration staleness_bound = 0) override {
+    // Rotate the serving member so follower reads get exercised too.
+    return cluster_.snapshot_read(objects, staleness_bound, next_read_member_++);
+  }
+
  private:
   commit::Replica* pick_coordinator() {
     for (std::uint32_t attempts = 0; attempts < 4 * cluster_.num_shards(); ++attempts) {
@@ -61,6 +67,7 @@ class CommitFrontend : public TcsFrontend {
   commit::Client& client_;
   std::uint32_t next_shard_ = 0;
   std::size_t next_member_ = 0;
+  std::uint64_t next_read_member_ = 0;
 };
 
 /// RDMA protocol (Figs. 7-8).
@@ -88,6 +95,11 @@ class RdmaFrontend : public TcsFrontend {
     client_.certify_batch_colocated(*coord, batch);
   }
 
+  std::optional<tcs::Csn> submit_read_only(
+      const std::vector<ObjectId>& objects, Duration staleness_bound = 0) override {
+    return cluster_.snapshot_read(objects, staleness_bound, next_read_member_++);
+  }
+
  private:
   rdma::Replica* pick_coordinator() {
     for (std::uint32_t attempts = 0; attempts < 4 * shard_count(); ++attempts) {
@@ -111,6 +123,7 @@ class RdmaFrontend : public TcsFrontend {
   rdma::Client& client_;
   std::uint32_t next_shard_ = 0;
   std::size_t next_member_ = 0;
+  std::uint64_t next_read_member_ = 0;
 };
 
 /// Vanilla 2PC-over-Paxos baseline.
@@ -142,6 +155,12 @@ class BaselineFrontend : public TcsFrontend {
     for (auto& [coordinator, group] : groups) {
       client_.certify_batch(coordinator, group);
     }
+  }
+
+  std::optional<tcs::Csn> submit_read_only(
+      const std::vector<ObjectId>& objects, Duration staleness_bound = 0) override {
+    // Leader-gated (no member rotation): see BaselineCluster::snapshot_read.
+    return cluster_.snapshot_read(objects, staleness_bound);
   }
 
  private:

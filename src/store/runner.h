@@ -18,12 +18,14 @@
 #include <cmath>
 #include <functional>
 #include <map>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "common/types.h"
 #include "sim/simulator.h"
 #include "store/versioned_store.h"
+#include "tcs/csn.h"
 #include "tcs/decision.h"
 #include "tcs/payload.h"
 
@@ -44,6 +46,19 @@ class TcsFrontend {
   virtual void submit_batch(
       const std::vector<std::pair<TxnId, tcs::Payload>>& batch) {
     for (const auto& [txn, payload] : batch) submit(txn, payload);
+  }
+
+  /// Read-only snapshot transaction over the CSN fast path: executes
+  /// synchronously at one replica per involved shard with ZERO
+  /// certification messages, returning the snapshot it read at.  With
+  /// staleness_bound > 0 the snapshot must lag "now" by at most the bound.
+  /// The default reports the read unservable; frontends whose stack carries
+  /// a CSN log override it.
+  virtual std::optional<tcs::Csn> submit_read_only(
+      const std::vector<ObjectId>& objects, Duration staleness_bound = 0) {
+    (void)objects;
+    (void)staleness_bound;
+    return std::nullopt;
   }
 
   std::function<void(TxnId, tcs::Decision)> on_decision;

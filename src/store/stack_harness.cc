@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "checker/linearization.h"
+#include "checker/snapshot.h"
 
 namespace ratc::store {
 
@@ -21,6 +22,11 @@ recon::PlacementPolicy* select_placement(const StackWorkload& w,
 std::string lin_verdict(const tcs::History& history, const tcs::Certifier& certifier) {
   checker::LinearizationResult lin = checker::check_linearization(history, certifier);
   return lin.ok ? "" : "linearization: " + lin.error;
+}
+
+std::string snapshot_verdict(const tcs::History& history) {
+  checker::SnapshotReadResult r = checker::check_snapshot_reads(history);
+  return r.ok ? "" : "snapshot reads: " + r.error;
 }
 
 // The commit and RDMA clusters expose the same surface (current_config,
@@ -130,6 +136,19 @@ bool CommitHarness::submit_batch(
   return submit_batch_colocated(cluster_, *client_, rng, w_.num_shards, batch);
 }
 
+bool CommitHarness::snapshot_read(Rng& rng, const std::vector<ObjectId>& objects) {
+  ++reads_attempted_;
+  bool served =
+      cluster_.snapshot_read(objects, w_.read_staleness_bound, rng.below(64))
+          .has_value();
+  if (served) ++reads_served_;
+  return served;
+}
+
+std::string CommitHarness::check_snapshot_reads() {
+  return snapshot_verdict(cluster_.history());
+}
+
 std::vector<ProcessId> CommitHarness::alive_members(ShardId s) {
   return alive_config_members(cluster_, s);
 }
@@ -219,6 +238,19 @@ bool RdmaHarness::submit(Rng& rng, TxnId txn, const tcs::Payload& payload) {
 bool RdmaHarness::submit_batch(
     Rng& rng, const std::vector<std::pair<TxnId, tcs::Payload>>& batch) {
   return submit_batch_colocated(cluster_, *client_, rng, w_.num_shards, batch);
+}
+
+bool RdmaHarness::snapshot_read(Rng& rng, const std::vector<ObjectId>& objects) {
+  ++reads_attempted_;
+  bool served =
+      cluster_.snapshot_read(objects, w_.read_staleness_bound, rng.below(64))
+          .has_value();
+  if (served) ++reads_served_;
+  return served;
+}
+
+std::string RdmaHarness::check_snapshot_reads() {
+  return snapshot_verdict(cluster_.history());
 }
 
 std::vector<ProcessId> RdmaHarness::alive_members(ShardId s) {
@@ -314,6 +346,19 @@ bool BaselineHarness::submit_batch(
     any = true;
   }
   return any;
+}
+
+bool BaselineHarness::snapshot_read(Rng& rng, const std::vector<ObjectId>& objects) {
+  (void)rng;  // leader-gated: no member rotation to randomize
+  ++reads_attempted_;
+  bool served =
+      cluster_.snapshot_read(objects, w_.read_staleness_bound).has_value();
+  if (served) ++reads_served_;
+  return served;
+}
+
+std::string BaselineHarness::check_snapshot_reads() {
+  return snapshot_verdict(cluster_.history());
 }
 
 std::vector<ProcessId> BaselineHarness::alive_servers(ShardId s) {

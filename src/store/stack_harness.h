@@ -110,6 +110,17 @@ struct StackWorkload {
   /// L1/L2 log scan and abort on divergence from the witness index
   /// (commit/rdma stacks; the baseline has no witness index and ignores it).
   bool check_certifier_index = false;
+  /// Read-mix knob for the CSN snapshot fast path: each workload iteration
+  /// issues a geometric number of read-only snapshot transactions with this
+  /// success probability — read:update ratio rf/(1-rf) in expectation, so
+  /// 0.95 is the 95/5 mix and 0 disables reads.  Reads ride a dedicated rng
+  /// stream and send zero messages, so the update trace (and the run
+  /// fingerprint) is bit-identical to a read-free run of the same seed.
+  double read_fraction = 0.0;
+  /// Staleness bound for snapshot reads (ticks; 0 = unbounded): a read
+  /// whose snapshot lags "now" by more than the bound is rejected unserved
+  /// rather than answered stale.
+  Duration read_staleness_bound = 0;
 };
 
 /// Which end-of-run checkers apply to a stack.  monitor and tcsll are
@@ -182,6 +193,16 @@ class CommitHarness {
                     const std::vector<std::pair<TxnId, tcs::Payload>>& batch);
   std::size_t decided_count() const { return client_->decided_count(); }
   std::size_t committed_count() { return cluster_.history().committed_count(); }
+  /// Issues one read-only snapshot transaction over `objects` through the
+  /// CSN fast path (zero certification messages); true iff it was served.
+  /// Consumes only the caller's rng — drivers pass a dedicated read stream
+  /// so the update trace is untouched.
+  bool snapshot_read(Rng& rng, const std::vector<ObjectId>& objects);
+  std::size_t reads_attempted() const { return reads_attempted_; }
+  std::size_t reads_served() const { return reads_served_; }
+  /// Runs the snapshot-read checker over the recorded history; empty iff
+  /// every served read was a consistent, sufficiently fresh snapshot.
+  std::string check_snapshot_reads();
 
   std::uint32_t num_shards() const { return cluster_.num_shards(); }
   std::vector<std::vector<ProcessId>> fault_units(ShardId s) const;
@@ -209,6 +230,8 @@ class CommitHarness {
   recon::ZoneAntiAffinityPolicy zone_policy_;  ///< selected by w.placement
   commit::Cluster cluster_;
   commit::Client* client_;
+  std::size_t reads_attempted_ = 0;
+  std::size_t reads_served_ = 0;
 };
 
 /// RDMA protocol (Figs. 7-8) in safe global-reconfiguration mode.
@@ -232,6 +255,11 @@ class RdmaHarness {
                     const std::vector<std::pair<TxnId, tcs::Payload>>& batch);
   std::size_t decided_count() const { return client_->decided_count(); }
   std::size_t committed_count() { return cluster_.history().committed_count(); }
+  /// CSN fast-path read; see CommitHarness::snapshot_read.
+  bool snapshot_read(Rng& rng, const std::vector<ObjectId>& objects);
+  std::size_t reads_attempted() const { return reads_attempted_; }
+  std::size_t reads_served() const { return reads_served_; }
+  std::string check_snapshot_reads();
 
   std::uint32_t num_shards() const { return cluster_.shard_map().num_shards(); }
   std::vector<std::vector<ProcessId>> fault_units(ShardId s) const;
@@ -254,6 +282,8 @@ class RdmaHarness {
   recon::ZoneAntiAffinityPolicy zone_policy_;
   rdma::Cluster cluster_;
   rdma::Client* client_;
+  std::size_t reads_attempted_ = 0;
+  std::size_t reads_served_ = 0;
 };
 
 /// Vanilla 2PC-over-Paxos baseline: shards of 2f+1 servers, each paired
@@ -286,6 +316,12 @@ class BaselineHarness {
                     const std::vector<std::pair<TxnId, tcs::Payload>>& batch);
   std::size_t decided_count() const { return client_->decided_count(); }
   std::size_t committed_count() { return cluster_.history().committed_count(); }
+  /// CSN fast-path read, leader-gated for the baseline (no all-follower-ack
+  /// rule, so only caught-up Paxos leaders serve); true iff served.
+  bool snapshot_read(Rng& rng, const std::vector<ObjectId>& objects);
+  std::size_t reads_attempted() const { return reads_attempted_; }
+  std::size_t reads_served() const { return reads_served_; }
+  std::string check_snapshot_reads();
 
   std::uint32_t num_shards() const { return cluster_.num_shards(); }
   std::vector<std::vector<ProcessId>> fault_units(ShardId s) const;
@@ -304,6 +340,8 @@ class BaselineHarness {
   StackWorkload w_;
   baseline::BaselineCluster cluster_;
   baseline::BaselineClient* client_;
+  std::size_t reads_attempted_ = 0;
+  std::size_t reads_served_ = 0;
 };
 
 /// The baseline with the strongest non-reconfigurable fix bolted on:

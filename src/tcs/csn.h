@@ -1,0 +1,56 @@
+// Commit sequence numbers (CSNs) for the read-only snapshot fast path.
+//
+// Every committed transaction t gets a csn(t) = <ts, txn>: ts is the maximum
+// of the leader-stamped prepare timestamps over t's participant shards (the
+// point after which every participant had t prepared), and txn breaks ties.
+// CSNs totally order committed transactions consistently with the
+// certification order per object: a writer of version v+1 read version v,
+// which was only observable after v's writer committed — strictly after that
+// writer's every prepare stamp (see checker/snapshot.h for the enforced
+// property).
+//
+// A replica's *watermark* is the largest snapshot it can serve locally:
+// one below the smallest prepare timestamp among its prepared-undecided
+// slots (any future commit lands above it), or "now" when nothing is in
+// flight.  The exemplar shape is the postgres-scaleout csn_log (xid -> CSN
+// mapping enabling consistent cross-shard snapshots).
+#pragma once
+
+#include <limits>
+#include <string>
+
+#include "common/types.h"
+
+namespace ratc::tcs {
+
+inline constexpr TxnId kMaxTxnId = std::numeric_limits<TxnId>::max();
+
+struct Csn {
+  Time ts = 0;
+  TxnId txn = 0;
+
+  friend bool operator==(const Csn&, const Csn&) = default;
+  friend bool operator<(const Csn& a, const Csn& b) {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    return a.txn < b.txn;
+  }
+  friend bool operator<=(const Csn& a, const Csn& b) { return a < b || a == b; }
+  friend bool operator>(const Csn& a, const Csn& b) { return b < a; }
+  friend bool operator>=(const Csn& a, const Csn& b) { return b <= a; }
+
+  std::string to_string() const {
+    return "<" + std::to_string(ts) + "," + std::to_string(txn) + ">";
+  }
+};
+
+/// Watermark just below the given prepare timestamp: every csn whose ts is
+/// strictly below `prepare_ts` compares <= the result.
+inline Csn watermark_below(Time prepare_ts) {
+  if (prepare_ts == 0) return Csn{0, 0};
+  return Csn{prepare_ts - 1, kMaxTxnId};
+}
+
+/// Watermark admitting everything stamped up to and including `now`.
+inline Csn watermark_at(Time now) { return Csn{now, kMaxTxnId}; }
+
+}  // namespace ratc::tcs

@@ -15,7 +15,7 @@ void History::record_certify(Time time, TxnId txn, Payload payload) {
   payloads_.emplace(txn, std::move(payload));
 }
 
-void History::record_decide(Time time, TxnId txn, Decision d) {
+void History::record_decide(Time time, TxnId txn, Decision d, Csn csn) {
   HistoryEvent ev;
   ev.kind = HistoryEvent::Kind::kDecide;
   ev.time = time;
@@ -23,6 +23,12 @@ void History::record_decide(Time time, TxnId txn, Decision d) {
   ev.decision = d;
   events_.push_back(ev);
   first_decision_.emplace(txn, d);
+  first_decide_time_.emplace(txn, time);
+  if (d == Decision::kCommit && csn.ts != 0) csns_.emplace(txn, csn);
+}
+
+void History::record_snapshot_read(SnapshotReadRecord read) {
+  snapshot_reads_.push_back(std::move(read));
 }
 
 std::optional<Decision> History::decision_of(TxnId t) const {
@@ -34,6 +40,18 @@ std::optional<Decision> History::decision_of(TxnId t) const {
 const Payload* History::payload_of(TxnId t) const {
   auto it = payloads_.find(t);
   return it == payloads_.end() ? nullptr : &it->second;
+}
+
+std::optional<Csn> History::csn_of(TxnId t) const {
+  auto it = csns_.find(t);
+  if (it == csns_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Time> History::first_decide_time(TxnId t) const {
+  auto it = first_decide_time_.find(t);
+  if (it == first_decide_time_.end()) return std::nullopt;
+  return it->second;
 }
 
 bool History::complete() const {

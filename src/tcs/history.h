@@ -1,5 +1,8 @@
 // TCS histories (paper Sec. 2): sequences of certify(t, l) and decide(t, d)
-// actions recorded at the client boundary, fed to the checkers.
+// actions recorded at the client boundary, fed to the checkers — extended
+// with snapshot-read records (read-only transactions served at a CSN
+// snapshot with zero certification messages; checker/snapshot.h validates
+// them against the committed writers).
 #pragma once
 
 #include <map>
@@ -8,6 +11,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "tcs/csn.h"
 #include "tcs/decision.h"
 #include "tcs/payload.h"
 
@@ -21,6 +25,24 @@ struct HistoryEvent {
   Decision decision = Decision::kAbort;  // for kDecide
 };
 
+/// One object observation of a snapshot read (version 0 = object absent at
+/// the snapshot).
+struct ReadObservation {
+  ObjectId object = 0;
+  Version version = 0;
+  Value value = 0;
+  friend bool operator==(const ReadObservation&, const ReadObservation&) = default;
+};
+
+/// One served read-only transaction: every observation was resolved at one
+/// consistent snapshot, locally, on a replica whose watermark covered it.
+struct SnapshotReadRecord {
+  Time time = 0;                ///< when the read was served
+  Csn snapshot;                 ///< the snapshot it executed at
+  Duration staleness_bound = 0; ///< 0 = unbounded (client accepted any lag)
+  std::vector<ReadObservation> observations;
+};
+
 class History {
  public:
   void record_certify(Time time, TxnId txn, Payload payload);
@@ -28,14 +50,27 @@ class History {
   /// Records a decide action.  Duplicate decide events for the same
   /// transaction are recorded too (they occur only in the deliberately
   /// unsafe Figure 4a mode); `conflicting_decisions()` finds contradictory
-  /// ones.
-  void record_decide(Time time, TxnId txn, Decision d);
+  /// ones.  `csn` is the writer's commit sequence number when the decision
+  /// is a commit and the stack carries one (ts 0 = unknown).
+  void record_decide(Time time, TxnId txn, Decision d, Csn csn = {});
+
+  /// Records a served read-only snapshot transaction.
+  void record_snapshot_read(SnapshotReadRecord read);
 
   const std::vector<HistoryEvent>& events() const { return events_; }
+  const std::vector<SnapshotReadRecord>& snapshot_reads() const {
+    return snapshot_reads_;
+  }
 
   bool certified(TxnId t) const { return payloads_.count(t) > 0; }
   std::optional<Decision> decision_of(TxnId t) const;
   const Payload* payload_of(TxnId t) const;
+
+  /// Commit sequence number externalized with t's first commit decision
+  /// (nullopt if t never committed or no csn was carried).
+  std::optional<Csn> csn_of(TxnId t) const;
+  /// Time of t's first decide event (nullopt if undecided).
+  std::optional<Time> first_decide_time(TxnId t) const;
 
   /// Every certify has a matching decide (paper: "complete" history).
   bool complete() const;
@@ -54,8 +89,11 @@ class History {
 
  private:
   std::vector<HistoryEvent> events_;
+  std::vector<SnapshotReadRecord> snapshot_reads_;
   std::map<TxnId, Payload> payloads_;
   std::map<TxnId, Decision> first_decision_;
+  std::map<TxnId, Time> first_decide_time_;
+  std::map<TxnId, Csn> csns_;
 };
 
 }  // namespace ratc::tcs

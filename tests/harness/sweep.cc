@@ -34,6 +34,10 @@ std::string RunResult::summary() const {
            " spares=" + std::to_string(spares_reserved) + "/" +
            std::to_string(spares_released);
   }
+  if (reads_attempted > 0) {
+    out += " reads=" + std::to_string(reads_served) + "/" +
+           std::to_string(reads_attempted);
+  }
   if (linearization_checked) out += " lin-checked";
   if (!problems.empty()) out += "\n" + problems;
   return out;
@@ -250,6 +254,7 @@ class FaultDriver {
         nemesis_(harness_.sim(), seed),
         workload_rng_(seed ^ Harness::kWorkloadSalt),
         fault_rng_(seed ^ 0xfa011755ULL),
+        read_rng_(seed ^ 0x5ead5a17ULL),
         gen_(workload_rng_, w.object_universe) {
     result_.seed = seed;
     harness_.install_fault_injector(&nemesis_);
@@ -276,6 +281,7 @@ class FaultDriver {
       }
       harness_.sim().run_until(harness_.sim().now() +
                                workload_rng_.range(0, Harness::kPaceHi));
+      maybe_issue_reads();
     }
     flush_batch();  // partial tail (no-op when empty or unbatched)
     while (next_fault < schedule_.events.size()) {
@@ -327,6 +333,36 @@ class FaultDriver {
       }
     }
     pending_.clear();
+  }
+
+  /// Read mix: after each update, issue a geometric number of read-only
+  /// snapshot transactions with success probability read_fraction (mean
+  /// rf/(1-rf) reads per update — 19 at the 95/5 mix, 0 at rf=0), each over
+  /// 1-3 distinct objects.  All randomness comes from read_rng_, a stream
+  /// the update path never touches, and snapshot reads are synchronous with
+  /// zero messages — so the update trace (and the run fingerprint) at any
+  /// read_fraction is bit-identical to the same seed at read_fraction 0.
+  /// Stacks without the read surface (PaxosHarness) compile this out.
+  void maybe_issue_reads() {
+    if constexpr (requires {
+                    w_.read_fraction;
+                    harness_.snapshot_read(read_rng_, std::vector<ObjectId>{});
+                  }) {
+      if (w_.read_fraction <= 0) return;
+      int issued = 0;
+      while (issued < 64 && read_rng_.chance(w_.read_fraction)) {  // cap: rf ~ 1
+        std::vector<ObjectId> objects;
+        std::uint64_t nobjs = 1 + read_rng_.below(3);
+        for (std::uint64_t j = 0; j < nobjs; ++j) {
+          ObjectId o = static_cast<ObjectId>(read_rng_.below(w_.object_universe));
+          if (std::find(objects.begin(), objects.end(), o) == objects.end()) {
+            objects.push_back(o);
+          }
+        }
+        harness_.snapshot_read(read_rng_, objects);
+        ++issued;
+      }
+    }
   }
 
   void apply_fault(const FaultEvent& e) {
@@ -404,6 +440,9 @@ class FaultDriver {
   Nemesis nemesis_;
   Rng workload_rng_;
   Rng fault_rng_;
+  /// Dedicated rng for the snapshot-read mix (see maybe_issue_reads): keeps
+  /// the update trace independent of read_fraction.
+  Rng read_rng_;
   store::ContendedPayloadGen gen_;
   std::map<TxnId, Payload> payloads_;
   /// Transactions queued for the next batched submission (batch_size > 1).

@@ -45,6 +45,10 @@ struct RunResult {
   std::size_t cas_losses = 0;
   std::size_t spares_reserved = 0;
   std::size_t spares_released = 0;
+  /// CSN snapshot reads issued / served by the read mix (0 when
+  /// read_fraction is 0 or the stack has no read path).
+  std::size_t reads_attempted = 0;
+  std::size_t reads_served = 0;
   bool linearization_checked = false;
   std::string problems;
   /// FNV-1a fingerprint of the full message trace plus outcome counters;
@@ -83,6 +87,16 @@ void apply_end_of_run_checks(RunResult& r, Harness& harness,
     r.cas_losses = es.cas_losses;
     r.spares_reserved = es.spares_reserved;
     r.spares_released = es.spares_released;
+  }
+  if constexpr (requires { harness.reads_attempted(); }) {
+    r.reads_attempted = harness.reads_attempted();
+    r.reads_served = harness.reads_served();
+  }
+  if constexpr (requires { harness.check_snapshot_reads(); }) {
+    // Every served snapshot read must have observed a consistent, fresh
+    // snapshot — checked even at read_fraction 0 (vacuously empty).
+    std::string snap = harness.check_snapshot_reads();
+    if (!snap.empty()) append_seed_problem(r, snap);
   }
   if constexpr (requires { harness.spare_ledger_verdict(); }) {
     // Every random sweep asserts the engines' spare ledger balances: a
