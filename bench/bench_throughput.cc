@@ -17,11 +17,19 @@
 // message trace grows by zero entries during the read phase — no CERTIFY,
 // no PREPARE, nothing on the wire — and exits nonzero otherwise.
 //
-// Results are persisted to BENCH_throughput.json and BENCH_readmix.json
-// (bench/bench_report.h); RATC_BENCH_TXNS trims the per-cell transaction
-// count for smoke runs.
+// The ladder section (E13) runs the full strawman ladder — classical 2PC,
+// 2PC + cooperative termination, Paxos Commit, and the paper protocol —
+// through an identical coordinator-crash strike schedule and reports
+// messages/txn, p50/p99 commit latency, committed fraction and blocked
+// termination rounds per rung.
+//
+// Results are persisted to BENCH_throughput.json, BENCH_ladder.json and
+// BENCH_readmix.json (bench/bench_report.h); RATC_BENCH_TXNS trims the
+// per-cell transaction count for smoke runs.
 #include <algorithm>
 #include <cstdio>
+#include <map>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "bench/bench_report.h"
@@ -61,6 +69,13 @@ store::RunnerStats run_baseline(std::uint32_t shards, std::size_t window,
   return rig.run(txns());
 }
 
+store::RunnerStats run_pc(std::uint32_t shards, std::size_t window,
+                          std::size_t batch = 1) {
+  bench::PcRig rig({.seed = 20, .num_shards = shards, .shard_size = 3},
+                   workload_for(shards), 3, window, batch);
+  return rig.run(txns());
+}
+
 }  // namespace
 
 int main() {
@@ -73,22 +88,28 @@ int main() {
       "and bolting cooperative termination onto the baseline costs nothing\n"
       "in failure-free runs (the fix only speaks when coordinators die)");
 
-  std::printf("%8s | %22s | %22s | %22s\n", "", "this work (MP, f=1)",
-              "baseline (2f+1)", "baseline + coop term");
-  std::printf("%8s | %10s %11s | %10s %11s | %10s %11s\n", "shards", "tput",
-              "mean lat", "tput", "mean lat", "tput", "mean lat");
+  std::printf("%8s | %22s | %22s | %22s | %22s\n", "", "this work (MP, f=1)",
+              "baseline (2f+1)", "baseline + coop term", "paxos commit (2f+1)");
+  std::printf("%8s | %10s %11s | %10s %11s | %10s %11s | %10s %11s\n", "shards",
+              "tput", "mean lat", "tput", "mean lat", "tput", "mean lat", "tput",
+              "mean lat");
   for (std::uint32_t shards : {1u, 2u, 4u, 8u}) {
     store::RunnerStats ours = run_ours(shards, 32);
     store::RunnerStats base = run_baseline(shards, 32, false);
     store::RunnerStats coop = run_baseline(shards, 32, true);
-    std::printf("%8u | %10.1f %11.1f | %10.1f %11.1f | %10.1f %11.1f\n", shards,
-                ours.throughput(), ours.mean_latency(), base.throughput(),
-                base.mean_latency(), coop.throughput(), coop.mean_latency());
+    store::RunnerStats paxc = run_pc(shards, 32);
+    std::printf(
+        "%8u | %10.1f %11.1f | %10.1f %11.1f | %10.1f %11.1f | %10.1f %11.1f\n",
+        shards, ours.throughput(), ours.mean_latency(), base.throughput(),
+        base.mean_latency(), coop.throughput(), coop.mean_latency(),
+        paxc.throughput(), paxc.mean_latency());
     bench::fill_runner_row(report.add_row(), "commit", shards, 1, 32, ours)
         .set("sweep", "shards");
     bench::fill_runner_row(report.add_row(), "baseline", shards, 1, 32, base)
         .set("sweep", "shards");
     bench::fill_runner_row(report.add_row(), "baseline-coop", shards, 1, 32, coop)
+        .set("sweep", "shards");
+    bench::fill_runner_row(report.add_row(), "paxos-commit", shards, 1, 32, paxc)
         .set("sweep", "shards");
   }
 
@@ -130,6 +151,178 @@ int main() {
   }
 
   report.write();
+
+  // E13: the strawman ladder under coordinator-crash strikes.  All four
+  // rungs run the identical workload — cross-shard transactions over two
+  // shards on disjoint objects, one submission every 4 ticks — and take the
+  // identical strike schedule: at 1/4, 2/4 and 3/4 of the run the
+  // coordinating shard's leader is crashed mid-protocol and a survivor
+  // takes over (the reconfigurable stack crashes a member and reconfigures
+  // onto a spare, its own repair lever).  Groups are sized to tolerate the
+  // strikes: 2f+1 = 5 for the consensus-per-shard rungs, f+1 = 3 plus two
+  // spares for the paper protocol.
+  bench::BenchReport ladder("ladder");
+  bench::header("E13",
+                "the strawman ladder under coordinator-crash strikes");
+  bench::claim(
+      "classical 2PC strands fully-prepared transactions when the\n"
+      "coordinator dies; cooperative termination recovers all but the\n"
+      "all-prepared window; Paxos Commit replicates the votes and never\n"
+      "blocks; the paper protocol keeps non-blocking termination at f+1\n"
+      "replicas");
+
+  struct LadderCell {
+    double msgs_per_txn = 0;
+    Duration p50 = 0;
+    Duration p99 = 0;
+    double committed = 0;
+    double decided = 0;
+    std::uint64_t blocked = 0;
+  };
+  const std::size_t ladder_txns = std::max<std::size_t>(40, txns() / 4);
+  auto drive = [ladder_txns](auto& cluster, store::TcsFrontend& frontend,
+                             auto strike) {
+    LadderCell cell;
+    std::map<TxnId, Time> sent;
+    std::vector<Duration> latencies;
+    std::size_t committed = 0;
+    frontend.on_decision = [&](TxnId txn, tcs::Decision d) {
+      auto it = sent.find(txn);
+      if (it == sent.end()) return;
+      latencies.push_back(cluster.sim().now() - it->second);
+      if (d == tcs::Decision::kCommit) ++committed;
+    };
+    // Bursts of 8 keep several transactions in flight at once, so a strike
+    // catches them in mixed 2PC stages — some all-prepared (nobody but a
+    // vote-replicating stack can save those), some prepared at only one
+    // shard (cooperative termination's bread and butter).
+    const std::size_t kBurst = 8;
+    const std::size_t bursts = (ladder_txns + kBurst - 1) / kBurst;
+    const std::size_t q = bursts / 4;
+    std::size_t submitted = 0;
+    for (std::size_t b = 0; b < bursts; ++b) {
+      for (std::size_t j = 0; j < kBurst && submitted < ladder_txns; ++j) {
+        const std::size_t i = submitted++;
+        tcs::Payload p = bench::payload_on(
+            {static_cast<ObjectId>(2 * i), static_cast<ObjectId>(2 * i + 1)},
+            {static_cast<ObjectId>(2 * i)});
+        TxnId txn = frontend.next_txn_id();
+        sent[txn] = cluster.sim().now();
+        frontend.submit(txn, p);
+        // One tick between submissions: at strike time the burst spans the
+        // whole protocol — newest still un-prepared, oldest all-prepared.
+        cluster.sim().run_until(cluster.sim().now() + 1);
+      }
+      if (b == q || b == 2 * q || b == 3 * q) {
+        strike(static_cast<ShardId>(b == 2 * q ? 1 : 0));
+      }
+      cluster.sim().run_until(cluster.sim().now() + 12);
+    }
+    cluster.sim().run();  // drain: recovery machinery finishes the backlog
+    cell.msgs_per_txn =
+        static_cast<double>(cluster.net().total_messages()) / ladder_txns;
+    std::sort(latencies.begin(), latencies.end());
+    auto pct = [&latencies](double p) -> Duration {
+      if (latencies.empty()) return 0;
+      std::size_t rank = std::min(latencies.size() - 1,
+                                  static_cast<std::size_t>(p * latencies.size()));
+      return latencies[rank];
+    };
+    cell.p50 = pct(0.50);
+    cell.p99 = pct(0.99);
+    cell.committed = static_cast<double>(committed) / ladder_txns;
+    cell.decided = static_cast<double>(latencies.size()) / ladder_txns;
+    return cell;
+  };
+  // Crash the shard's leader and promote the first surviving member — the
+  // strike shape all three consensus-per-shard rungs share.
+  auto strike_leader = [](auto& cluster, ShardId s) {
+    ProcessId lead = cluster.leader_server(s);
+    if (cluster.sim().crashed(lead)) return;
+    cluster.crash_server(lead);
+    for (ProcessId m : cluster.shard_servers(s)) {
+      if (!cluster.sim().crashed(m)) {
+        cluster.elect_leader(s, m);
+        break;
+      }
+    }
+  };
+  auto baseline_rung = [&](bool coop) {
+    baseline::BaselineCluster cluster({.seed = 29, .num_shards = 2,
+                                       .shard_size = 5,
+                                       .cooperative_termination = coop});
+    store::BaselineFrontend frontend(cluster);
+    LadderCell cell = drive(cluster, frontend, [&](ShardId s) {
+      strike_leader(cluster, s);
+    });
+    cell.blocked = cluster.termination_stats().blocked;
+    return cell;
+  };
+  auto pc_rung = [&] {
+    pc::PcCluster cluster({.seed = 29, .num_shards = 2, .shard_size = 5});
+    store::PaxosCommitFrontend frontend(cluster);
+    LadderCell cell = drive(cluster, frontend, [&](ShardId s) {
+      strike_leader(cluster, s);
+    });
+    cell.blocked = cluster.termination_stats().blocked;
+    return cell;
+  };
+  auto commit_rung = [&] {
+    commit::Cluster cluster({.seed = 29, .num_shards = 2, .shard_size = 3,
+                             .spares_per_shard = 2, .enable_monitor = false});
+    store::CommitFrontend frontend(cluster);
+    LadderCell cell = drive(cluster, frontend, [&](ShardId s) {
+      configsvc::ShardConfig cfg = cluster.current_config(s);
+      ProcessId victim = kNoProcess;
+      ProcessId healer = kNoProcess;
+      for (ProcessId m : cfg.members) {
+        if (cluster.sim().crashed(m)) continue;
+        if (victim == kNoProcess) {
+          victim = m;
+        } else {
+          healer = m;
+          break;
+        }
+      }
+      if (victim == kNoProcess || healer == kNoProcess) return;
+      cluster.crash(victim);
+      cluster.reconfigure(s, healer);
+    });
+    // No vote-query machinery to give up: reconfiguration is the recovery
+    // path, and stranded submissions surface as undecided, not blocked.
+    cell.blocked = 0;
+    return cell;
+  };
+
+  std::printf("%14s | %9s %6s %6s | %10s %9s | %8s\n", "stack", "msgs/txn",
+              "p50", "p99", "committed", "decided", "blocked");
+  struct NamedCell {
+    const char* stack;
+    LadderCell cell;
+  };
+  NamedCell cells[] = {{"baseline-2pc", baseline_rung(false)},
+                       {"baseline-coop", baseline_rung(true)},
+                       {"paxos-commit", pc_rung()},
+                       {"commit", commit_rung()}};
+  for (const NamedCell& c : cells) {
+    std::printf("%14s | %9.1f %6llu %6llu | %9.1f%% %8.1f%% | %8llu\n",
+                c.stack, c.cell.msgs_per_txn,
+                static_cast<unsigned long long>(c.cell.p50),
+                static_cast<unsigned long long>(c.cell.p99),
+                100.0 * c.cell.committed, 100.0 * c.cell.decided,
+                static_cast<unsigned long long>(c.cell.blocked));
+    ladder.add_row()
+        .set("stack", c.stack)
+        .set("txns", static_cast<std::uint64_t>(ladder_txns))
+        .set("strikes", std::uint64_t{3})
+        .set("msgs_per_txn", c.cell.msgs_per_txn)
+        .set("p50_latency", static_cast<std::uint64_t>(c.cell.p50))
+        .set("p99_latency", static_cast<std::uint64_t>(c.cell.p99))
+        .set("committed_fraction", c.cell.committed)
+        .set("decided_fraction", c.cell.decided)
+        .set("term_blocked", c.cell.blocked);
+  }
+  ladder.write();
 
   // Read-mix 95/5: after an update phase, each stack serves 19 read-only
   // snapshot transactions per decided update (the 95/5 mix) through its

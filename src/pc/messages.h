@@ -1,0 +1,168 @@
+// Message and command vocabulary of the Paxos Commit stack (Gray &
+// Lamport, "Consensus on Transaction Commit", Sec. 4-6): classical 2PC
+// structure — a coordinator fans prepares out to the participant shards and
+// combines their votes — but each participant's PREPARED/ABORT vote is
+// itself an instance of consensus, realized here as the first
+// vote-determining entry in the shard's Multi-Paxos log.  Because the votes
+// are replicated facts and the decision is a deterministic function of them
+// (commit iff every vote is commit), any recovery proposer can finish a
+// stranded transaction by learning — or forcing closed — each vote
+// instance: termination never blocks on the crashed coordinator's private
+// state, unlike the baseline's all-prepared window.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "pc/votes.h"
+#include "tcs/decision.h"
+#include "tcs/payload.h"
+
+namespace ratc::pc {
+
+/// Client -> coordinator (the leader server of one involved shard).
+struct PcCertify {
+  static constexpr const char* kName = "PC_CERTIFY";
+  TxnId txn = 0;
+  tcs::Payload payload;
+  std::size_t wire_size() const { return 16 + payload.wire_size(); }
+};
+
+/// Client -> coordinator: one CERTIFY round for a whole batch (items are
+/// handled in order, each as an independent Paxos Commit instance).
+/// Batches of one are never sent — the scalar PcCertify is used instead.
+struct PcCertifyBatch {
+  static constexpr const char* kName = "PC_CERTIFY_BATCH";
+  std::vector<PcCertify> items;
+  std::size_t wire_size() const {
+    std::size_t n = 16;
+    for (const PcCertify& it : items) n += it.wire_size();
+    return n;
+  }
+};
+
+/// Coordinator -> participant shard leader: open the shard's vote instance
+/// by replicating the prepare (the vote is computed when it applies).
+struct PcSubmitPrepare {
+  static constexpr const char* kName = "PC_SUBMIT_PREPARE";
+  TxnId txn = 0;
+  tcs::Payload payload;  ///< shard projection l|s
+  std::vector<ShardId> participants;
+  ProcessId client = kNoProcess;
+  ProcessId coordinator = kNoProcess;
+  /// Coordinator's CSN stamp, taken once per transaction and replicated
+  /// with every shard's prepare; a commit's csn is exactly this stamp.
+  Time prepare_ts = 0;
+  std::size_t wire_size() const {
+    return 40 + payload.wire_size() + participants.size() * 4;
+  }
+};
+
+/// Coordinator -> participant shard leader: replicate-and-prepare a whole
+/// batch through ONE Paxos append (PcCmdPrepareBatch).
+struct PcSubmitPrepareBatch {
+  static constexpr const char* kName = "PC_SUBMIT_PREPARE_BATCH";
+  std::vector<PcSubmitPrepare> items;
+  std::size_t wire_size() const {
+    std::size_t n = 16;
+    for (const PcSubmitPrepare& it : items) n += it.wire_size();
+    return n;
+  }
+};
+
+/// Participant shard leader -> coordinator, emitted when the prepare
+/// applies: the shard's vote instance is now chosen with this value.
+struct PcVote {
+  static constexpr const char* kName = "PC_VOTE";
+  TxnId txn = 0;
+  ShardId shard = 0;
+  tcs::Decision vote = tcs::Decision::kAbort;
+};
+
+/// Coordinator (or recovery proposer) -> participant shard leader: the
+/// outcome, a pure function of the chosen votes; each shard replicates it
+/// locally (PcCmdDecide) before applying.
+struct PcOutcome {
+  static constexpr const char* kName = "PC_OUTCOME";
+  TxnId txn = 0;
+  tcs::Decision decision = tcs::Decision::kAbort;
+};
+
+/// Coordinator or recovery proposer -> client.
+struct PcClientDecision {
+  static constexpr const char* kName = "PC_DECISION_CLIENT";
+  TxnId txn = 0;
+  tcs::Decision decision = tcs::Decision::kAbort;
+  Time csn_ts = 0;  ///< csn(t).ts for commits (the coordinator's stamp)
+};
+
+// --- vote recovery (the non-blocking termination protocol) --------------------
+
+/// Recovery proposer (shard leader holding an in-doubt prepared record) ->
+/// peer shard leaders: what value did your vote instance choose?  Unlike
+/// the baseline's TerminationQuery, the answer is NEVER "in doubt": a peer
+/// that has not voted yet first forces its instance closed (PcCmdForceAbort)
+/// and answers the chosen value.
+struct PcVoteQuery {
+  static constexpr const char* kName = "PC_VOTE_QUERY";
+  TxnId txn = 0;
+};
+
+/// Peer shard leader -> querier: the chosen value of the shard's vote
+/// instance (or the decision, if one already applied there).
+struct PcVoteAnswer {
+  static constexpr const char* kName = "PC_VOTE_ANSWER";
+  TxnId txn = 0;
+  ShardId shard = 0;  ///< the answering shard
+  VoteState state = VoteState::kVoteAbort;
+};
+
+// --- Paxos-replicated commands ------------------------------------------------
+
+struct PcCmdPrepare {
+  static constexpr const char* kName = "PC_CMD_PREPARE";
+  TxnId txn = 0;
+  tcs::Payload payload;
+  std::vector<ShardId> participants;
+  ProcessId client = kNoProcess;
+  ProcessId coordinator = kNoProcess;
+  Time prepare_ts = 0;  ///< coordinator CSN stamp (see PcSubmitPrepare)
+  std::size_t wire_size() const {
+    return 40 + payload.wire_size() + participants.size() * 4;
+  }
+};
+
+/// One replicated log entry carrying a whole batch of prepares: the batch
+/// costs one Paxos round instead of one per transaction.  Applying it is
+/// defined as applying its items in order, so every replica still computes
+/// identical votes from the applied prefix.
+struct PcCmdPrepareBatch {
+  static constexpr const char* kName = "PC_CMD_PREPARE_BATCH";
+  std::vector<PcCmdPrepare> items;
+  std::size_t wire_size() const {
+    std::size_t n = 16;
+    for (const PcCmdPrepare& it : items) n += it.wire_size();
+    return n;
+  }
+};
+
+struct PcCmdDecide {
+  static constexpr const char* kName = "PC_CMD_DECIDE";
+  TxnId txn = 0;
+  tcs::Decision decision = tcs::Decision::kAbort;
+};
+
+/// Forces a shard's vote instance closed with ABORT on behalf of a recovery
+/// proposer: if the transaction is still unprepared when this command
+/// applies, the shard's vote is durably fixed to abort (a later prepare
+/// keeps that vote); if a prepare won the race into the log, the chosen
+/// vote stands.  The current leader answers `querier` with the chosen value
+/// either way, so every answer is a fact about the applied prefix — this is
+/// what makes the recovery proposer's inference non-blocking.
+struct PcCmdForceAbort {
+  static constexpr const char* kName = "PC_CMD_FORCE_ABORT";
+  TxnId txn = 0;
+  ProcessId querier = kNoProcess;
+};
+
+}  // namespace ratc::pc

@@ -1,0 +1,519 @@
+#include "pc/participant.h"
+
+#include <cassert>
+
+namespace ratc::pc {
+
+using tcs::Decision;
+
+Participant::Participant(sim::Simulator& sim, sim::Network& net, ProcessId id,
+                         Options options)
+    : Participant(net.runtime(), id, std::move(options)) {
+  (void)sim;
+}
+
+Participant::Participant(rt::Runtime& rt, ProcessId id, Options options)
+    : Process(rt, id, "pc" + std::to_string(id) + "/s" + std::to_string(options.shard)),
+      options_(std::move(options)),
+      store_(options_.snapshot_history_depth),
+      responder_(rt, id) {
+  assert(options_.shard_map != nullptr && options_.certifier != nullptr);
+  // Vote recovery is not optional here — it is the protocol: every replica
+  // watches the coordinators of its in-doubt transactions.
+  fd_monitor_ = std::make_unique<fd::PingMonitor>(rt, id, options_.fd);
+  fd_monitor_->subscribe({.on_suspect = [this](ProcessId coordinator) {
+    on_coordinator_suspected(coordinator);
+  }});
+  fd_monitor_->start();  // idle until the first coordinator is watched
+}
+
+void Participant::on_message(ProcessId from, const sim::AnyMessage& msg) {
+  if (responder_.handle(from, msg)) return;
+  if (fd_monitor_->handle(from, msg)) return;
+  if (const auto* c = msg.as<PcCertify>()) {
+    handle_certify(from, *c);
+  } else if (const auto* cb = msg.as<PcCertifyBatch>()) {
+    handle_certify_batch(from, *cb);
+  } else if (const auto* sp = msg.as<PcSubmitPrepare>()) {
+    handle_submit_prepare(*sp);
+  } else if (const auto* spb = msg.as<PcSubmitPrepareBatch>()) {
+    handle_submit_prepare_batch(*spb);
+  } else if (const auto* v = msg.as<PcVote>()) {
+    handle_vote(*v);
+  } else if (const auto* o = msg.as<PcOutcome>()) {
+    handle_outcome(*o);
+  } else if (const auto* q = msg.as<PcVoteQuery>()) {
+    handle_vote_query(from, *q);
+  } else if (const auto* a = msg.as<PcVoteAnswer>()) {
+    handle_vote_answer(*a);
+  }
+}
+
+void Participant::handle_certify(ProcessId from, const PcCertify& m) {
+  // This server coordinates the round.  It should be the leader server of
+  // one involved shard (clients route there).
+  std::vector<ShardId> participants = options_.shard_map->shards_of(m.payload);
+  if (participants.empty()) {
+    rt().send_msg(id(), from, PcClientDecision{m.txn, Decision::kCommit});
+    return;
+  }
+  CoordState& c = coord_[m.txn];
+  c.participants = participants;
+  c.client = from;
+  // One CSN stamp per transaction, replicated with every shard's prepare:
+  // csn(t).ts.  Workload clients only write version v+1 after observing
+  // v's commit, so stamp order agrees with version order.
+  c.prepare_ts = rt().now();
+  for (ShardId s : participants) {
+    PcSubmitPrepare sp;
+    sp.txn = m.txn;
+    sp.payload = options_.shard_map->project(m.payload, s);
+    sp.participants = participants;
+    sp.client = from;
+    sp.coordinator = id();
+    sp.prepare_ts = c.prepare_ts;
+    if (s == options_.shard) {
+      handle_submit_prepare(sp);  // local shard: no network hop
+    } else {
+      rt().send_msg(id(), shard_leader(s), sp);
+    }
+  }
+}
+
+void Participant::handle_certify_batch(ProcessId from, const PcCertifyBatch& m) {
+  // Each item is an independent Paxos Commit instance; the batch only
+  // coalesces the per-shard replicate-and-prepare traffic (one
+  // PcSubmitPrepareBatch per shard leader, one Paxos append there).
+  std::map<ShardId, PcSubmitPrepareBatch> per_shard;
+  for (const PcCertify& item : m.items) {
+    std::vector<ShardId> participants = options_.shard_map->shards_of(item.payload);
+    if (participants.empty()) {
+      rt().send_msg(id(), from, PcClientDecision{item.txn, Decision::kCommit});
+      continue;
+    }
+    CoordState& c = coord_[item.txn];
+    c.participants = participants;
+    c.client = from;
+    c.prepare_ts = rt().now();  // one stamp per item (see handle_certify)
+    for (ShardId s : participants) {
+      PcSubmitPrepare sp;
+      sp.txn = item.txn;
+      sp.payload = options_.shard_map->project(item.payload, s);
+      sp.participants = participants;
+      sp.client = from;
+      sp.coordinator = id();
+      sp.prepare_ts = c.prepare_ts;
+      per_shard[s].items.push_back(std::move(sp));
+    }
+  }
+  for (auto& [s, batch] : per_shard) {
+    if (s == options_.shard) {
+      handle_submit_prepare_batch(batch);  // local shard: no network hop
+    } else if (batch.items.size() == 1) {
+      rt().send_msg(id(), shard_leader(s), std::move(batch.items.front()));
+    } else {
+      rt().send_msg(id(), shard_leader(s), std::move(batch));
+    }
+  }
+}
+
+void Participant::handle_submit_prepare(const PcSubmitPrepare& m) {
+  // Open the shard's vote instance: replicate the prepare through the
+  // shard's Paxos group; the vote is chosen when the command applies.
+  PcCmdPrepare cmd;
+  cmd.txn = m.txn;
+  cmd.payload = m.payload;
+  cmd.participants = m.participants;
+  cmd.client = m.client;
+  cmd.coordinator = m.coordinator;
+  cmd.prepare_ts = m.prepare_ts;
+  paxos_->submit(sim::AnyMessage(std::move(cmd)));
+}
+
+void Participant::handle_submit_prepare_batch(const PcSubmitPrepareBatch& m) {
+  if (m.items.size() == 1) {
+    handle_submit_prepare(m.items.front());
+    return;
+  }
+  // The whole batch rides ONE replicated log entry: one Paxos round where
+  // the unbatched path pays one per transaction.
+  PcCmdPrepareBatch cmd;
+  cmd.items.reserve(m.items.size());
+  for (const PcSubmitPrepare& sp : m.items) {
+    PcCmdPrepare c;
+    c.txn = sp.txn;
+    c.payload = sp.payload;
+    c.participants = sp.participants;
+    c.client = sp.client;
+    c.coordinator = sp.coordinator;
+    c.prepare_ts = sp.prepare_ts;
+    cmd.items.push_back(std::move(c));
+  }
+  paxos_->submit(sim::AnyMessage(std::move(cmd)));
+}
+
+void Participant::handle_outcome(const PcOutcome& m) {
+  paxos_->submit(sim::AnyMessage(PcCmdDecide{m.txn, m.decision}));
+}
+
+void Participant::apply(Slot slot, const sim::AnyMessage& cmd) {
+  (void)slot;
+  if (const auto* p = cmd.as<PcCmdPrepare>()) {
+    apply_prepare(*p);
+  } else if (const auto* pb = cmd.as<PcCmdPrepareBatch>()) {
+    // Applying a batch == applying its items in order; votes stay a pure
+    // function of the applied prefix on every replica.
+    for (const PcCmdPrepare& item : pb->items) apply_prepare(item);
+  } else if (const auto* d = cmd.as<PcCmdDecide>()) {
+    apply_decide(*d);
+  } else if (const auto* f = cmd.as<PcCmdForceAbort>()) {
+    apply_force_abort(*f);
+  }
+}
+
+void Participant::apply_prepare(const PcCmdPrepare& c) {
+  auto [it, inserted] = txns_.emplace(c.txn, TxnState{});
+  TxnState& st = it->second;
+  if (!inserted && st.prepared) {
+    // Duplicate prepare (e.g. coordinator retry): the vote instance is
+    // already chosen; keep its value.
+  } else {
+    st.payload = c.payload;
+    st.prepared = true;
+    st.participants = c.participants;
+    st.client = c.client;
+    st.coordinator = c.coordinator;
+    st.prepare_ts = c.prepare_ts;
+    if (st.decided) {
+      // A recovery proposer's PcCmdForceAbort beat the prepare into the
+      // log: the vote instance chose ABORT and this prepare must honour it.
+      st.vote = Decision::kAbort;
+    } else {
+      // Deterministic vote: certify against the applied prefix.
+      std::vector<const tcs::Payload*> prepared_commit;
+      for (const auto& [t, other] : txns_) {
+        if (t != c.txn && other.prepared && !other.decided &&
+            other.vote == Decision::kCommit) {
+          prepared_commit.push_back(&other.payload);
+        }
+      }
+      std::vector<const tcs::Payload*> committed;
+      committed.reserve(committed_.size());
+      for (const auto& pl : committed_) committed.push_back(&pl);
+      st.vote = options_.certifier->vote(committed, prepared_commit, c.payload);
+    }
+  }
+  // Only the current leader reports the chosen vote to the coordinator.
+  if (paxos_->is_leader()) {
+    if (c.coordinator == id()) {
+      handle_vote(PcVote{c.txn, options_.shard, st.vote});
+    } else {
+      rt().send_msg(id(), c.coordinator, PcVote{c.txn, options_.shard, st.vote});
+    }
+  }
+  if (!st.decided && c.coordinator != id()) {
+    note_in_doubt(c.txn, c.coordinator);
+  }
+}
+
+void Participant::apply_decide(const PcCmdDecide& c) {
+  auto it = txns_.find(c.txn);
+  if (it == txns_.end()) {
+    // A recovery-resolved abort can reach a shard that never prepared (its
+    // prepare was lost with the coordinator): tombstone it so a
+    // late-arriving prepare votes abort.  An unknown COMMIT cannot occur —
+    // commit requires every shard's chosen PREPARED vote, and this shard's
+    // vote is only chosen by a log entry.
+    if (c.decision != Decision::kAbort) return;
+    TxnState& st = txns_[c.txn];
+    st.decided = true;
+    st.decision = Decision::kAbort;
+    return;
+  }
+  if (it->second.decided) return;
+  TxnState& st = it->second;
+  st.decided = true;
+  st.decision = c.decision;
+  if (c.decision == Decision::kCommit) {
+    committed_.push_back(st.payload);
+    // Snapshot visibility is gated on the csn (the replicated coordinator
+    // stamp), never on apply order: decides landing out of order across
+    // shards cannot expose a non-prefix state to reads.
+    store_.apply_at(st.payload, tcs::Csn{st.prepare_ts, c.txn});
+  }
+
+  // The in-doubt window (if any) closes with the decision.
+  auto tit = term_.find(c.txn);
+  if (tit != term_.end()) tit->second.concluded = true;
+  clear_in_doubt(c.txn, st.coordinator);
+
+  Time csn_ts = c.decision == Decision::kCommit ? st.prepare_ts : 0;
+  auto cit = coord_.find(c.txn);
+  if (cit != coord_.end() && !cit->second.outcome_sent && paxos_->is_leader()) {
+    // A recovery proposer terminated the round before this (live)
+    // coordinator collected all votes — e.g. a partition ate a vote
+    // message and a peer's in-doubt timer fired.  Answer the client now
+    // (it deduplicates) rather than waiting for votes that may never come.
+    cit->second.outcome_sent = true;
+    announce_decision(c.txn, c.decision, cit->second.participants,
+                      cit->second.client, csn_ts);
+  } else if (paxos_->is_leader() && cit == coord_.end() &&
+             !st.participants.empty() &&
+             st.participants.front() == options_.shard && st.coordinator != id()) {
+    // Orphaned coordination: this shard hosted the round's coordinator (the
+    // leader of its first participant shard), but that server crashed or
+    // was deposed before replying — its volatile coordinator state died
+    // with it, yet everything needed to finish the round (client,
+    // participants, and now the decision) is in the replicated state.  The
+    // current leader adopts the duties; duplicates are harmless.
+    ++term_stats_.adopted_coordinations;
+    announce_decision(c.txn, c.decision, st.participants, st.client, csn_ts);
+  }
+}
+
+void Participant::apply_force_abort(const PcCmdForceAbort& c) {
+  auto [it, inserted] = txns_.emplace(c.txn, TxnState{});
+  TxnState& st = it->second;
+  bool tombstoned = false;
+  if (!st.prepared && !st.decided) {
+    // The query won the race: the vote instance durably chooses ABORT.
+    // Every replica applies the same choice (it depends only on the log
+    // prefix); a later prepare keeps the abort vote (apply_prepare).
+    st.decided = true;
+    st.decision = Decision::kAbort;
+    st.vote = Decision::kAbort;
+    tombstoned = true;
+  }
+  if (!paxos_->is_leader()) return;
+  if (tombstoned) ++term_stats_.tombstones;
+  // Either way the instance is now closed: answer the chosen value.
+  send_vote_answer(c.querier, c.txn);
+}
+
+void Participant::handle_vote(const PcVote& m) {
+  auto it = coord_.find(m.txn);
+  if (it == coord_.end()) return;
+  CoordState& c = it->second;
+  c.votes[m.shard] = m.vote;
+  maybe_decide(m.txn);
+}
+
+void Participant::maybe_decide(TxnId t) {
+  CoordState& c = coord_.at(t);
+  if (c.outcome_sent) return;
+  Decision d = Decision::kCommit;
+  for (ShardId s : c.participants) {
+    auto vit = c.votes.find(s);
+    if (vit == c.votes.end()) return;
+    d = meet(d, vit->second);
+  }
+  c.outcome_sent = true;
+  // Every vote instance is chosen (votes are emitted at apply time), so
+  // the outcome — a pure function of the votes — is already decided in the
+  // Paxos sense.  Externalize it immediately and replicate the decide in
+  // every group in parallel; the baseline instead waits for its own
+  // group's CmdDecide to apply before replying, one replicated round
+  // later.  A crash between here and the broadcast strands nothing: any
+  // recovery proposer re-derives the same outcome from the vote instances.
+  paxos_->submit(sim::AnyMessage(PcCmdDecide{t, d}));
+  announce_decision(t, d, c.participants, c.client,
+                    d == Decision::kCommit ? c.prepare_ts : 0);
+}
+
+// --- vote recovery (non-blocking termination) ------------------------------------
+
+void Participant::note_in_doubt(TxnId t, ProcessId coordinator) {
+  in_doubt_[coordinator].insert(t);
+  if (fd_monitor_->ensure_watched(coordinator)) {
+    // Already-suspected coordinator: the on_suspect edge will not fire
+    // again for it, so kick this transaction's first round directly.
+    start_termination_round(t);
+  }
+  TermState& ts = term_[t];
+  if (!ts.timer_armed) {
+    // Fallback for a coordinator that stays alive but unhelpful (its
+    // outcome message was lost, or it died and the failure detector's
+    // pongs are partitioned): query after a generous in-doubt window.
+    ts.timer_armed = true;
+    rt().schedule_for(id(), options_.in_doubt_timeout,
+                       [this, t] { start_termination_round(t); });
+  }
+}
+
+void Participant::clear_in_doubt(TxnId t, ProcessId coordinator) {
+  auto it = in_doubt_.find(coordinator);
+  if (it == in_doubt_.end()) return;
+  it->second.erase(t);
+  if (it->second.empty()) {
+    in_doubt_.erase(it);
+    fd_monitor_->unwatch(coordinator);
+  }
+}
+
+void Participant::on_coordinator_suspected(ProcessId coordinator) {
+  auto it = in_doubt_.find(coordinator);
+  if (it == in_doubt_.end()) return;
+  std::vector<TxnId> txns(it->second.begin(), it->second.end());
+  for (TxnId t : txns) start_termination_round(t);
+}
+
+void Participant::start_termination_round(TxnId t) {
+  auto xit = txns_.find(t);
+  if (xit == txns_.end() || xit->second.decided) return;
+  TxnState& st = xit->second;
+  TermState& ts = term_[t];
+  if (ts.concluded) return;
+  // The query budget is consumed only by rounds actually broadcast as
+  // leader, so a replica elected mid-protocol still gets its full budget;
+  // the hard cap on total fires bounds a permanently-leaderless replica's
+  // retry chain so every run quiesces.
+  const int hard_cap = 4 * options_.termination_max_rounds;
+  if (ts.leader_rounds >= options_.termination_max_rounds || ts.rounds >= hard_cap) {
+    // Give up: some peer's vote instance stayed unreachable for every
+    // round.  Unlike 2PC this is never an all-prepared wait — a reachable
+    // peer always answers a chosen value — so under pure coordinator
+    // crashes this counter must stay 0 (asserted by the ladder sweeps).
+    ts.concluded = true;
+    if (paxos_->is_leader()) ++term_stats_.blocked;
+    clear_in_doubt(t, st.coordinator);
+    return;
+  }
+  ++ts.rounds;
+  if (paxos_->is_leader()) {
+    ++ts.leader_rounds;
+    ts.answers.clear();
+    // Our own chosen vote (or applied decision) is one answer.
+    ts.answers[options_.shard] =
+        st.decided ? (st.decision == Decision::kCommit ? VoteState::kDecidedCommit
+                                                       : VoteState::kDecidedAbort)
+                   : (st.vote == Decision::kAbort ? VoteState::kVoteAbort
+                                                  : VoteState::kVoteCommit);
+    for (ShardId s : st.participants) {
+      if (s == options_.shard) continue;
+      rt().send_msg(id(), shard_leader(s), PcVoteQuery{t});
+      ++term_stats_.queries_sent;
+    }
+    maybe_conclude_termination(t);
+  }
+  // Re-arm regardless of leadership: answers may be lost to the very fault
+  // that stranded the transaction, and this replica may be elected leader
+  // between rounds.
+  rt().schedule_for(id(), options_.termination_retry_every,
+                     [this, t] { start_termination_round(t); });
+}
+
+void Participant::handle_vote_query(ProcessId from, const PcVoteQuery& q) {
+  auto it = txns_.find(q.txn);
+  if (it == txns_.end() || (!it->second.prepared && !it->second.decided)) {
+    // Our vote instance is still open: force it closed with ABORT through
+    // our own log before answering; the log order arbitrates against an
+    // in-flight prepare.  The leader answers when the command applies.
+    paxos_->submit(sim::AnyMessage(PcCmdForceAbort{q.txn, from}));
+    return;
+  }
+  send_vote_answer(from, q.txn);
+}
+
+void Participant::send_vote_answer(ProcessId to, TxnId t) {
+  const TxnState& st = txns_.at(t);
+  VoteState state;
+  if (st.decided) {
+    state = st.decision == Decision::kCommit ? VoteState::kDecidedCommit
+                                             : VoteState::kDecidedAbort;
+  } else if (st.vote == Decision::kAbort) {
+    state = VoteState::kVoteAbort;
+  } else {
+    state = VoteState::kVoteCommit;  // chosen PREPARED — a durable fact, not doubt
+  }
+  rt().send_msg(id(), to, PcVoteAnswer{t, options_.shard, state});
+  ++term_stats_.answers_sent;
+}
+
+void Participant::handle_vote_answer(const PcVoteAnswer& a) {
+  auto xit = txns_.find(a.txn);
+  if (xit == txns_.end() || xit->second.decided) return;
+  auto tit = term_.find(a.txn);
+  if (tit == term_.end() || tit->second.concluded) return;
+  tit->second.answers[a.shard] = a.state;
+  maybe_conclude_termination(a.txn);
+}
+
+void Participant::maybe_conclude_termination(TxnId t) {
+  const TxnState& st = txns_.at(t);
+  TermState& ts = term_.at(t);
+  switch (infer_outcome(ts.answers, st.participants.size())) {
+    case VoteOutcome::kCommit:
+      resolve_in_doubt(t, Decision::kCommit);
+      break;
+    case VoteOutcome::kAbort:
+      resolve_in_doubt(t, Decision::kAbort);
+      break;
+    case VoteOutcome::kUnknown:
+      // Answers outstanding; the retry rounds re-query.  There is no
+      // blocked case: every answered instance reports a chosen value.
+      break;
+  }
+}
+
+void Participant::resolve_in_doubt(TxnId t, Decision d) {
+  TermState& ts = term_.at(t);
+  if (ts.concluded) return;
+  ts.concluded = true;
+  if (d == Decision::kCommit) {
+    ++term_stats_.resolved_commits;
+  } else {
+    ++term_stats_.resolved_aborts;
+  }
+  TxnState& st = txns_.at(t);
+  clear_in_doubt(t, st.coordinator);
+  // Adopt the outcome: durable in our own group, propagated to the peer
+  // shards (idempotent at apply), and the stranded client is answered (it
+  // deduplicates decisions).  A recovery-resolved commit's csn is the
+  // replicated coordinator stamp — the same value the dead coordinator
+  // would have externalized.
+  paxos_->submit(sim::AnyMessage(PcCmdDecide{t, d}));
+  announce_decision(t, d, st.participants, st.client,
+                    d == Decision::kCommit ? st.prepare_ts : 0);
+}
+
+void Participant::announce_decision(TxnId t, Decision d,
+                                    const std::vector<ShardId>& participants,
+                                    ProcessId client, Time csn_ts) {
+  if (client != kNoProcess) {
+    rt().send_msg(id(), client, PcClientDecision{t, d, csn_ts});
+  }
+  for (ShardId s : participants) {
+    if (s == options_.shard) continue;
+    rt().send_msg(id(), shard_leader(s), PcOutcome{t, d});
+  }
+}
+
+tcs::Csn Participant::read_watermark() const {
+  // Any future commit of a prepared-undecided transaction lands at its
+  // replicated coordinator stamp, so the watermark stays below the smallest
+  // such stamp.  A transaction whose prepare is chosen but not yet applied
+  // here cannot gate: can_serve_reads() requires a caught-up leader, and a
+  // commit needs this shard's chosen vote, which only a log entry applied
+  // here can choose — its decision is externalized after the read.
+  bool any = false;
+  Time min_ts = 0;
+  for (const auto& [t, st] : txns_) {
+    if (!st.prepared || st.decided) continue;
+    if (!any || st.prepare_ts < min_ts) min_ts = st.prepare_ts;
+    any = true;
+  }
+  if (any) return tcs::watermark_below(min_ts);
+  return tcs::watermark_at(rt().now());
+}
+
+bool Participant::has_prepared(TxnId t) const {
+  auto it = txns_.find(t);
+  return it != txns_.end() && it->second.prepared;
+}
+
+bool Participant::has_decided(TxnId t) const {
+  auto it = txns_.find(t);
+  return it != txns_.end() && it->second.decided;
+}
+
+}  // namespace ratc::pc

@@ -1,0 +1,206 @@
+// Paxos Commit participant: the TCS state machine replicated via
+// Multi-Paxos, plus the 2PC-shaped coordinator role for transactions
+// submitted to it.
+//
+// The shard's Multi-Paxos log doubles as the acceptor set of its vote
+// instances: the vote for transaction t is fixed by the FIRST
+// vote-determining entry for t in the log — a PcCmdPrepare (vote computed
+// deterministically from the applied prefix, standard state-machine
+// replication) or a recovery proposer's PcCmdForceAbort (vote forced to
+// ABORT).  Log order arbitrates races between the two, exactly as the
+// baseline's CmdResolveAbort does, so every replica agrees on the chosen
+// vote and any later reader learns the same value.
+//
+// What distinguishes this stack from the cooperative baseline is the
+// recovery rule (pc/votes.h): a queried shard ALWAYS answers a chosen
+// value — forcing its instance closed first if necessary — and an
+// all-PREPARED answer set resolves to COMMIT, because a commit decision is
+// the deterministic function of exactly these replicated votes.  The
+// all-prepared blocked window of 2PC does not exist here; `blocked` in the
+// stats can only count give-ups against unreachable peers.
+//
+// Latency note: the coordinator answers the client as soon as every vote
+// instance is chosen (the votes are durable, so the outcome is already
+// decided in the Paxos sense) and broadcasts the outcome in parallel with
+// its own shard's decide — one replicated round less on the critical path
+// than the baseline, which must apply CmdDecide locally before replying.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "fd/failure_detector.h"
+#include "paxos/replica.h"
+#include "pc/messages.h"
+#include "pc/votes.h"
+#include "sim/network.h"
+#include "sim/process.h"
+#include "store/versioned_store.h"
+#include "tcs/certifier.h"
+#include "tcs/csn.h"
+#include "tcs/shard_map.h"
+
+namespace ratc::pc {
+
+class Participant : public sim::Process {
+ public:
+  struct Options {
+    ShardId shard = 0;
+    const tcs::ShardMap* shard_map = nullptr;
+    const tcs::Certifier* certifier = nullptr;
+    /// In-doubt fallback: query peers this long after preparing even if the
+    /// failure detector never fires (covers a live coordinator whose
+    /// outcome message was lost).
+    Duration in_doubt_timeout = 300;
+    /// Delay between vote-query rounds.
+    Duration termination_retry_every = 160;
+    /// Query rounds before giving up (peers unreachable; counted blocked).
+    int termination_max_rounds = 5;
+    /// Committed versions retained per object for snapshot reads.
+    std::size_t snapshot_history_depth = 16;
+    fd::PingMonitor::Options fd;
+  };
+
+  Participant(rt::Runtime& rt, ProcessId id, Options options);
+  Participant(sim::Simulator& sim, sim::Network& net, ProcessId id, Options options);
+
+  void attach_paxos(paxos::PaxosReplica* paxos) { paxos_ = paxos; }
+  paxos::PaxosReplica& paxos() { return *paxos_; }
+
+  /// Routing table: leader server of each shard (maintained by the cluster;
+  /// static absent failures, updated on failover by the harness).
+  void set_shard_leader(ShardId s, ProcessId leader) { leaders_[s] = leader; }
+  ProcessId shard_leader(ShardId s) const { return leaders_.at(s); }
+
+  void on_message(ProcessId from, const sim::AnyMessage& msg) override;
+
+  /// Paxos apply upcall.
+  void apply(Slot slot, const sim::AnyMessage& cmd);
+
+  // Introspection for tests and the cluster-level verifier.
+  bool has_prepared(TxnId t) const;
+  bool has_decided(TxnId t) const;
+  tcs::Decision decision_of(TxnId t) const { return txns_.at(t).decision; }
+  std::size_t committed_count() const { return committed_.size(); }
+  /// Every transaction this replica applied a decision for.
+  std::map<TxnId, tcs::Decision> decided_txns() const {
+    std::map<TxnId, tcs::Decision> out;
+    for (const auto& [t, st] : txns_) {
+      if (st.decided) out.emplace(t, st.decision);
+    }
+    return out;
+  }
+  const TerminationStats& termination_stats() const { return term_stats_; }
+
+  // --- CSN reads ---------------------------------------------------------------
+  //
+  // Same leader gate as the baseline: no all-follower-ack rule exists, so
+  // only a caught-up Paxos leader's applied prefix is guaranteed to contain
+  // every prepare whose transaction could commit at or below the watermark.
+
+  /// Leader-gated read eligibility.
+  bool can_serve_reads() const { return paxos_->is_leader() && paxos_->caught_up(); }
+  /// Largest snapshot this replica can serve locally: below the smallest
+  /// coordinator stamp among prepared-undecided transactions, else "now".
+  tcs::Csn read_watermark() const;
+  const store::SnapshotStore& snapshot_store() const { return store_; }
+
+ private:
+  struct TxnState {
+    tcs::Payload payload;
+    tcs::Decision vote = tcs::Decision::kAbort;
+    bool prepared = false;
+    bool decided = false;
+    tcs::Decision decision = tcs::Decision::kAbort;
+    // Metadata replicated with the prepare; lets any replica of any
+    // participant shard act as a recovery proposer after the coordinator
+    // died.
+    std::vector<ShardId> participants;
+    ProcessId client = kNoProcess;
+    ProcessId coordinator = kNoProcess;
+    Time prepare_ts = 0;  ///< coordinator CSN stamp; a commit's csn(t).ts
+  };
+  struct CoordState {
+    std::vector<ShardId> participants;
+    ProcessId client = kNoProcess;
+    Time prepare_ts = 0;  ///< the stamp this coordinator issued for t
+    std::map<ShardId, tcs::Decision> votes;
+    bool outcome_sent = false;  ///< replied + outcome broadcast done
+  };
+  /// Per-transaction recovery progress (proposer side).  Followers re-arm
+  /// the retry timer without consuming the query budget — a replica elected
+  /// leader mid-protocol still gets its full termination_max_rounds of
+  /// queries; `rounds` (total fires, leader or not) is capped separately so
+  /// the retry chain always terminates and the simulation quiesces.
+  struct TermState {
+    int rounds = 0;         ///< total retry fires (hard-capped)
+    int leader_rounds = 0;  ///< query rounds actually broadcast as leader
+    bool concluded = false;       ///< resolved, or given up (unreachable peers)
+    bool timer_armed = false;     ///< in-doubt fallback timer scheduled
+    std::map<ShardId, VoteState> answers;
+  };
+
+  void handle_certify(ProcessId from, const PcCertify& m);
+  void handle_certify_batch(ProcessId from, const PcCertifyBatch& m);
+  void handle_submit_prepare(const PcSubmitPrepare& m);
+  /// Replicates the whole batch through ONE Paxos append (PcCmdPrepareBatch).
+  void handle_submit_prepare_batch(const PcSubmitPrepareBatch& m);
+  void handle_vote(const PcVote& m);
+  void handle_outcome(const PcOutcome& m);
+  void apply_prepare(const PcCmdPrepare& c);
+  void apply_decide(const PcCmdDecide& c);
+  void apply_force_abort(const PcCmdForceAbort& c);
+  void maybe_decide(TxnId t);
+
+  // --- vote recovery (non-blocking termination) --------------------------------
+  void handle_vote_query(ProcessId from, const PcVoteQuery& q);
+  void handle_vote_answer(const PcVoteAnswer& a);
+  /// Marks t in doubt (prepared, undecided, coordinator elsewhere): watch
+  /// the coordinator and arm the in-doubt fallback timer.
+  void note_in_doubt(TxnId t, ProcessId coordinator);
+  void clear_in_doubt(TxnId t, ProcessId coordinator);
+  void on_coordinator_suspected(ProcessId coordinator);
+  /// One query round: leaders broadcast, everyone re-arms the retry timer;
+  /// bounded by termination_max_rounds.
+  void start_termination_round(TxnId t);
+  /// Answers `to` with the chosen value of t's vote instance here (which
+  /// must be closed).
+  void send_vote_answer(ProcessId to, TxnId t);
+  /// Runs infer_outcome over the answers collected so far.
+  void maybe_conclude_termination(TxnId t);
+  /// Externalizes a decision: answers the client (if known) and sends
+  /// PcOutcome to every participant shard but our own.  `csn_ts` is the
+  /// coordinator stamp for commits (0 for aborts).
+  void announce_decision(TxnId t, tcs::Decision d,
+                         const std::vector<ShardId>& participants,
+                         ProcessId client, Time csn_ts);
+  /// Adopts d for the in-doubt transaction t: replicate locally, propagate
+  /// to the peer shards, and answer the stranded client.
+  void resolve_in_doubt(TxnId t, tcs::Decision d);
+
+  Options options_;
+  paxos::PaxosReplica* paxos_ = nullptr;
+  std::map<ShardId, ProcessId> leaders_;
+
+  // Replicated TCS state (per shard).
+  std::map<TxnId, TxnState> txns_;
+  std::vector<tcs::Payload> committed_;
+  /// Multi-version committed state for snapshot reads, fed by apply_decide;
+  /// deterministic across replicas (csn = the replicated coordinator stamp).
+  store::SnapshotStore store_;
+
+  // Coordinator-side state (volatile; losing it is harmless here — the
+  // replicated vote instances let any recovery proposer finish the round).
+  std::map<TxnId, CoordState> coord_;
+
+  // Recovery state (per replica; only leaders speak).
+  fd::Responder responder_;
+  std::unique_ptr<fd::PingMonitor> fd_monitor_;
+  std::map<TxnId, TermState> term_;
+  std::map<ProcessId, std::set<TxnId>> in_doubt_;  ///< by coordinator
+  TerminationStats term_stats_;
+};
+
+}  // namespace ratc::pc

@@ -1,0 +1,100 @@
+// The pure, message-free core of Paxos Commit's non-blocking termination
+// (Gray & Lamport, "Consensus on Transaction Commit", Sec. 5-6): the
+// chosen-vote vocabulary carried in PcVoteAnswer and the outcome-inference
+// function, kept free of the Participant state machine so the decision
+// table is unit-testable by enumeration (pc_test.cc), mirroring how
+// baseline/termination.h isolates the cooperative-termination rules.
+//
+// The stack reuses baseline::TerminationStats for its recovery counters so
+// ladder sweeps read both protocols' blocked/resolved columns through one
+// accessor; in this stack `blocked` can only count transactions whose peers
+// were unreachable for every bounded query round — never an all-prepared
+// window, which inference below resolves to COMMIT.
+#pragma once
+
+#include <map>
+
+#include "baseline/termination.h"
+#include "common/types.h"
+
+namespace ratc::pc {
+
+/// Counter vocabulary shared with the baseline's cooperative termination,
+/// so RunResult surfaces one `term=` column for every ladder rung.
+using baseline::TerminationStats;
+
+/// The chosen value of one shard's vote instance, as answered to a
+/// PcVoteQuery.  Values are derived from the shard's *applied* Paxos
+/// prefix, so every answer is a replicated fact — and, crucially, there is
+/// no "still open" state: a queried shard that has not voted forces its
+/// instance closed (PcCmdForceAbort) before answering.
+enum class VoteState {
+  kVoteCommit = 0,    ///< chosen PREPARED: this shard can only commit
+  kVoteAbort = 1,     ///< chosen ABORT (certification NO or forced closed)
+  kDecidedCommit = 2, ///< a COMMIT decision already applied here
+  kDecidedAbort = 3,  ///< an ABORT decision already applied here
+};
+
+inline const char* to_string(VoteState s) {
+  switch (s) {
+    case VoteState::kVoteCommit: return "vote-commit";
+    case VoteState::kVoteAbort: return "vote-abort";
+    case VoteState::kDecidedCommit: return "decided-commit";
+    case VoteState::kDecidedAbort: return "decided-abort";
+  }
+  return "?";
+}
+
+/// Outcome of one inference pass over the vote answers collected so far.
+/// There is deliberately no kBlocked: the decision is a deterministic
+/// function of the chosen votes (commit iff all participants chose
+/// PREPARED), so once every instance is known the outcome is known.
+enum class VoteOutcome {
+  kUnknown = 0,  ///< some vote instance still unanswered
+  kCommit = 1,
+  kAbort = 2,
+};
+
+inline const char* to_string(VoteOutcome o) {
+  switch (o) {
+    case VoteOutcome::kUnknown: return "unknown";
+    case VoteOutcome::kCommit: return "commit";
+    case VoteOutcome::kAbort: return "abort";
+  }
+  return "?";
+}
+
+/// Infers the transaction outcome from the chosen votes collected so far
+/// (keyed by participant shard; the recovery proposer contributes its own
+/// shard's chosen vote as one answer).  `num_participants` is |shards(t)|:
+///  * any kDecided*            => adopt it (a decision is itself the
+///                                deterministic function of all votes, so
+///                                it subsumes the remaining instances)
+///  * any kVoteAbort           => kAbort (one NO vote forecloses commit,
+///                                whether certification said no or a
+///                                recovery proposer forced the instance)
+///  * all participants chose
+///    kVoteCommit              => kCommit — THE Paxos Commit edge over 2PC:
+///                                a crashed coordinator could only ever
+///                                have computed commit from these same
+///                                replicated votes, so adopting commit
+///                                agrees with anything it externalized
+///  * otherwise                => kUnknown (answers outstanding; retry)
+inline VoteOutcome infer_outcome(const std::map<ShardId, VoteState>& answers,
+                                 std::size_t num_participants) {
+  std::size_t chosen_commit = 0;
+  for (const auto& [shard, state] : answers) {
+    (void)shard;
+    if (state == VoteState::kDecidedCommit) return VoteOutcome::kCommit;
+    if (state == VoteState::kDecidedAbort || state == VoteState::kVoteAbort) {
+      return VoteOutcome::kAbort;
+    }
+    ++chosen_commit;  // kVoteCommit
+  }
+  if (num_participants > 0 && chosen_commit >= num_participants) {
+    return VoteOutcome::kCommit;
+  }
+  return VoteOutcome::kUnknown;
+}
+
+}  // namespace ratc::pc

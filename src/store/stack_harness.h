@@ -52,6 +52,7 @@
 #include "commit/client.h"
 #include "commit/cluster.h"
 #include "ctrl/placement.h"
+#include "pc/cluster.h"
 #include "rdma/cluster.h"
 #include "recon/engine.h"
 #include "recon/placement.h"
@@ -330,6 +331,13 @@ class BaselineHarness {
   bool reconfigure_healthy(Rng& rng, ShardId s);
   void drain(Duration d, Rng& rng);
 
+  /// Cooperative-termination counters aggregated over every shard server
+  /// (all zero when the toggle is off).  Surfaced in RunResult so ladder
+  /// sweeps can assert on the blocked/resolved columns directly.
+  baseline::TerminationStats termination_stats() const {
+    return cluster_.termination_stats();
+  }
+
   std::string verify() { return cluster_.verify(); }
   std::string check_linearization();
   std::string trace();
@@ -363,6 +371,78 @@ class BaselineCoopHarness : public BaselineHarness {
     w.cooperative_termination = true;
     return w;
   }
+};
+
+/// Paxos Commit (Gray & Lamport): the ladder's strongest classical rung.
+/// Same machine topology, workload salt, pacing and checker set as the
+/// baseline harnesses, so a (seed, schedule) pair faces all four rungs
+/// with the identical workload and fault sequence — but every
+/// participant's vote is a replicated consensus instance (src/pc/), so a
+/// crashed coordinator never strands a fully-prepared transaction: the
+/// recovery proposer resolves it from the chosen votes (zero all-prepared
+/// blocked windows, asserted by the ladder sweeps).  verify() additionally
+/// runs the serializability conflict-graph checker over the committed
+/// projection — cheap here because the stack's histories stay small, and
+/// it guards the one property the decision-agreement check cannot see
+/// (cyclic commit orders).
+class PaxosCommitHarness {
+ public:
+  using Workload = StackWorkload;
+  static constexpr const char* kName = "paxos-commit";
+  /// Deliberately the baseline's salt: identical workload streams per seed.
+  static constexpr std::uint64_t kWorkloadSalt = 0xba5e11eULL;
+  static constexpr Duration kPaceHi = 6;
+  static constexpr CheckerSet kCheckers{false, false, true};
+
+  PaxosCommitHarness(std::uint64_t seed, const StackWorkload& w);
+
+  sim::Simulator& sim() { return cluster_.sim(); }
+  pc::PcCluster& cluster() { return cluster_; }
+  void install_fault_injector(sim::FaultInjector* fi);
+  void set_on_decision(std::function<void(TxnId, tcs::Decision)> fn);
+  TxnId next_txn_id() { return cluster_.next_txn_id(); }
+  bool submit(Rng& rng, TxnId txn, const tcs::Payload& payload);
+  /// Groups the batch by coordinator (the leader of each transaction's
+  /// first shard) and sends one PC_CERTIFY_BATCH per group; false if every
+  /// group's coordinator is crashed.
+  bool submit_batch(Rng& rng,
+                    const std::vector<std::pair<TxnId, tcs::Payload>>& batch);
+  std::size_t decided_count() const { return client_->decided_count(); }
+  std::size_t committed_count() { return cluster_.history().committed_count(); }
+  /// CSN fast-path read, leader-gated like the baseline; true iff served.
+  bool snapshot_read(Rng& rng, const std::vector<ObjectId>& objects);
+  std::size_t reads_attempted() const { return reads_attempted_; }
+  std::size_t reads_served() const { return reads_served_; }
+  std::string check_snapshot_reads();
+
+  std::uint32_t num_shards() const { return cluster_.num_shards(); }
+  std::vector<std::vector<ProcessId>> fault_units(ShardId s) const;
+  std::vector<std::vector<ProcessId>> all_units() const;
+  bool crash_and_reconfigure(Rng& rng, ShardId s);
+  bool reconfigure_healthy(Rng& rng, ShardId s);
+  void drain(Duration d, Rng& rng);
+
+  /// Vote-recovery counters (blocked counts only unreachable-peer give-ups
+  /// here, never an all-prepared window — the ladder asserts 0 under pure
+  /// coordinator crashes).
+  pc::TerminationStats termination_stats() const {
+    return cluster_.termination_stats();
+  }
+
+  /// Decision agreement across servers + the serializability conflict
+  /// graph over the committed projection (skipped for other isolations).
+  std::string verify();
+  std::string check_linearization();
+  std::string trace();
+
+ private:
+  std::vector<ProcessId> alive_servers(ShardId s);
+
+  StackWorkload w_;
+  pc::PcCluster cluster_;
+  pc::PcClient* client_;
+  std::size_t reads_attempted_ = 0;
+  std::size_t reads_served_ = 0;
 };
 
 }  // namespace ratc::store

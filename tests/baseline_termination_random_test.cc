@@ -3,11 +3,11 @@
 // classical 2PC vulnerability — the coordinator is crashed in the window
 // between prepare-acks and the decision broadcast of an in-flight
 // transaction, then the shard heals by electing a survivor.  Swept across
-// all three variants of the comparison (classical 2PC, cooperative-
-// termination 2PC, and the paper protocol) on identical per-seed strike
-// timings, plus a false-suspicion partition schedule against the
-// cooperative variant (termination racing a live coordinator must stay
-// safe).
+// all four rungs of the comparison ladder (classical 2PC, cooperative-
+// termination 2PC, Paxos Commit, and the paper protocol) on identical
+// per-seed strike timings, plus a false-suspicion partition schedule
+// against the cooperative variant (termination racing a live coordinator
+// must stay safe).
 //
 // Failures print one RunResult::summary() line per seed — the reproduction
 // recipe (tests/README.md).
@@ -32,9 +32,10 @@ const int kSeeds = sweep_seed_count(20);
 constexpr std::uint64_t kFirstSeed = 1;
 
 /// Crashes the machinery around transaction p right in its decision window.
-/// Baseline stacks: the 2PC coordinator (the leader of p's first shard) is
-/// crashed and a survivor is elected.  Commit stack: a member of that shard
-/// is crashed and the shard reconfigures — the paper's recovery lever.
+/// Baseline and Paxos Commit stacks: the 2PC coordinator (the leader of p's
+/// first shard) is crashed and a survivor is elected.  Commit stack: a
+/// member of that shard is crashed and the shard reconfigures — the paper's
+/// recovery lever.
 template <typename Harness>
 void strike_decision_window(Harness& h, const Payload& p,
                             std::set<ShardId>& struck, Rng& fault_rng) {
@@ -42,7 +43,8 @@ void strike_decision_window(Harness& h, const Payload& p,
   std::vector<ShardId> parts = map.shards_of(p);
   if (parts.empty()) return;
   ShardId s = parts.front();
-  if constexpr (std::is_base_of_v<store::BaselineHarness, Harness>) {
+  if constexpr (std::is_base_of_v<store::BaselineHarness, Harness> ||
+                std::is_same_v<store::PaxosCommitHarness, Harness>) {
     // One strike per shard: 2f+1 = 3 tolerates a single permanent crash.
     if (struck.count(s) > 0) return;
     auto& cluster = h.cluster();
@@ -116,12 +118,14 @@ double decided_fraction(const SweepResult& r) {
          static_cast<double>(r.total_submitted);
 }
 
-TEST(TerminationNemesis, DecisionWindowCoordinatorCrashesThreeWay) {
+TEST(TerminationNemesis, DecisionWindowCoordinatorCrashesFourWay) {
   // The aimed version of BaselineVsCommit: every strike kills a coordinator
   // mid-round.  Classical 2PC strands the in-flight backlog and poisons its
   // objects; cooperative termination recovers every transaction whose peers
   // decided or never prepared (only the all-prepared window stays blocked);
-  // the paper protocol recovers everything by reconfiguring.
+  // Paxos Commit recovers even the all-prepared window, because the votes
+  // themselves are replicated facts; the paper protocol recovers everything
+  // by reconfiguring.
   store::StackWorkload shared;
   shared.total_txns = 100;
   shared.min_decided_fraction = 0.0;  // blocking is exactly what is measured
@@ -144,6 +148,15 @@ TEST(TerminationNemesis, DecisionWindowCoordinatorCrashesThreeWay) {
       });
   EXPECT_TRUE(coop.ok()) << coop.report();
 
+  PaxosCommitWorkloadOptions xw;
+  xw.total_txns = shared.total_txns;
+  xw.min_decided_fraction = 0.9;  // non-blocking: must recover the backlog
+  SweepResult pc =
+      parallel_sweep_seeds(kFirstSeed, kSeeds, [&](std::uint64_t seed) {
+        return run_decision_window_crashes<store::PaxosCommitHarness>(seed, xw);
+      });
+  EXPECT_TRUE(pc.ok()) << pc.report();
+
   CommitWorkloadOptions cw;
   cw.total_txns = shared.total_txns;
   cw.min_decided_fraction = 0.9;  // the paper protocol must recover
@@ -154,10 +167,14 @@ TEST(TerminationNemesis, DecisionWindowCoordinatorCrashesThreeWay) {
   EXPECT_TRUE(commit.ok()) << commit.report();
 
   std::printf("decision-window strikes: classical decided=%.4f committed=%.4f | "
-              "coop decided=%.4f committed=%.4f | commit decided=%.4f "
-              "committed=%.4f\n",
+              "coop decided=%.4f committed=%.4f blocked=%llu | "
+              "paxos-commit decided=%.4f committed=%.4f blocked=%llu | "
+              "commit decided=%.4f committed=%.4f\n",
               decided_fraction(classical), committed_fraction(classical),
               decided_fraction(coop), committed_fraction(coop),
+              static_cast<unsigned long long>(coop.total_term_blocked),
+              decided_fraction(pc), committed_fraction(pc),
+              static_cast<unsigned long long>(pc.total_term_blocked),
               decided_fraction(commit), committed_fraction(commit));
 
   // Cooperative termination recovers most of the stranded backlog: the
@@ -168,8 +185,18 @@ TEST(TerminationNemesis, DecisionWindowCoordinatorCrashesThreeWay) {
   EXPECT_LT(coop_blocked, 0.7 * classical_blocked);
   // Unpoisoning the resolvable objects lifts the committed fraction...
   EXPECT_GT(committed_fraction(coop), committed_fraction(classical) + 0.01);
-  // ...but the all-prepared window keeps it at or below the paper protocol.
+  // ...but the all-prepared window keeps it at or below Paxos Commit and
+  // the paper protocol.
+  EXPECT_LE(committed_fraction(coop), committed_fraction(pc) + 0.02);
   EXPECT_LE(committed_fraction(coop), committed_fraction(commit) + 0.02);
+  // The ladder's pivot: cooperative termination hits the all-prepared wall
+  // on these schedules (give-ups > 0), while Paxos Commit — votes chosen by
+  // per-shard Paxos instances — never blocks at all.
+  EXPECT_GT(coop.total_term_blocked, 0u);
+  EXPECT_EQ(pc.total_term_blocked, 0u);
+  // Paxos Commit recovers essentially the whole backlog, like the paper
+  // protocol does.
+  EXPECT_GT(decided_fraction(pc), decided_fraction(coop));
 }
 
 TEST(TerminationNemesis, FalseSuspicionPartitionsStaySafe) {

@@ -38,6 +38,11 @@ std::string RunResult::summary() const {
     out += " reads=" + std::to_string(reads_served) + "/" +
            std::to_string(reads_attempted);
   }
+  if (term_resolved > 0 || term_blocked > 0 || term_adopted > 0) {
+    out += " term-resolved=" + std::to_string(term_resolved) +
+           " term-blocked=" + std::to_string(term_blocked) +
+           " term-adopted=" + std::to_string(term_adopted);
+  }
   if (linearization_checked) out += " lin-checked";
   if (!problems.empty()) out += "\n" + problems;
   return out;
@@ -471,6 +476,12 @@ RunResult run_baseline_coop_workload(std::uint64_t seed,
                                      const BaselineCoopWorkloadOptions& w,
                                      const Schedule& schedule) {
   return FaultDriver<store::BaselineCoopHarness>(seed, w, schedule).run();
+}
+
+RunResult run_paxos_commit_workload(std::uint64_t seed,
+                                    const PaxosCommitWorkloadOptions& w,
+                                    const Schedule& schedule) {
+  return FaultDriver<store::PaxosCommitHarness>(seed, w, schedule).run();
 }
 
 RunResult run_paxos_workload(std::uint64_t seed, const PaxosWorkloadOptions& w,

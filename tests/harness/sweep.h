@@ -49,6 +49,16 @@ struct RunResult {
   /// read_fraction is 0 or the stack has no read path).
   std::size_t reads_attempted = 0;
   std::size_t reads_served = 0;
+  /// Termination-protocol counters for stacks that expose
+  /// termination_stats() (baseline coop and Paxos Commit; 0 elsewhere).
+  /// Surfaced so ladder sweeps can assert "coop blocks > 0, Paxos Commit
+  /// blocks == 0" directly instead of inferring it from committed
+  /// fractions.  `term_blocked` is the all-prepared give-up count for the
+  /// coop baseline and the unreachable-peer give-up count for Paxos Commit
+  /// (which has no all-prepared window by construction).
+  std::uint64_t term_resolved = 0;  ///< in-doubt txns resolved (commit+abort)
+  std::uint64_t term_blocked = 0;   ///< termination give-ups
+  std::uint64_t term_adopted = 0;   ///< orphaned coordinations adopted
   bool linearization_checked = false;
   std::string problems;
   /// FNV-1a fingerprint of the full message trace plus outcome counters;
@@ -91,6 +101,12 @@ void apply_end_of_run_checks(RunResult& r, Harness& harness,
   if constexpr (requires { harness.reads_attempted(); }) {
     r.reads_attempted = harness.reads_attempted();
     r.reads_served = harness.reads_served();
+  }
+  if constexpr (requires { harness.termination_stats(); }) {
+    auto ts = harness.termination_stats();
+    r.term_resolved = ts.resolved();
+    r.term_blocked = ts.blocked;
+    r.term_adopted = ts.adopted_coordinations;
   }
   if constexpr (requires { harness.check_snapshot_reads(); }) {
     // Every served snapshot read must have observed a consistent, fresh
@@ -154,6 +170,19 @@ struct BaselineCoopWorkloadOptions : BaselineWorkloadOptions {
   BaselineCoopWorkloadOptions() { cooperative_termination = true; }
 };
 
+/// Paxos Commit (store::PaxosCommitHarness): the baseline's topology and
+/// workload stream, but every vote is a replicated consensus instance, so
+/// recovery never blocks on the all-prepared window.  The decided-fraction
+/// floor is accordingly higher than the 2PC rungs'; suites override it
+/// with census-calibrated values per schedule shape (pc_random_test.cc).
+struct PaxosCommitWorkloadOptions : store::StackWorkload {
+  PaxosCommitWorkloadOptions() {
+    shard_size = 3;  // 2f+1 Paxos groups
+    spares_per_shard = 0;
+    min_decided_fraction = 0.75;
+  }
+};
+
 struct PaxosWorkloadOptions {
   std::size_t replicas = 5;
   int total_txns = 60;  ///< commands
@@ -175,6 +204,9 @@ RunResult run_baseline_workload(std::uint64_t seed, const BaselineWorkloadOption
 RunResult run_baseline_coop_workload(std::uint64_t seed,
                                      const BaselineCoopWorkloadOptions& w,
                                      const Schedule& schedule);
+RunResult run_paxos_commit_workload(std::uint64_t seed,
+                                    const PaxosCommitWorkloadOptions& w,
+                                    const Schedule& schedule);
 RunResult run_paxos_workload(std::uint64_t seed, const PaxosWorkloadOptions& w,
                              const Schedule& schedule);
 
@@ -191,6 +223,11 @@ struct SweepResult {
   std::size_t total_decided = 0;
   std::size_t total_committed = 0;
   std::size_t linearization_checks = 0;
+  /// Termination-counter aggregates (see RunResult); the ladder sweeps
+  /// assert on these directly: coop blocks > 0, Paxos Commit blocks == 0.
+  std::uint64_t total_term_resolved = 0;
+  std::uint64_t total_term_blocked = 0;
+  std::uint64_t total_term_adopted = 0;
   std::vector<RunResult> failures;
 
   bool ok() const { return failures.empty(); }
@@ -203,6 +240,9 @@ struct SweepResult {
     total_decided += r.decided;
     total_committed += r.committed;
     linearization_checks += r.linearization_checked ? 1 : 0;
+    total_term_resolved += r.term_resolved;
+    total_term_blocked += r.term_blocked;
+    total_term_adopted += r.term_adopted;
     if (!r.problems.empty()) failures.push_back(std::move(r));
   }
 };

@@ -2,8 +2,9 @@
 // nemesis schedules — crash-stop, mid-transaction reconfiguration, network
 // partitions (single-victim, majority splits, asymmetric one-way), clock
 // skew, message drops and delay spikes — over the commit, RDMA, baseline
-// (classical and cooperative-termination) and Paxos stacks, all through
-// the same templated driver.  Every run is
+// (classical and cooperative-termination), Paxos Commit (see
+// pc_random_test.cc for its dedicated sweeps) and Paxos stacks, all
+// through the same templated driver.  Every run is
 // validated by the checkers its stack enumerates: the online invariant
 // monitor (Fig. 3/5), the TCS-LL checker (Fig. 6), and, when the committed
 // projection is small enough for the exact DFS, the linearization checker.
@@ -355,19 +356,22 @@ TEST(BaselineCoopFaultSweep, LossySchedulesAreSafe) {
   EXPECT_TRUE(sweep.ok()) << sweep.report();
 }
 
-TEST(BaselineVsCommit, ThreeWayCoordinatorCrashCommittedFractionOrdering) {
-  // The paper's motivating comparison, now three-way: identical crash-only
-  // schedules against classical 2PC, cooperative-termination 2PC, and the
-  // paper protocol.  The reconfigurable protocol recovers every coordinator
-  // crash (the shard reconfigures and replicas re-certify through the new
-  // epoch).  Classical 2PC loses the coordinator state with the crashed
-  // leader, and the damage shows twice: its in-flight transactions never
-  // decide, and their prepared witnesses poison every object they touch,
-  // aborting all later conflicting transactions.  Cooperative termination
-  // resolves the in-doubt transactions whose peers decided (or never
-  // prepared) and releases their objects, landing strictly between the
-  // other two — the regression this test pins, with margins loose enough
-  // that the fixed seed set stays portable.
+TEST(BaselineVsCommit, FourWayCoordinatorCrashCommittedFractionOrdering) {
+  // The paper's motivating comparison, now four-way: identical crash-only
+  // schedules against classical 2PC, cooperative-termination 2PC, Paxos
+  // Commit, and the paper protocol.  The reconfigurable protocol recovers
+  // every coordinator crash (the shard reconfigures and replicas re-certify
+  // through the new epoch).  Classical 2PC loses the coordinator state with
+  // the crashed leader, and the damage shows twice: its in-flight
+  // transactions never decide, and their prepared witnesses poison every
+  // object they touch, aborting all later conflicting transactions.
+  // Cooperative termination resolves the in-doubt transactions whose peers
+  // decided (or never prepared) and releases their objects, landing
+  // strictly between the other two.  Paxos Commit replicates each vote
+  // through the shard's own Paxos group, so the all-prepared window that
+  // still blocks the cooperative variant terminates too — the ladder this
+  // test pins (classical < coop <= paxos-commit, commit near the top), with
+  // margins loose enough that the fixed seed set stays portable.
   ScheduleOptions opt;
   opt.crashes = 2;
   opt.reconfigures = 0;
@@ -400,6 +404,15 @@ TEST(BaselineVsCommit, ThreeWayCoordinatorCrashCommittedFractionOrdering) {
       });
   EXPECT_TRUE(coop.ok()) << coop.report();
 
+  PaxosCommitWorkloadOptions xw;
+  xw.total_txns = 120;
+  xw.min_decided_fraction = 0.75;  // non-blocking: termination always lands
+  SweepResult pc =
+      parallel_sweep_seeds(kFirstSeed, kSweepSeeds, [&](std::uint64_t seed) {
+        return run_paxos_commit_workload(seed, xw, schedule_for(seed, opt));
+      });
+  EXPECT_TRUE(pc.ok()) << pc.report();
+
   // Some classical-baseline transactions blocked outright (never decided),
   // and cooperative termination resolved part of that backlog.
   EXPECT_LT(baseline.total_decided, baseline.total_submitted);
@@ -412,10 +425,12 @@ TEST(BaselineVsCommit, ThreeWayCoordinatorCrashCommittedFractionOrdering) {
   double commit_fraction = fraction(commit);
   double baseline_fraction = fraction(baseline);
   double coop_fraction = fraction(coop);
-  // The pinned ordering: classical < coop <= paper protocol.  The classical
-  // gap to the paper protocol stays wide; the coop variant must sit
-  // strictly above classical (it unpoisons the resolvable objects) and at
-  // most negligibly above the paper protocol.
+  double pc_fraction = fraction(pc);
+  // The pinned ordering: classical < coop <= paxos-commit, with the paper
+  // protocol at or near the top.  The classical gap to the paper protocol
+  // stays wide; the coop variant must sit strictly above classical (it
+  // unpoisons the resolvable objects) and at most negligibly above Paxos
+  // Commit and the paper protocol.
   EXPECT_GT(commit_fraction, baseline_fraction + 0.03)
       << "commit committed fraction " << commit_fraction
       << " vs baseline " << baseline_fraction;
@@ -425,6 +440,14 @@ TEST(BaselineVsCommit, ThreeWayCoordinatorCrashCommittedFractionOrdering) {
   EXPECT_LE(coop_fraction, commit_fraction + 0.01)
       << "coop committed fraction " << coop_fraction
       << " vs commit " << commit_fraction;
+  EXPECT_LE(coop_fraction, pc_fraction + 0.01)
+      << "coop committed fraction " << coop_fraction
+      << " vs paxos-commit " << pc_fraction;
+  // Paxos Commit never gives up on an in-doubt transaction: zero
+  // termination give-ups across the whole sweep, unlike the cooperative
+  // variant, whose all-prepared windows surface as blocked > 0 in the aimed
+  // decision-window test (baseline_termination_random_test.cc).
+  EXPECT_EQ(pc.total_term_blocked, 0u);
 }
 
 // --- paxos substrate ----------------------------------------------------------

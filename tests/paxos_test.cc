@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -142,6 +143,89 @@ TEST(Paxos, CompetingCandidatesConverge) {
     EXPECT_EQ((std::vector<int>(g.applied[i].begin(), g.applied[i].begin() + 3)),
               (std::vector<int>{0, 1, 2}));
   }
+}
+
+TEST(Paxos, CompetingProposersOnSameSlotConvergeOnOneValue) {
+  // Two replicas both believe they may lead and propose DIFFERENT commands
+  // that land on the same slot — the exact shape of a contended Paxos
+  // Commit vote instance (a late prepare racing a recovery force-abort).
+  // Acceptors must choose exactly one value for the slot and every replica
+  // must apply the same sequence.
+  sim::Simulator sim(8);
+  sim::Network net(sim);
+  Group g(sim, net, 5);
+  for (int i = 0; i < 3; ++i) g[0].submit(sim::AnyMessage(Cmd{i}));
+  sim.run();
+  sim.crash(g[0].id());
+
+  // g[1] takes over cleanly first.
+  g[1].start_election();
+  sim.run();
+  ASSERT_TRUE(g[1].is_leader());
+
+  // g[2] starts a competing (higher-ballot) election; while its phase 1 is
+  // in flight, both proposers get a submission.  Both target the same next
+  // slot: g[1] proposes under its established ballot, g[2] buffers and
+  // proposes once its phase 1 completes.
+  g[2].start_election();
+  g[1].submit(sim::AnyMessage(Cmd{10}));
+  g[2].submit(sim::AnyMessage(Cmd{20}));
+  sim.run();
+
+  // Probe through whoever won so stragglers get filled/committed.
+  PaxosReplica& winner = g[2].is_leader() ? g[2] : g[1];
+  winner.submit(sim::AnyMessage(Cmd{99}));
+  sim.run();
+
+  // Convergence: all alive replicas applied the identical sequence, the
+  // shared prefix survived, the probe landed, and no command was applied
+  // twice (one value per slot).
+  for (std::size_t i = 2; i < 5; ++i) {
+    EXPECT_EQ(g.applied[i], g.applied[1]) << "replica " << i;
+  }
+  const std::vector<int>& log = g.applied[1];
+  ASSERT_GE(log.size(), 4u);
+  EXPECT_EQ((std::vector<int>(log.begin(), log.begin() + 3)),
+            (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(log.back(), 99);
+  for (int contested : {10, 20, 99}) {
+    EXPECT_LE(std::count(log.begin(), log.end(), contested), 1)
+        << "command " << contested << " chosen for more than one slot";
+  }
+}
+
+TEST(Paxos, CaughtUpGateClosesAcrossLeaderCrash) {
+  // The leader gate CSN snapshot reads rely on: caught_up() must be false
+  // while an election is in progress (a fresh leader has not necessarily
+  // applied its predecessors' chosen commands yet) and true again once the
+  // new leader has applied everything.
+  sim::Simulator sim(9);
+  sim::Network net(sim);
+  Group g(sim, net, 3);
+  for (int i = 0; i < 5; ++i) g[0].submit(sim::AnyMessage(Cmd{i}));
+  sim.run();
+  EXPECT_TRUE(g[0].caught_up());
+  EXPECT_TRUE(g[1].caught_up());  // followers apply too
+
+  // Crash the leader with a command in flight (acceptors stored it, the
+  // commit is not yet learned everywhere).
+  g[0].submit(sim::AnyMessage(Cmd{5}));
+  sim.run_until(sim.now() + 1);
+  sim.crash(g[0].id());
+
+  // The gate must already be closed on the candidate the moment it starts
+  // electing — before any message flows.
+  g[1].start_election();
+  EXPECT_FALSE(g[1].is_leader());
+  EXPECT_FALSE(g[1].caught_up());
+
+  sim.run();
+  // Election done: the new leader recovered the in-flight command, applied
+  // the full prefix, and may serve reads again.
+  ASSERT_TRUE(g[1].is_leader());
+  EXPECT_TRUE(g[1].caught_up());
+  EXPECT_EQ(g.applied[1], (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(g.applied[2], g.applied[1]);
 }
 
 TEST(Paxos, NoDivergentLogsUnderRepeatedFailover) {
